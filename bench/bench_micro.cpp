@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark): the individual operations behind the
+// paper's index results — B+tree ops, hierarchy-trie path lookup vs
+// brute-force tree walks, posting joins, word-index lookups, regex matching.
+// These back the DESIGN.md ablation notes rather than a specific figure.
+#include <benchmark/benchmark.h>
+
+#include "corpus/generators.h"
+#include "index/koko_index.h"
+#include "index/path_lookup.h"
+#include "nlp/pipeline.h"
+#include "regex/regex.h"
+#include "storage/btree.h"
+#include "util/rng.h"
+
+namespace koko {
+namespace {
+
+const AnnotatedCorpus& SharedCorpus() {
+  static const AnnotatedCorpus* corpus = [] {
+    Pipeline pipeline;
+    auto docs = GenerateHappyMoments({.num_moments = 1500, .seed = 42});
+    return new AnnotatedCorpus(pipeline.AnnotateCorpus(docs));
+  }();
+  return *corpus;
+}
+
+const KokoIndex& SharedIndex() {
+  static const KokoIndex* index = KokoIndex::Build(SharedCorpus()).release();
+  return *index;
+}
+
+PathQuery DobjAmodPath() {
+  PathQuery q;
+  PathStep s1;
+  s1.axis = PathStep::Axis::kChild;
+  s1.constraint.dep = DepLabel::kRoot;
+  PathStep s2;
+  s2.axis = PathStep::Axis::kChild;
+  s2.constraint.dep = DepLabel::kDobj;
+  PathStep s3;
+  s3.axis = PathStep::Axis::kChild;
+  s3.constraint.dep = DepLabel::kAmod;
+  q.steps = {s1, s2, s3};
+  return q;
+}
+
+void BM_BTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    BPlusTree<uint64_t, uint32_t> tree;
+    Rng rng(1);
+    for (int i = 0; i < 4096; ++i) {
+      tree.Insert(rng.Next() % 1024, static_cast<uint32_t>(i));
+    }
+    benchmark::DoNotOptimize(tree.NumValues());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  BPlusTree<uint64_t, uint32_t> tree;
+  Rng rng(2);
+  for (int i = 0; i < 65536; ++i) tree.Insert(rng.Next() % 16384, 1);
+  Rng probe(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Find(probe.Next() % 16384));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookup);
+
+void BM_HierarchyTrieLookup(benchmark::State& state) {
+  const KokoIndex& index = SharedIndex();
+  PathQuery path = DobjAmodPath();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.LookupParseLabelPath(path));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyTrieLookup);
+
+void BM_BruteForcePathMatch(benchmark::State& state) {
+  const AnnotatedCorpus& corpus = SharedCorpus();
+  PathQuery path = DobjAmodPath();
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (uint32_t sid = 0; sid < corpus.NumSentences(); ++sid) {
+      hits += MatchPathInSentence(corpus.sentence(sid), path).size();
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BruteForcePathMatch);
+
+void BM_WordIndexLookup(benchmark::State& state) {
+  const KokoIndex& index = SharedIndex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.LookupWord("delicious"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WordIndexLookup);
+
+void BM_DecomposedPathLookup(benchmark::State& state) {
+  const KokoIndex& index = SharedIndex();
+  PathQuery path;
+  PathStep s1;
+  s1.axis = PathStep::Axis::kDescendant;
+  s1.constraint.pos = PosTag::kVerb;
+  PathStep s2;
+  s2.axis = PathStep::Axis::kChild;
+  s2.constraint.dep = DepLabel::kDobj;
+  PathStep s3;
+  s3.axis = PathStep::Axis::kDescendant;
+  s3.constraint.word = "delicious";
+  path.steps = {s1, s2, s3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KokoPathLookup(index, path));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecomposedPathLookup);
+
+void BM_RegexPartialMatch(benchmark::State& state) {
+  auto re = Regex::Compile("[0-9]+ [0-9A-Z a-z]+ [Ss]t.?");
+  std::string input = "the new cafe at 123 Mission St. has espresso";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re->PartialMatch(input));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegexPartialMatch);
+
+void BM_AnnotateSentence(benchmark::State& state) {
+  Pipeline pipeline;
+  std::string text =
+      "Anna ate some delicious cheesecake that she bought at a grocery store.";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.AnnotateSentence(text));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnnotateSentence);
+
+}  // namespace
+}  // namespace koko
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+#ifndef KOKO_BENCH_BENCH_UTIL_H_
+#define KOKO_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the reproduction benchmarks. Each bench binary
+// regenerates one table/figure of the paper and prints (a) the paper's
+// reported shape and (b) our measured numbers.
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "corpus/generators.h"
+#include "embed/embedding.h"
+#include "extract/metrics.h"
+#include "index/koko_index.h"
+#include "koko/engine.h"
+#include "nlp/pipeline.h"
+
+namespace koko {
+namespace bench {
+
+/// The Appendix-A cafe query (adapted to this repository's generators and
+/// NER conventions), parameterised by threshold.
+inline std::string CafeQuery(double threshold) {
+  char buf[4096];
+  std::snprintf(buf, sizeof(buf), R"(
+extract x:Entity from "blogs" if ()
+satisfying x
+  (str(x) contains "Cafe" {1}) or
+  (str(x) contains "Coffee" {1}) or
+  (str(x) contains "Roasters" {1}) or
+  (x ", a cafe" {1}) or
+  (x [["serves coffee"]] {0.5}) or
+  (x [["employs baristas"]] {0.5}) or
+  ([["baristas of"]] x {0.45}) or
+  (x [["hired a star barista"]] {0.5}) or
+  (x [["pours delicious lattes"]] {0.45})
+with threshold %f
+excluding
+  (str(x) matches "[a-z 0-9.&]+") or
+  (str(x) matches "@[A-Za-z 0-9.]+") or
+  (str(x) matches "[Cc]offee|[Cc]afe") or
+  (str(x) matches "[A-Za-z 0-9.]*[Bb]arista [Cc]hampionship") or
+  (str(x) matches "[A-Za-z 0-9.]*[Ff]est(ival)?") or
+  (str(x) matches "[Ll]a Marzocco") or
+  (str(x) matches "[0-9]+ [0-9A-Z a-z]+ [Ss]t.?") or
+  (str(x) in dict("GPE")) or
+  (str(x) in dict("Person"))
+)",
+                threshold);
+  return buf;
+}
+
+/// Runs the KOKO cafe query and returns the distinct extracted names.
+inline std::vector<std::string> RunKokoExtraction(const AnnotatedCorpus& corpus,
+                                                  const KokoIndex& index,
+                                                  const Pipeline& pipeline,
+                                                  const EmbeddingModel& embeddings,
+                                                  const std::string& query_text,
+                                                  bool use_descriptors = true) {
+  Engine engine(&corpus, &index, &embeddings, &pipeline.recognizer());
+  EngineOptions options;
+  options.use_descriptors = use_descriptors;
+  auto result = engine.ExecuteText(query_text, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", result.status().ToString().c_str());
+    return {};
+  }
+  std::set<std::string> seen;
+  std::vector<std::string> values;
+  for (const auto& row : result->rows) {
+    if (!row.values.empty() && seen.insert(row.values[0]).second) {
+      values.push_back(row.values[0]);
+    }
+  }
+  return values;
+}
+
+inline void PrintPrfRow(const char* method, double threshold, const PRF& prf) {
+  if (threshold >= 0) {
+    std::printf("  %-10s t=%.1f  P=%.3f  R=%.3f  F1=%.3f  (tp=%zu fp=%zu fn=%zu)\n",
+                method, threshold, prf.precision, prf.recall, prf.f1, prf.tp,
+                prf.fp, prf.fn);
+  } else {
+    std::printf("  %-10s        P=%.3f  R=%.3f  F1=%.3f  (tp=%zu fp=%zu fn=%zu)\n",
+                method, prf.precision, prf.recall, prf.f1, prf.tp, prf.fp,
+                prf.fn);
+  }
+}
+
+/// Splits a labeled corpus into train/test halves by document parity.
+struct TrainTestSplit {
+  std::vector<RawDocument> train_docs;
+  std::vector<RawDocument> test_docs;
+  std::vector<std::string> train_gold;
+  std::vector<std::string> test_gold;
+};
+
+inline TrainTestSplit SplitHalf(const LabeledCorpus& corpus) {
+  TrainTestSplit split;
+  for (size_t i = 0; i < corpus.docs.size(); ++i) {
+    if (i % 2 == 0) {
+      split.train_docs.push_back(corpus.docs[i]);
+      split.train_gold.push_back(corpus.gold[i]);
+    } else {
+      split.test_docs.push_back(corpus.docs[i]);
+      split.test_gold.push_back(corpus.gold[i]);
+    }
+  }
+  return split;
+}
+
+}  // namespace bench
+}  // namespace koko
+
+#endif  // KOKO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,189 @@
+#include "baseline/adv_inverted_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "baseline/inverted_index.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace koko {
+
+std::unique_ptr<AdvInvertedIndex> AdvInvertedIndex::Build(
+    const AnnotatedCorpus& corpus) {
+  WallTimer timer;
+  auto index = std::unique_ptr<AdvInvertedIndex>(new AdvInvertedIndex());
+  index->p_ = index->catalog_.CreateTable("P", {{"label", ColumnType::kString},
+                                                {"sid", ColumnType::kInt64},
+                                                {"tid", ColumnType::kInt64},
+                                                {"left", ColumnType::kInt64},
+                                                {"right", ColumnType::kInt64},
+                                                {"depth", ColumnType::kInt64},
+                                                {"pid", ColumnType::kInt64}});
+  for (uint32_t sid = 0; sid < corpus.NumSentences(); ++sid) {
+    const Sentence& s = corpus.sentence(sid);
+    for (int t = 0; t < s.size(); ++t) {
+      const Token& tok = s.tokens[t];
+      std::vector<Cell> base = {std::string(),
+                                static_cast<int64_t>(sid),
+                                static_cast<int64_t>(t),
+                                static_cast<int64_t>(s.subtree_left[t]),
+                                static_cast<int64_t>(s.subtree_right[t]),
+                                static_cast<int64_t>(s.depth[t]),
+                                static_cast<int64_t>(tok.head)};
+      base[0] = "w:" + tok.text;
+      KOKO_CHECK_OK(index->p_->AppendRow(base));
+      base[0] = "l:" + std::string(DepLabelName(tok.label));
+      KOKO_CHECK_OK(index->p_->AppendRow(base));
+      base[0] = "p:" + std::string(PosTagName(tok.pos));
+      KOKO_CHECK_OK(index->p_->AppendRow(base));
+    }
+  }
+  KOKO_CHECK_OK(index->p_->CreateIndex("p_label", {"label"}));
+  index->build_seconds_ = timer.ElapsedSeconds();
+  return index;
+}
+
+std::vector<AdvInvertedIndex::AdvPosting> AdvInvertedIndex::Fetch(
+    const std::string& key) const {
+  auto rows = p_->IndexLookup("p_label", {key});
+  KOKO_CHECK(rows.ok());
+  std::vector<AdvPosting> out;
+  out.reserve(rows->size());
+  for (uint32_t row : *rows) {
+    AdvPosting p;
+    p.sid = static_cast<uint32_t>(p_->GetInt(row, 1));
+    p.tid = static_cast<uint32_t>(p_->GetInt(row, 2));
+    p.left = static_cast<uint32_t>(p_->GetInt(row, 3));
+    p.right = static_cast<uint32_t>(p_->GetInt(row, 4));
+    p.depth = static_cast<uint32_t>(p_->GetInt(row, 5));
+    p.pid = static_cast<int32_t>(p_->GetInt(row, 6));
+    out.push_back(p);
+  }
+  return out;
+}
+
+Result<std::vector<AdvInvertedIndex::AdvPosting>> AdvInvertedIndex::FetchConstraint(
+    const NodeConstraint& c) const {
+  // Intersect the postings of every label this constraint mentions, on
+  // (sid, tid).
+  std::vector<std::string> keys = ConstraintLabelKeys(c);
+  if (keys.empty()) {
+    return Status::InvalidArgument(
+        "ADVINVERTED cannot fetch postings for a wildcard step");
+  }
+  std::vector<AdvPosting> current = Fetch(keys[0]);
+  for (size_t i = 1; i < keys.size() && !current.empty(); ++i) {
+    std::unordered_set<uint64_t> tokens;
+    for (const AdvPosting& p : Fetch(keys[i])) {
+      tokens.insert((static_cast<uint64_t>(p.sid) << 32) | p.tid);
+    }
+    std::vector<AdvPosting> merged;
+    for (const AdvPosting& p : current) {
+      if (tokens.count((static_cast<uint64_t>(p.sid) << 32) | p.tid) > 0) {
+        merged.push_back(p);
+      }
+    }
+    current = std::move(merged);
+  }
+  return current;
+}
+
+Result<std::vector<uint32_t>> AdvInvertedIndex::CandidateSentences(
+    const std::vector<PathQuery>& paths) const {
+  std::unordered_set<uint32_t> survivors;
+  bool first_path = true;
+  for (const PathQuery& path : paths) {
+    // Positions of constrained steps along the path.
+    std::vector<int> anchors;
+    for (int i = 0; i < static_cast<int>(path.steps.size()); ++i) {
+      if (!ConstraintLabelKeys(path.steps[static_cast<size_t>(i)].constraint)
+               .empty()) {
+        anchors.push_back(i);
+      }
+    }
+    if (anchors.empty()) continue;  // unconstrained path: prunes nothing
+
+    // Depth relationship helper over steps (from, to].
+    auto delta = [&](int from, int to) {
+      uint32_t steps = 0;
+      bool exact = true;
+      for (int i = from + 1; i <= to; ++i) {
+        ++steps;
+        if (path.steps[static_cast<size_t>(i)].axis == PathStep::Axis::kDescendant) {
+          exact = false;
+        }
+      }
+      return std::pair<uint32_t, bool>(steps, exact);
+    };
+
+    KOKO_ASSIGN_OR_RETURN(
+        std::vector<AdvPosting> current,
+        FetchConstraint(path.steps[static_cast<size_t>(anchors[0])].constraint));
+    // Root anchoring for the first constrained step.
+    {
+      auto [steps, exact] = delta(-1, anchors[0]);
+      std::vector<AdvPosting> filtered;
+      for (const AdvPosting& p : current) {
+        uint32_t want = steps - 1;  // virtual root sits above depth 0
+        if (exact ? p.depth == want : p.depth >= want) filtered.push_back(p);
+      }
+      current = std::move(filtered);
+    }
+    for (size_t a = 1; a + 0 < anchors.size() && !current.empty(); ++a) {
+      KOKO_ASSIGN_OR_RETURN(
+          std::vector<AdvPosting> next,
+          FetchConstraint(path.steps[static_cast<size_t>(anchors[a])].constraint));
+      auto [steps, exact] = delta(anchors[a - 1], anchors[a]);
+      // Join: keep `next` elements that have an ancestor in `current` at
+      // the required depth relationship (pid equality when adjacent).
+      std::unordered_map<uint32_t, std::vector<const AdvPosting*>> by_sid;
+      for (const AdvPosting& p : current) by_sid[p.sid].push_back(&p);
+      std::vector<AdvPosting> joined;
+      for (const AdvPosting& child : next) {
+        auto it = by_sid.find(child.sid);
+        if (it == by_sid.end()) continue;
+        for (const AdvPosting* anc : it->second) {
+          bool ok;
+          if (steps == 1 && exact) {
+            ok = child.pid == static_cast<int32_t>(anc->tid);
+          } else {
+            bool contains = anc->left <= child.left && anc->right >= child.right;
+            bool depth_ok = exact ? child.depth == anc->depth + steps
+                                  : child.depth >= anc->depth + steps;
+            ok = contains && depth_ok;
+          }
+          if (ok) {
+            joined.push_back(child);
+            break;
+          }
+        }
+      }
+      current = std::move(joined);
+    }
+
+    std::unordered_set<uint32_t> sids;
+    for (const AdvPosting& p : current) sids.insert(p.sid);
+    if (first_path) {
+      survivors = std::move(sids);
+      first_path = false;
+    } else {
+      std::unordered_set<uint32_t> merged;
+      for (uint32_t sid : survivors) {
+        if (sids.count(sid) > 0) merged.insert(sid);
+      }
+      survivors = std::move(merged);
+    }
+    if (survivors.empty()) break;
+  }
+  if (first_path) {
+    return Status::InvalidArgument(
+        "ADVINVERTED cannot evaluate all-wildcard patterns");
+  }
+  std::vector<uint32_t> out(survivors.begin(), survivors.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace koko

@@ -1,0 +1,47 @@
+#ifndef KOKO_BASELINE_ADV_INVERTED_INDEX_H_
+#define KOKO_BASELINE_ADV_INVERTED_INDEX_H_
+
+#include <memory>
+#include <string>
+
+#include "baseline/tree_index.h"
+#include "storage/table.h"
+#include "text/document.h"
+
+namespace koko {
+
+/// \brief The ADVINVERTED baseline — Bird et al.'s LPath indexing (§6.2.1).
+///
+/// One table P(label, sid, tid, left, right, depth, pid) with a B-tree on
+/// `label` (three rows per token, like INVERTED, but carrying structural
+/// columns). Path queries are evaluated by joining the posting lists of
+/// consecutive constrained steps with parent (pid) / ancestor
+/// (left-right-depth containment) conditions — precise, but every join runs
+/// over whole-corpus per-label posting lists, which is what makes it slower
+/// than the hierarchy-index approach at equal effectiveness.
+class AdvInvertedIndex : public TreeIndex {
+ public:
+  static std::unique_ptr<AdvInvertedIndex> Build(const AnnotatedCorpus& corpus);
+
+  std::string_view name() const override { return "ADVINVERTED"; }
+  Result<std::vector<uint32_t>> CandidateSentences(
+      const std::vector<PathQuery>& paths) const override;
+  size_t MemoryUsage() const override { return catalog_.MemoryUsage(); }
+
+ private:
+  struct AdvPosting {
+    uint32_t sid, tid, left, right, depth;
+    int32_t pid;  // parent token id, -1 for root
+  };
+
+  AdvInvertedIndex() = default;
+  std::vector<AdvPosting> Fetch(const std::string& key) const;
+  Result<std::vector<AdvPosting>> FetchConstraint(const NodeConstraint& c) const;
+
+  Catalog catalog_;
+  Table* p_ = nullptr;
+};
+
+}  // namespace koko
+
+#endif  // KOKO_BASELINE_ADV_INVERTED_INDEX_H_

@@ -1,0 +1,87 @@
+#include "baseline/inverted_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace koko {
+
+std::vector<std::string> ConstraintLabelKeys(const NodeConstraint& c) {
+  std::vector<std::string> keys;
+  if (c.word) keys.push_back("w:" + *c.word);
+  if (c.dep) keys.push_back("l:" + std::string(DepLabelName(*c.dep)));
+  if (c.pos) keys.push_back("p:" + std::string(PosTagName(*c.pos)));
+  return keys;
+}
+
+std::unique_ptr<InvertedIndex> InvertedIndex::Build(const AnnotatedCorpus& corpus) {
+  WallTimer timer;
+  auto index = std::unique_ptr<InvertedIndex>(new InvertedIndex());
+  index->p_ = index->catalog_.CreateTable("P", {{"label", ColumnType::kString},
+                                                {"sid", ColumnType::kInt64},
+                                                {"tid", ColumnType::kInt64}});
+  for (uint32_t sid = 0; sid < corpus.NumSentences(); ++sid) {
+    const Sentence& s = corpus.sentence(sid);
+    for (int t = 0; t < s.size(); ++t) {
+      const Token& tok = s.tokens[t];
+      int64_t x = sid;
+      int64_t y = t;
+      KOKO_CHECK_OK(index->p_->AppendRow({"w:" + tok.text, x, y}));
+      KOKO_CHECK_OK(index->p_->AppendRow(
+          {"l:" + std::string(DepLabelName(tok.label)), x, y}));
+      KOKO_CHECK_OK(
+          index->p_->AppendRow({"p:" + std::string(PosTagName(tok.pos)), x, y}));
+    }
+  }
+  KOKO_CHECK_OK(index->p_->CreateIndex("p_label", {"label"}));
+  index->build_seconds_ = timer.ElapsedSeconds();
+  return index;
+}
+
+Result<std::vector<uint32_t>> InvertedIndex::CandidateSentences(
+    const std::vector<PathQuery>& paths) const {
+  // Gather every label key used anywhere in the pattern.
+  std::vector<std::string> keys;
+  for (const PathQuery& path : paths) {
+    for (const PathStep& step : path.steps) {
+      for (auto& k : ConstraintLabelKeys(step.constraint)) keys.push_back(k);
+    }
+  }
+  if (keys.empty()) {
+    return Status::InvalidArgument("INVERTED cannot evaluate all-wildcard patterns");
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  // Intersect sentence-id sets label by label (the nested-SQL evaluation of
+  // §6.2.1, which considers labels only).
+  std::unordered_set<uint32_t> current;
+  bool first = true;
+  for (const std::string& key : keys) {
+    auto rows = p_->IndexLookup("p_label", {key});
+    if (!rows.ok()) return rows.status();
+    std::unordered_set<uint32_t> sids;
+    sids.reserve(rows->size());
+    for (uint32_t row : *rows) {
+      sids.insert(static_cast<uint32_t>(p_->GetInt(row, 1)));
+    }
+    if (first) {
+      current = std::move(sids);
+      first = false;
+    } else {
+      std::unordered_set<uint32_t> merged;
+      for (uint32_t sid : current) {
+        if (sids.count(sid) > 0) merged.insert(sid);
+      }
+      current = std::move(merged);
+    }
+    if (current.empty()) break;
+  }
+  std::vector<uint32_t> out(current.begin(), current.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace koko

@@ -1,0 +1,45 @@
+#ifndef KOKO_BASELINE_INVERTED_INDEX_H_
+#define KOKO_BASELINE_INVERTED_INDEX_H_
+
+#include <memory>
+#include <string>
+
+#include "baseline/tree_index.h"
+#include "storage/table.h"
+#include "text/document.h"
+
+namespace koko {
+
+/// \brief The paper's INVERTED baseline (§6.2.1).
+///
+/// One table P(label, sentence_id, token_id) with a B-tree on `label`;
+/// every token contributes three rows (its word, its parse label, its POS
+/// tag — the three label kinds queries can mention, disambiguated by a
+/// kind prefix). A query's candidates are the sentences that contain *all*
+/// labels appearing in the query, with no structural conditions at all —
+/// hence large intermediate results, long intersection times, and low
+/// effectiveness on hierarchical queries.
+class InvertedIndex : public TreeIndex {
+ public:
+  static std::unique_ptr<InvertedIndex> Build(const AnnotatedCorpus& corpus);
+
+  std::string_view name() const override { return "INVERTED"; }
+  Result<std::vector<uint32_t>> CandidateSentences(
+      const std::vector<PathQuery>& paths) const override;
+  size_t MemoryUsage() const override { return catalog_.MemoryUsage(); }
+
+  const Table& table() const { return *p_; }
+
+ private:
+  InvertedIndex() = default;
+  Catalog catalog_;
+  Table* p_ = nullptr;
+};
+
+/// Label keys mentioned by a constraint, in the prefixed key space shared
+/// by INVERTED and ADVINVERTED ("w:<word>", "l:<parse label>", "p:<pos>").
+std::vector<std::string> ConstraintLabelKeys(const NodeConstraint& c);
+
+}  // namespace koko
+
+#endif  // KOKO_BASELINE_INVERTED_INDEX_H_

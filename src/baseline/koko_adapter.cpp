@@ -1,0 +1,48 @@
+#include "baseline/koko_adapter.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/timer.h"
+
+namespace koko {
+
+std::unique_ptr<KokoTreeIndex> KokoTreeIndex::Build(const AnnotatedCorpus& corpus) {
+  WallTimer timer;
+  auto owned = KokoIndex::Build(corpus);
+  auto adapter = std::make_unique<KokoTreeIndex>(owned.get());
+  adapter->owned_ = std::move(owned);
+  adapter->build_seconds_ = timer.ElapsedSeconds();
+  return adapter;
+}
+
+Result<std::vector<uint32_t>> KokoTreeIndex::CandidateSentences(
+    const std::vector<PathQuery>& paths) const {
+  std::unordered_set<uint32_t> survivors;
+  bool first = true;
+  for (const PathQuery& path : paths) {
+    PathLookupResult result = KokoPathLookup(*index_, path);
+    if (result.unconstrained) continue;
+    std::unordered_set<uint32_t> sids;
+    for (const Quintuple& q : result.postings) sids.insert(q.sid);
+    if (first) {
+      survivors = std::move(sids);
+      first = false;
+    } else {
+      std::unordered_set<uint32_t> merged;
+      for (uint32_t sid : survivors) {
+        if (sids.count(sid) > 0) merged.insert(sid);
+      }
+      survivors = std::move(merged);
+    }
+    if (survivors.empty()) break;
+  }
+  if (first) {
+    return Status::InvalidArgument("KOKO: all-wildcard pattern prunes nothing");
+  }
+  std::vector<uint32_t> out(survivors.begin(), survivors.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace koko

@@ -1,0 +1,39 @@
+#ifndef KOKO_BASELINE_KOKO_ADAPTER_H_
+#define KOKO_BASELINE_KOKO_ADAPTER_H_
+
+#include <memory>
+
+#include "baseline/tree_index.h"
+#include "index/koko_index.h"
+#include "index/path_lookup.h"
+
+namespace koko {
+
+/// \brief KOKO's multi-index behind the TreeIndex interface (for the §6.2
+/// head-to-head index comparisons).
+///
+/// Each path runs through the decomposed DPLI lookup (hierarchy indices +
+/// word index, Algorithm 1); candidates are the intersection of the
+/// per-path sentence-id sets.
+class KokoTreeIndex : public TreeIndex {
+ public:
+  static std::unique_ptr<KokoTreeIndex> Build(const AnnotatedCorpus& corpus);
+
+  /// Wraps an already built index (does not take ownership).
+  explicit KokoTreeIndex(const KokoIndex* index) : index_(index) {}
+
+  std::string_view name() const override { return "KOKO"; }
+  Result<std::vector<uint32_t>> CandidateSentences(
+      const std::vector<PathQuery>& paths) const override;
+  size_t MemoryUsage() const override { return index_->MemoryUsage(); }
+
+  const KokoIndex& index() const { return *index_; }
+
+ private:
+  std::unique_ptr<KokoIndex> owned_;
+  const KokoIndex* index_ = nullptr;
+};
+
+}  // namespace koko
+
+#endif  // KOKO_BASELINE_KOKO_ADAPTER_H_

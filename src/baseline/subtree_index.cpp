@@ -1,0 +1,203 @@
+#include "baseline/subtree_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace koko {
+
+namespace {
+
+// Canonical code of a chain a -> b ("a(b)") or a -> b -> c ("a(b(c))"),
+// and of a two-child star ("a(b,c)" with b <= c).
+std::string Chain2(std::string_view a, std::string_view b) {
+  std::string code(a);
+  code += '(';
+  code += b;
+  code += ')';
+  return code;
+}
+
+std::string Chain3(std::string_view a, std::string_view b, std::string_view c) {
+  std::string code(a);
+  code += '(';
+  code += b;
+  code += '(';
+  code += c;
+  code += "))";
+  return code;
+}
+
+std::string Star3(std::string_view a, std::string_view b, std::string_view c) {
+  std::string_view lo = b <= c ? b : c;
+  std::string_view hi = b <= c ? c : b;
+  std::string code(a);
+  code += '(';
+  code += lo;
+  code += ',';
+  code += hi;
+  code += ')';
+  return code;
+}
+
+void EmitSubtreesForSentence(const Sentence& s, uint32_t sid, bool use_pos,
+                             Table* table) {
+  auto label = [&](int t) -> std::string_view {
+    return use_pos ? PosTagName(s.tokens[t].pos) : DepLabelName(s.tokens[t].label);
+  };
+  // Per-sentence dedup of (code, root) pairs.
+  std::unordered_set<std::string> seen;
+  auto emit = [&](std::string code, int root_tid) {
+    std::string key = code + "#" + std::to_string(root_tid);
+    if (!seen.insert(key).second) return;
+    KOKO_CHECK_OK(table->AppendRow({std::move(code), static_cast<int64_t>(sid),
+                                    static_cast<int64_t>(root_tid)}));
+  };
+  for (int t = 0; t < s.size(); ++t) {
+    emit(std::string(label(t)), t);
+    const auto& kids = s.children[t];
+    for (size_t i = 0; i < kids.size(); ++i) {
+      emit(Chain2(label(t), label(kids[i])), t);
+      // Grandparent chains.
+      for (int grand : s.children[kids[i]]) {
+        emit(Chain3(label(t), label(kids[i]), label(grand)), t);
+      }
+      // Two-child stars.
+      for (size_t j = i + 1; j < kids.size(); ++j) {
+        emit(Star3(label(t), label(kids[i]), label(kids[j])), t);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<SubtreeIndex> SubtreeIndex::Build(const AnnotatedCorpus& corpus) {
+  WallTimer timer;
+  auto index = std::unique_ptr<SubtreeIndex>(new SubtreeIndex());
+  index->pl_ = index->catalog_.CreateTable("SUB_PL", {{"code", ColumnType::kString},
+                                                      {"sid", ColumnType::kInt64},
+                                                      {"root", ColumnType::kInt64}});
+  index->pos_ = index->catalog_.CreateTable("SUB_POS",
+                                            {{"code", ColumnType::kString},
+                                             {"sid", ColumnType::kInt64},
+                                             {"root", ColumnType::kInt64}});
+  for (uint32_t sid = 0; sid < corpus.NumSentences(); ++sid) {
+    const Sentence& s = corpus.sentence(sid);
+    EmitSubtreesForSentence(s, sid, /*use_pos=*/false, index->pl_);
+    EmitSubtreesForSentence(s, sid, /*use_pos=*/true, index->pos_);
+  }
+  KOKO_CHECK_OK(index->pl_->CreateIndex("sub_pl_code", {"code"}));
+  KOKO_CHECK_OK(index->pos_->CreateIndex("sub_pos_code", {"code"}));
+  index->build_seconds_ = timer.ElapsedSeconds();
+  return index;
+}
+
+size_t SubtreeIndex::NumKeys() const {
+  std::unordered_set<std::string> keys;
+  for (uint32_t row = 0; row < pl_->NumRows(); ++row) {
+    keys.insert(pl_->GetString(row, 0));
+  }
+  size_t pl_keys = keys.size();
+  keys.clear();
+  for (uint32_t row = 0; row < pos_->NumRows(); ++row) {
+    keys.insert(pos_->GetString(row, 0));
+  }
+  return pl_keys + keys.size();
+}
+
+Result<std::vector<uint32_t>> SubtreeIndex::CandidateSentences(
+    const std::vector<PathQuery>& paths) const {
+  // Supported queries: child axes only, no wildcards, each step constrained
+  // by exactly one of {parse label, POS tag} and the whole path uses one
+  // label kind (the limitations of root-split coding; §6.2.1).
+  std::unordered_set<uint32_t> survivors;
+  bool first = true;
+  for (const PathQuery& path : paths) {
+    bool any_dep = false;
+    bool any_pos = false;
+    for (const PathStep& step : path.steps) {
+      if (step.axis == PathStep::Axis::kDescendant) {
+        return Status::Unimplemented("SUBTREE: descendant axis unsupported");
+      }
+      const NodeConstraint& c = step.constraint;
+      if (c.word || c.regex || c.etype || c.any_entity) {
+        return Status::Unimplemented("SUBTREE: word attributes unsupported");
+      }
+      if (c.IsWildcard()) {
+        return Status::Unimplemented("SUBTREE: wildcards unsupported");
+      }
+      if (c.dep) any_dep = true;
+      if (c.pos) any_pos = true;
+    }
+    if (any_dep && any_pos) {
+      return Status::Unimplemented("SUBTREE: mixed label kinds on one path");
+    }
+    const bool use_pos = any_pos;
+    const Table* table = use_pos ? pos_ : pl_;
+    const std::string index_name = use_pos ? "sub_pos_code" : "sub_pl_code";
+    auto label_at = [&](size_t i) -> std::string {
+      const NodeConstraint& c = path.steps[i].constraint;
+      return use_pos ? std::string(PosTagName(*c.pos))
+                     : std::string(DepLabelName(*c.dep));
+    };
+
+    // Decompose the chain into overlapping segments of length <= mss:
+    // positions [0..2], [2..4], [4..6], ... (overlap on one node).
+    std::unordered_set<uint32_t> path_sids;
+    bool first_segment = true;
+    size_t n = path.steps.size();
+    size_t start = 0;
+    while (true) {
+      size_t end = std::min(n - 1, start + 2);
+      std::string code;
+      if (end == start) {
+        code = label_at(start);
+      } else if (end == start + 1) {
+        code = Chain2(label_at(start), label_at(start + 1));
+      } else {
+        code = Chain3(label_at(start), label_at(start + 1), label_at(start + 2));
+      }
+      auto rows = table->IndexLookup(index_name, {code});
+      if (!rows.ok()) return rows.status();
+      std::unordered_set<uint32_t> sids;
+      for (uint32_t row : *rows) {
+        sids.insert(static_cast<uint32_t>(table->GetInt(row, 1)));
+      }
+      if (first_segment) {
+        path_sids = std::move(sids);
+        first_segment = false;
+      } else {
+        std::unordered_set<uint32_t> merged;
+        for (uint32_t sid : path_sids) {
+          if (sids.count(sid) > 0) merged.insert(sid);
+        }
+        path_sids = std::move(merged);
+      }
+      if (end >= n - 1 || path_sids.empty()) break;
+      start = end;  // overlap on the boundary node
+    }
+
+    if (first) {
+      survivors = std::move(path_sids);
+      first = false;
+    } else {
+      std::unordered_set<uint32_t> merged;
+      for (uint32_t sid : survivors) {
+        if (path_sids.count(sid) > 0) merged.insert(sid);
+      }
+      survivors = std::move(merged);
+    }
+    if (survivors.empty()) break;
+  }
+  if (first) {
+    return Status::InvalidArgument("SUBTREE: empty pattern");
+  }
+  std::vector<uint32_t> out(survivors.begin(), survivors.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace koko

@@ -1,0 +1,53 @@
+#ifndef KOKO_BASELINE_SUBTREE_INDEX_H_
+#define KOKO_BASELINE_SUBTREE_INDEX_H_
+
+#include <memory>
+#include <string>
+
+#include "baseline/tree_index.h"
+#include "storage/table.h"
+#include "text/document.h"
+
+namespace koko {
+
+/// \brief The SUBTREE baseline — Chubak & Rafiei's subtree interval index
+/// with mss = 3 and root-split coding (§6.2.1).
+///
+/// Every unique subtree of up to `mss` nodes (single nodes, parent-child
+/// pairs, two-child stars, and grandparent chains) becomes an index key (a
+/// canonical code string rooted at the subtree root — the "root-split"
+/// form); postings are (sid, root tid). Because constituency trees have one
+/// label kind but dependency trees carry both parse labels and POS tags,
+/// two SUBTREE indices are built (as the paper does) and their results are
+/// joined at the root nodes.
+///
+/// Limitations faithfully reproduced: no wildcard steps and no word
+/// attributes (root-split coding cannot express them), so only a subset of
+/// the Synthetic Tree benchmark is supported; and joining decomposed
+/// subtrees at their roots does not guarantee that they bind the same
+/// tokens, which costs effectiveness on multi-variable queries.
+class SubtreeIndex : public TreeIndex {
+ public:
+  static constexpr int kMaxSubtreeSize = 3;  // the paper's mss
+
+  static std::unique_ptr<SubtreeIndex> Build(const AnnotatedCorpus& corpus);
+
+  std::string_view name() const override { return "SUBTREE"; }
+  Result<std::vector<uint32_t>> CandidateSentences(
+      const std::vector<PathQuery>& paths) const override;
+  size_t MemoryUsage() const override { return catalog_.MemoryUsage(); }
+
+  /// Number of distinct subtree keys (both label kinds).
+  size_t NumKeys() const;
+
+ private:
+  SubtreeIndex() = default;
+
+  Catalog catalog_;
+  Table* pl_ = nullptr;   // SUB(code, sid, root_tid) over parse labels
+  Table* pos_ = nullptr;  // same over POS tags
+};
+
+}  // namespace koko
+
+#endif  // KOKO_BASELINE_SUBTREE_INDEX_H_

@@ -1,0 +1,24 @@
+#include "baseline/tree_index.h"
+
+namespace koko {
+
+double IndexEffectiveness(const AnnotatedCorpus& corpus,
+                          const std::vector<PathQuery>& paths,
+                          const std::vector<uint32_t>& candidates) {
+  if (candidates.empty()) return 1.0;
+  size_t good = 0;
+  for (uint32_t sid : candidates) {
+    const Sentence& s = corpus.sentence(sid);
+    bool all = true;
+    for (const PathQuery& path : paths) {
+      if (!SentenceHasPathMatch(s, path)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++good;
+  }
+  return static_cast<double>(good) / static_cast<double>(candidates.size());
+}
+
+}  // namespace koko

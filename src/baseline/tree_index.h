@@ -1,0 +1,50 @@
+#ifndef KOKO_BASELINE_TREE_INDEX_H_
+#define KOKO_BASELINE_TREE_INDEX_H_
+
+#include <string_view>
+#include <vector>
+
+#include "index/path.h"
+#include "text/document.h"
+#include "util/status.h"
+
+namespace koko {
+
+/// \brief Common interface of the four indexing schemes compared in §6.2.
+///
+/// A query is a tree pattern decomposed into root-anchored paths (one per
+/// node variable). CandidateSentences returns sentence ids that *may*
+/// contain bindings for all paths — complete but possibly unsound, exactly
+/// what the paper's "index effectiveness" metric measures:
+///
+///     effectiveness = |{candidates with true bindings}| / |candidates|.
+class TreeIndex {
+ public:
+  virtual ~TreeIndex() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Candidate sentence ids for a (multi-path) tree pattern. Returns
+  /// Unimplemented when the scheme cannot express the query (e.g. SUBTREE
+  /// with wildcards or word attributes).
+  virtual Result<std::vector<uint32_t>> CandidateSentences(
+      const std::vector<PathQuery>& paths) const = 0;
+
+  /// Heap footprint in bytes.
+  virtual size_t MemoryUsage() const = 0;
+
+  double build_seconds() const { return build_seconds_; }
+
+ protected:
+  double build_seconds_ = 0;
+};
+
+/// Measures effectiveness of `candidates` for `paths` against the
+/// brute-force matcher. Returns 1.0 for an empty candidate set.
+double IndexEffectiveness(const AnnotatedCorpus& corpus,
+                          const std::vector<PathQuery>& paths,
+                          const std::vector<uint32_t>& candidates);
+
+}  // namespace koko
+
+#endif  // KOKO_BASELINE_TREE_INDEX_H_

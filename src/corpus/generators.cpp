@@ -1,0 +1,505 @@
+#include "corpus/generators.h"
+
+#include <set>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace koko {
+
+namespace {
+
+const std::vector<std::string>& CafeFirstWords() {
+  static const auto* words = new std::vector<std::string>{
+      "Luna",   "Ember",   "Harbor", "Finch",  "Maple",  "Cedar",  "Juniper",
+      "Copper", "Willow",  "Sable",  "Marlow", "Hollow", "Vesper", "Quill",
+      "Alder",  "Bramble", "Cobalt", "Dapple", "Fable",  "Garnet", "Heron",
+      "Ivory",  "Jasper",  "Kestrel", "Lumen", "Meridian", "Nomad", "Onyx",
+      "Pavo",   "Quarry",  "Raven",  "Saffron", "Tindle", "Umber", "Vireo",
+      "Wren",   "Yarrow",  "Zephyr", "Basil",  "Clover",
+  };
+  return *words;
+}
+
+const std::vector<std::string>& CafeSecondWords() {
+  static const auto* words = new std::vector<std::string>{
+      "Lane", "House", "Corner", "Works", "Social", "Union", "Story",
+      "Bloom", "Grove", "Yard", "Post", "Mill", "Dot", "Spark",
+  };
+  return *words;
+}
+
+const std::vector<std::string>& Cities() {
+  static const auto* cities = new std::vector<std::string>{
+      "Portland", "Seattle", "Austin", "Denver", "Chicago", "Boston",
+      "Brooklyn", "Oakland", "Tokyo", "London", "Vienna", "Oslo",
+  };
+  return *cities;
+}
+
+const std::vector<std::string>& ServeVerbs() {
+  static const auto* verbs = new std::vector<std::string>{
+      "serves", "sells", "offers", "pours",
+  };
+  return *verbs;
+}
+
+const std::vector<std::string>& Drinks() {
+  static const auto* drinks = new std::vector<std::string>{
+      "coffee", "espresso", "cappuccinos", "macchiatos", "lattes",
+  };
+  return *drinks;
+}
+
+const std::vector<std::string>& DrinkAdjs() {
+  static const auto* adjs = new std::vector<std::string>{
+      "delicious", "excellent", "great", "amazing", "tasty",
+  };
+  return *adjs;
+}
+
+// Invented word, one per cafe: tokens never repeat between articles, so
+// extractors cannot simply memorise the name vocabulary.
+std::string SyntheticWord(Rng& rng) {
+  static const std::vector<std::string> syllables = {
+      "bre", "van", "kor", "mel", "tas", "rin", "dol", "fen", "gar", "hul",
+      "jor", "kel", "lam", "mor", "nes", "pol", "quin", "ros", "sel", "tor",
+      "ul",  "ven", "wes", "yor", "zan", "bel", "cam", "dru", "fal", "gil",
+  };
+  std::string word = rng.Choice(syllables) + rng.Choice(syllables);
+  if (rng.Bernoulli(0.35)) word += rng.Choice(syllables);
+  word[0] = static_cast<char>(word[0] - 'a' + 'A');
+  return word;
+}
+
+std::string MakeCafeName(Rng& rng, bool* has_keyword) {
+  double roll = rng.UniformDouble();
+  std::string first = SyntheticWord(rng);
+  *has_keyword = false;
+  if (roll < 0.18) {
+    *has_keyword = true;
+    return first + " Cafe";
+  }
+  if (roll < 0.30) {
+    *has_keyword = true;
+    return first + " Coffee";
+  }
+  if (roll < 0.40) {
+    *has_keyword = true;
+    return first + " Roasters";
+  }
+  if (roll < 0.70) return first + " " + rng.Choice(CafeSecondWords());
+  // Hard names: no keyword at all, a second invented word.
+  return first + " " + SyntheticWord(rng);
+}
+
+// Weak (paraphrased) evidence sentences — only descriptor expansion or
+// document-level aggregation catches these.
+const std::vector<std::string>& Adverbs() {
+  static const auto* adverbs = new std::vector<std::string>{
+      "reportedly", "proudly",  "famously", "now",     "still",   "quietly",
+      "happily",    "always",   "usually",  "clearly", "simply",  "often",
+      "certainly",  "honestly", "bravely",  "calmly",  "eagerly", "gladly",
+  };
+  return *adverbs;
+}
+
+std::string WeakEvidence(Rng& rng, const std::string& name) {
+  // Deliberately non-adjacent, lexically diversified phrasings: a random
+  // adverb often separates the name from the verb and an adjective always
+  // separates the verb from the drink — rigid per-sentence patterns (IKE)
+  // and name-context features (CRF) splinter, while descriptor expansion +
+  // document-level aggregation still catches the evidence.
+  std::string gap = rng.Bernoulli(0.6) ? " " + rng.Choice(Adverbs()) + " " : " ";
+  switch (rng.Uniform(6)) {
+    case 0:
+      return name + gap + rng.Choice(ServeVerbs()) + " " +
+             rng.Choice(DrinkAdjs()) + " " + rng.Choice(Drinks()) + ".";
+    case 1:
+      return name + gap + "hired a star barista from " + rng.Choice(Cities()) +
+             ".";
+    case 2:
+      return name + gap + rng.Choice(ServeVerbs()) + " truly " +
+             rng.Choice(DrinkAdjs()) + " " + rng.Choice(Drinks()) +
+             " and fresh pastries.";
+    case 3:
+      return "The baristas working at " + name + " won many fans this year.";
+    case 4:
+      return name + gap + "employs a small team of " +
+             std::to_string(rng.UniformInt(2, 9)) + " baristas.";
+    case 5:
+      return "Locals line up at " + name + " for " + rng.Choice(DrinkAdjs()) +
+             " " + rng.Choice(Drinks()) + ".";
+    default:
+      return name + gap + "pours " + rng.Choice(DrinkAdjs()) + " " +
+             rng.Choice(Drinks()) + " every morning.";
+  }
+}
+
+const std::vector<std::string>& PersonNames() {
+  static const auto* names = new std::vector<std::string>{
+      "Anna", "John", "Mary", "David", "Sarah", "Emma", "Lucas", "Maria",
+      "Peter", "Alice", "Henry", "Clara", "George", "Tom", "Jane", "Paul",
+  };
+  return *names;
+}
+
+// Person-in-cafe-context traps: a person "serves espresso" exactly like a
+// cafe would. Sequence taggers extract them; KOKO excludes them with a
+// Person-dictionary condition (the paper's dict(...) mechanism).
+std::string PersonTrap(Rng& rng) {
+  // A single sentence of *exactly* the cafe-evidence shape about a non-cafe
+  // subject. An extractor that judges sentences in isolation cannot tell
+  // this from real evidence; only cross-sentence aggregation (cafes carry
+  // several evidence sentences, traps exactly one) or the Person dictionary
+  // separates them — the paper's central argument for KOKO.
+  std::string person =
+      rng.Bernoulli(0.6) ? rng.Choice(PersonNames()) : SyntheticWord(rng);
+  return WeakEvidence(rng, person);
+}
+
+// Strong (exact-phrase) evidence — matched even without descriptors.
+std::string StrongEvidence(Rng& rng, const std::string& name) {
+  switch (rng.Uniform(3)) {
+    case 0:
+      return name + " , a cafe in " + rng.Choice(Cities()) +
+             " , opened last month.";
+    case 1:
+      return name + " serves coffee from local roasters.";
+    default:
+      return "Guests say " + name + " serves coffee with care.";
+  }
+}
+
+// Opening sentences: varied so sequence models cannot key on one template.
+std::string OpeningSentence(Rng& rng, const std::string& name) {
+  switch (rng.Uniform(5)) {
+    case 0:
+      return "This week we visited " + name + " in " + rng.Choice(Cities()) + ".";
+    case 1:
+      return "Our latest stop was " + name + " near the old mill.";
+    case 2:
+      return "Readers kept asking about " + name + " so we finally went.";
+    case 3:
+      return "On a quiet street you will find " + name + ".";
+    default:
+      return name + " opened quietly in " + rng.Choice(Cities()) + " last year.";
+  }
+}
+
+std::string DistractorSentence(Rng& rng) {
+  switch (rng.Uniform(11)) {
+    case 6:
+      // Cafe-like contexts around non-cafe mentions: traps for sequence
+      // models that key on "X serves/employs" shapes (CRF).
+      return "The " + rng.Choice(CafeFirstWords()) +
+             " Mall serves thousands of shoppers daily.";
+    case 7:
+      return "This week we visited the " + rng.Choice(CafeFirstWords()) +
+             " Museum in " + rng.Choice(Cities()) + ".";
+    case 8:
+      return "The " + rng.Choice(CafeFirstWords()) +
+             " Library employs many students in summer.";
+    case 9:
+      return "We also visited our friend Anna at the " +
+             rng.Choice(CafeFirstWords()) + " Library.";
+    case 10:
+      return "The " + rng.Choice(CafeFirstWords()) +
+             " Center pours money into the arts.";
+    default:
+      break;
+  }
+  switch (rng.Uniform(7)) {
+    case 0:
+      return rng.Choice(Cities()) + " produces and sells the best coffee.";
+    case 1:
+      return "The new cafe on " + std::to_string(rng.UniformInt(10, 999)) + " " +
+             rng.Choice(CafeFirstWords()) + " St. has the best cup of espresso.";
+    case 2:
+      return "The " + rng.Choice(Cities()) +
+             " Coffee Festival returns this weekend.";
+    case 3:
+      return "A shiny La Marzocco machine sits on the bar.";
+    case 4:
+      return "The " + rng.Choice(Cities()) +
+             " Barista Championship drew a large crowd.";
+    case 5:
+      return "Our reviewer enjoyed the quiet neighborhood very much.";
+    default:
+      return "The owner talked about the local music scene for an hour.";
+  }
+}
+
+std::string FillerSentence(Rng& rng) {
+  switch (rng.Uniform(5)) {
+    case 0:
+      return "The room was warm and the chairs were cozy.";
+    case 1:
+      return "We visited on a rainy morning last week.";
+    case 2:
+      return "The playlist leaned toward quiet jazz.";
+    case 3:
+      return "Large windows face the street.";
+    default:
+      return "The menu hangs above the counter.";
+  }
+}
+
+}  // namespace
+
+LabeledCorpus GenerateCafeBlogs(const CafeGenOptions& options) {
+  Rng rng(options.seed);
+  LabeledCorpus corpus;
+  std::set<std::string> used;
+  for (int i = 0; i < options.num_articles; ++i) {
+    bool has_keyword = false;
+    std::string name;
+    do {
+      name = MakeCafeName(rng, &has_keyword);
+    } while (used.count(name) > 0);
+    used.insert(name);
+    corpus.gold.push_back(name);
+
+    std::vector<std::string> sentences;
+    // Opening sentence mentioning the cafe neutrally.
+    sentences.push_back(OpeningSentence(rng, name));
+    int weak = options.long_articles ? rng.UniformInt(2, 4) : rng.UniformInt(1, 2);
+    for (int w = 0; w < weak; ++w) sentences.push_back(WeakEvidence(rng, name));
+    // Long articles carry strong exact-phrase evidence too (Figure 5's
+    // "descriptors do not help on Sprudge" effect).
+    int strong = options.long_articles ? rng.UniformInt(1, 2)
+                                       : (rng.Bernoulli(0.2) ? 1 : 0);
+    for (int st = 0; st < strong; ++st) sentences.push_back(StrongEvidence(rng, name));
+    int distract = options.long_articles ? rng.UniformInt(3, 5) : rng.UniformInt(1, 2);
+    for (int d = 0; d < distract; ++d) sentences.push_back(DistractorSentence(rng));
+    int traps = options.long_articles ? rng.UniformInt(2, 3) : rng.UniformInt(1, 2);
+    for (int p = 0; p < traps; ++p) sentences.push_back(PersonTrap(rng));
+    int filler = options.long_articles ? rng.UniformInt(4, 6) : rng.UniformInt(1, 3);
+    for (int f = 0; f < filler; ++f) sentences.push_back(FillerSentence(rng));
+
+    // Shuffle the middle so evidence is not positionally trivial.
+    std::vector<std::string> middle(sentences.begin() + 1, sentences.end());
+    rng.Shuffle(middle);
+    RawDocument doc;
+    doc.title = "blog-" + std::to_string(i);
+    doc.text = sentences[0];
+    for (const auto& s : middle) {
+      doc.text += " ";
+      doc.text += s;
+    }
+    corpus.docs.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+TweetCorpus GenerateTweets(const TweetGenOptions& options) {
+  Rng rng(options.seed);
+  TweetCorpus corpus;
+  static const std::vector<std::string> team_suffix = {
+      "United", "Tigers", "Eagles", "Wolves", "Sharks", "Hawks", "Rovers",
+  };
+  static const std::vector<std::string> facility_kind = {
+      "Stadium", "Park", "Arena", "Center", "Museum", "Mall",
+  };
+  std::set<std::string> gold_teams;
+  std::set<std::string> gold_facilities;
+  for (int i = 0; i < options.num_tweets; ++i) {
+    RawDocument doc;
+    doc.title = "tweet-" + std::to_string(i);
+    double roll = rng.UniformDouble();
+    if (roll < 0.30) {
+      std::string team = rng.Choice(Cities()) + " " + rng.Choice(team_suffix);
+      std::string other = rng.Choice(CafeFirstWords()) + " " + rng.Choice(team_suffix);
+      gold_teams.insert(team);
+      switch (rng.Uniform(4)) {
+        case 0:
+          doc.text = team + " vs " + other + " tonight.";
+          gold_teams.insert(other);
+          break;
+        case 1:
+          doc.text = "Go " + team + " !";
+          break;
+        case 2:
+          doc.text = team + " to host the soccer final.";
+          break;
+        default:
+          doc.text = "What a match by " + team + " today.";
+          break;
+      }
+    } else if (roll < 0.60) {
+      std::string facility =
+          rng.Choice(CafeFirstWords()) + " " + rng.Choice(facility_kind);
+      gold_facilities.insert(facility);
+      switch (rng.Uniform(4)) {
+        case 0:
+          doc.text = "Had a great time at " + facility + ".";
+          break;
+        case 1:
+          doc.text = "We went to " + facility + " with friends.";
+          break;
+        case 2:
+          doc.text = "Stuck in line at " + facility + " again.";
+          break;
+        default:
+          doc.text = "Meet me at " + facility + " at 7 pm.";
+          break;
+      }
+    } else {
+      // Noise tweets with distractor shapes (@handles, times, "tonight").
+      switch (rng.Uniform(4)) {
+        case 0:
+          doc.text = "So happy about my new job today!";
+          break;
+        case 1:
+          doc.text = "@" + ToLower(rng.Choice(CafeFirstWords())) +
+                     " see you tomorrow at 9 am.";
+          break;
+        case 2:
+          doc.text = "Traffic was terrible tonight.";
+          break;
+        default:
+          doc.text = "Coffee with " + rng.Choice(CafeFirstWords()) +
+                     " made my morning.";
+          break;
+      }
+    }
+    corpus.docs.push_back(std::move(doc));
+  }
+  corpus.gold_teams.assign(gold_teams.begin(), gold_teams.end());
+  corpus.gold_facilities.assign(gold_facilities.begin(), gold_facilities.end());
+  return corpus;
+}
+
+std::vector<RawDocument> GenerateWikiArticles(const WikiGenOptions& options) {
+  Rng rng(options.seed);
+  static const std::vector<std::string> first_names = {
+      "Anna", "Alys",  "Vera",  "Cyd",   "John",  "Mary", "David", "Sarah",
+      "Emma", "Lucas", "Maria", "Peter", "Alice", "Henry", "Clara", "George",
+  };
+  static const std::vector<std::string> last_names = {
+      "Charisse", "Thomas", "Mercer", "Hollis", "Vance", "Archer",
+      "Bennett",  "Calder", "Dorsey", "Ellery", "Foster", "Granger",
+  };
+  static const std::vector<std::string> nicknames = {
+      "Sid", "Bee", "Cap", "Dot", "Ace", "Rex", "Pip", "Max",
+  };
+  static const std::vector<std::string> occupations = {
+      "actor", "writer", "singer", "player", "painter", "dancer",
+  };
+  std::vector<RawDocument> docs;
+  docs.reserve(static_cast<size_t>(options.num_articles));
+  for (int i = 0; i < options.num_articles; ++i) {
+    RawDocument doc;
+    doc.title = "article-" + std::to_string(i);
+    double roll = rng.UniformDouble();
+    std::string text;
+    if (roll < 0.72) {
+      // Person biography: high DateOfBirth selectivity.
+      std::string person =
+          rng.Choice(first_names) + " " + rng.Choice(last_names);
+      std::string city = rng.Choice(Cities());
+      int year = static_cast<int>(rng.UniformInt(1850, 1995));
+      text = person + " was a famous " + rng.Choice(occupations) + " from " +
+             city + ". ";
+      text += person + " was born in " + std::to_string(year) + " in " + city +
+              ". ";
+      if (rng.Bernoulli(0.35)) {
+        text += "He was married to " + rng.Choice(first_names) + " " +
+                rng.Choice(last_names) + " on " +
+                std::to_string(rng.UniformInt(1, 28)) + " December " +
+                std::to_string(year + 25) + " in London, and the couple had a "
+                "daughter " +
+                rng.Choice(first_names) + " born in " +
+                std::to_string(year + 27) + ". ";
+      }
+      // ~13% of articles carry a nickname sentence (Title query, medium).
+      if (rng.Bernoulli(0.13)) {
+        text += person + " had been called " + rng.Choice(nicknames) +
+                " for years. ";
+      }
+      text += "The " + rng.Choice(occupations) + " lived in " +
+              rng.Choice(Cities()) + " for a long time. ";
+      if (rng.Bernoulli(0.3)) {
+        text += person + " wrote about " + rng.Choice(Cities()) +
+                " in a famous book. ";
+      }
+    } else if (roll < 0.92) {
+      // Place article.
+      std::string city = rng.Choice(Cities());
+      text = city + " is a city with many museums. ";
+      text += "Cities in asian countries such as China and Japan grew quickly. ";
+      text += "The " + city + " Stadium hosts a match every week. ";
+      if (rng.Bernoulli(0.2)) {
+        text += "Many visitors enjoy the " + city + " Coffee Festival. ";
+      }
+    } else {
+      // Food article; ~40% of these mention chocolate types (≈3% of all
+      // articles contain the word, <1% match the full Chocolate pattern).
+      if (rng.Bernoulli(0.4)) {
+        text = "Baking chocolate is a type of chocolate that is prepared for "
+               "baking. ";
+        text += "Sweet chocolate melts at a low heat. ";
+      } else {
+        text = "Cheesecake is a dessert with a soft top. ";
+        text += "Anna ate some delicious cheesecake that she bought at a "
+                "grocery store. ";
+      }
+      text += "Many recipes need fresh cream and sugar. ";
+    }
+    doc.text = std::move(text);
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+std::vector<RawDocument> GenerateHappyMoments(const HappyGenOptions& options) {
+  Rng rng(options.seed);
+  static const std::vector<std::string> subjects = {
+      "I", "My brother", "My sister", "My friend", "My dog", "My cat",
+  };
+  static const std::vector<std::string> foods = {
+      "ice cream", "chocolate cake", "cheesecake", "pie", "pasta", "soup",
+  };
+  static const std::vector<std::string> adjs = {
+      "delicious", "great", "wonderful", "tasty", "amazing", "fresh",
+  };
+  static const std::vector<std::string> places = {
+      "the park", "the beach", "a cafe", "the library", "the mall", "home",
+  };
+  std::vector<RawDocument> docs;
+  docs.reserve(static_cast<size_t>(options.num_moments));
+  for (int i = 0; i < options.num_moments; ++i) {
+    RawDocument doc;
+    doc.title = "moment-" + std::to_string(i);
+    switch (rng.Uniform(6)) {
+      case 0:
+        doc.text = rng.Choice(subjects) + " ate a " + rng.Choice(adjs) + " " +
+                   rng.Choice(foods) + " today.";
+        break;
+      case 1:
+        doc.text = "I went to " + rng.Choice(places) + " with my family and "
+                   "felt happy.";
+        break;
+      case 2:
+        doc.text = rng.Choice(subjects) + " got a new job in " +
+                   rng.Choice(Cities()) + " this week.";
+        break;
+      case 3:
+        doc.text = "I finished a " + rng.Choice(adjs) + " book at " +
+                   rng.Choice(places) + ".";
+        break;
+      case 4:
+        doc.text = rng.Choice(subjects) + " bought " + rng.Choice(foods) +
+                   " at a grocery store, which was " + rng.Choice(adjs) + ".";
+        break;
+      default:
+        doc.text = "My friend visited me and we enjoyed " + rng.Choice(foods) +
+                   " together.";
+        break;
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+}  // namespace koko

@@ -1,0 +1,73 @@
+#ifndef KOKO_CORPUS_GENERATORS_H_
+#define KOKO_CORPUS_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "nlp/pipeline.h"
+#include "text/document.h"
+
+namespace koko {
+
+/// A generated corpus with extraction ground truth.
+struct LabeledCorpus {
+  std::vector<RawDocument> docs;
+  std::vector<std::string> gold;  // gold mention strings
+};
+
+/// \brief Cafe-blog generator (stand-in for BaristaMag / Sprudge, §6.1).
+///
+/// Every article reviews one (rare, invented) cafe. Evidence about the
+/// cafe is spread over multiple sentences and phrased with linguistic
+/// variation drawn from the paraphrase clusters ("serves coffee" /
+/// "sells espresso" / "pours excellent lattes" / "hired a star barista"),
+/// so per-sentence extractors miss what document-level aggregation
+/// catches. Distractor sentences embed the failure modes the paper's
+/// Appendix-A excluding clauses target: street addresses, coffee
+/// festivals/championships, espresso-machine brands ("La Marzocco"), and
+/// city names that "produce and sell the best coffee".
+struct CafeGenOptions {
+  int num_articles = 80;
+  /// Short articles (BaristaMag-like, ~6 sentences, mostly paraphrased
+  /// weak evidence) vs long articles (Sprudge-like, ~13 sentences,
+  /// including strong exact-phrase evidence) — the Figure 5 contrast.
+  bool long_articles = false;
+  uint64_t seed = 1;
+};
+LabeledCorpus GenerateCafeBlogs(const CafeGenOptions& options);
+
+/// \brief WNUT-like tweet generator (§6.1, Figure 4): one short document
+/// per tweet, mentioning sports teams and facilities.
+struct TweetGenOptions {
+  int num_tweets = 600;
+  uint64_t seed = 2;
+};
+struct TweetCorpus {
+  std::vector<RawDocument> docs;
+  std::vector<std::string> gold_teams;
+  std::vector<std::string> gold_facilities;
+};
+TweetCorpus GenerateTweets(const TweetGenOptions& options);
+
+/// \brief Wikipedia-like article generator (§6.2, §6.3).
+///
+/// Mix of person biographies (birth dates, nicknames), place articles and
+/// food articles, tuned so the §6.3 example queries hit their reported
+/// selectivities: Chocolate low (<1%), Title medium (~10%),
+/// DateOfBirth high (>70%).
+struct WikiGenOptions {
+  int num_articles = 1000;
+  uint64_t seed = 3;
+};
+std::vector<RawDocument> GenerateWikiArticles(const WikiGenOptions& options);
+
+/// \brief HappyDB-like generator (§6.2): one short "happy moment" per doc.
+struct HappyGenOptions {
+  int num_moments = 2000;
+  uint64_t seed = 4;
+};
+std::vector<RawDocument> GenerateHappyMoments(const HappyGenOptions& options);
+
+}  // namespace koko
+
+#endif  // KOKO_CORPUS_GENERATORS_H_

@@ -1,0 +1,230 @@
+#include "corpus/query_gen.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace koko {
+
+namespace {
+
+// Samples a real root-to-node path of exactly `len` steps from the corpus
+// (labels of the tokens along the path). Returns false when no sentence is
+// deep enough after `attempts` tries.
+bool SamplePath(const AnnotatedCorpus& corpus, Rng& rng, int len,
+                std::vector<int>* tokens_out, const Sentence** sentence_out) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    uint32_t sid = static_cast<uint32_t>(rng.Uniform(corpus.NumSentences()));
+    const Sentence& s = corpus.sentence(sid);
+    if (s.size() == 0) continue;
+    // Collect tokens at depth len-1 (path of `len` steps from the root).
+    std::vector<int> deep;
+    for (int t = 0; t < s.size(); ++t) {
+      if (s.depth[t] == len - 1) deep.push_back(t);
+    }
+    if (deep.empty()) continue;
+    int leaf = deep[rng.Uniform(deep.size())];
+    std::vector<int> path;
+    int cur = leaf;
+    while (cur != -1) {
+      path.push_back(cur);
+      cur = s.tokens[cur].head;
+    }
+    std::reverse(path.begin(), path.end());
+    *tokens_out = std::move(path);
+    *sentence_out = &s;
+    return true;
+  }
+  return false;
+}
+
+// attribute_mode: 0 = parse labels only, 1 = PL + POS, 2 = PL + POS + text.
+PathQuery BuildPathQuery(const Sentence& s, const std::vector<int>& tokens,
+                         int attribute_mode, bool with_wildcard, bool rooted,
+                         Rng& rng) {
+  PathQuery q;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    PathStep step;
+    step.axis = PathStep::Axis::kChild;
+    if (i == 0 && !rooted) step.axis = PathStep::Axis::kDescendant;
+    const Token& tok = s.tokens[tokens[i]];
+    // Choose the attribute for this step.
+    int pick = attribute_mode == 0 ? 0 : static_cast<int>(rng.Uniform(
+                                             attribute_mode == 1 ? 2 : 3));
+    switch (pick) {
+      case 0:
+        step.constraint.dep = tok.label;
+        break;
+      case 1:
+        step.constraint.pos = tok.pos;
+        break;
+      default:
+        step.constraint.word = tok.text;
+        break;
+    }
+    q.steps.push_back(std::move(step));
+  }
+  if (with_wildcard && q.steps.size() >= 2) {
+    // Blank out one interior step (not the last, to keep selectivity sane).
+    size_t at = 1 + rng.Uniform(q.steps.size() - 1);
+    if (at == q.steps.size() - 1 && q.steps.size() > 2) at -= 1;
+    q.steps[at].constraint = NodeConstraint{};
+  }
+  return q;
+}
+
+}  // namespace
+
+std::vector<TreeBenchQuery> GenerateSyntheticTreeBenchmark(
+    const AnnotatedCorpus& corpus, const TreeBenchOptions& options) {
+  Rng rng(options.seed);
+  std::vector<TreeBenchQuery> queries;
+
+  // Single-path settings: length 2..5 x attribute mode 0..2 x wildcard x
+  // rooted -> 4*3*2*2 = 48 settings x queries_per_setting.
+  for (int len = 2; len <= 5; ++len) {
+    for (int mode = 0; mode <= 2; ++mode) {
+      for (int wildcard = 0; wildcard <= 1; ++wildcard) {
+        for (int rooted = 0; rooted <= 1; ++rooted) {
+          for (int k = 0; k < options.queries_per_setting; ++k) {
+            std::vector<int> tokens;
+            const Sentence* s = nullptr;
+            if (!SamplePath(corpus, rng, len, &tokens, &s)) continue;
+            TreeBenchQuery q;
+            q.name = "path_l" + std::to_string(len) + "_m" + std::to_string(mode) +
+                     (wildcard ? "_wc" : "") + (rooted ? "_root" : "_desc") + "_" +
+                     std::to_string(k);
+            q.paths.push_back(
+                BuildPathQuery(*s, tokens, mode, wildcard != 0, rooted != 0, rng));
+            queries.push_back(std::move(q));
+          }
+        }
+      }
+    }
+  }
+
+  // Tree-pattern settings: total labels 3..10, decomposed into 2-3 paths
+  // sharing a prefix. 8 settings x ~queries_per_setting*2 to reach ~350.
+  for (int labels = 3; labels <= 10; ++labels) {
+    for (int k = 0; k < options.queries_per_setting * 2 - 4; ++k) {
+      // Sample a branching node: a token with >= 2 children.
+      for (int attempt = 0; attempt < 200; ++attempt) {
+        uint32_t sid = static_cast<uint32_t>(rng.Uniform(corpus.NumSentences()));
+        const Sentence& s = corpus.sentence(sid);
+        std::vector<int> branchers;
+        for (int t = 0; t < s.size(); ++t) {
+          if (s.children[t].size() >= 2) branchers.push_back(t);
+        }
+        if (branchers.empty()) continue;
+        int node = branchers[rng.Uniform(branchers.size())];
+        // Root-to-node prefix.
+        std::vector<int> prefix;
+        int cur = node;
+        while (cur != -1) {
+          prefix.push_back(cur);
+          cur = s.tokens[cur].head;
+        }
+        std::reverse(prefix.begin(), prefix.end());
+        int prefix_labels = static_cast<int>(prefix.size());
+        int remaining = labels - prefix_labels;
+        if (remaining < 2) break;  // need at least two children
+        int num_children =
+            std::min<int>(static_cast<int>(s.children[node].size()),
+                          std::min(remaining, 3));
+        TreeBenchQuery q;
+        q.name = "tree_n" + std::to_string(labels) + "_" + std::to_string(k);
+        int mode = static_cast<int>(rng.Uniform(2));  // PL or PL+POS
+        for (int c = 0; c < num_children; ++c) {
+          std::vector<int> path = prefix;
+          path.push_back(s.children[node][static_cast<size_t>(c)]);
+          q.paths.push_back(BuildPathQuery(s, path, mode, /*with_wildcard=*/false,
+                                           /*rooted=*/true, rng));
+        }
+        queries.push_back(std::move(q));
+        break;
+      }
+    }
+  }
+  return queries;
+}
+
+std::vector<SpanBenchQuery> GenerateSyntheticSpanBenchmark(
+    const AnnotatedCorpus& corpus, const SpanBenchOptions& options) {
+  Rng rng(options.seed);
+  std::vector<SpanBenchQuery> queries;
+
+  auto sample_word = [&]() -> std::string {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      uint32_t sid = static_cast<uint32_t>(rng.Uniform(corpus.NumSentences()));
+      const Sentence& s = corpus.sentence(sid);
+      if (s.size() == 0) continue;
+      const Token& t = s.tokens[rng.Uniform(static_cast<uint64_t>(s.size()))];
+      if (t.pos == PosTag::kPunct) continue;
+      return t.text;
+    }
+    return "the";
+  };
+
+  auto sample_path_atom = [&](SpanAtom* atom) {
+    std::vector<int> tokens;
+    const Sentence* s = nullptr;
+    int len = static_cast<int>(rng.UniformInt(1, 3));
+    if (!SamplePath(corpus, rng, len, &tokens, &s)) {
+      atom->kind = SpanAtom::Kind::kLiteral;
+      atom->tokens = {sample_word()};
+      return;
+    }
+    atom->kind = SpanAtom::Kind::kPath;
+    atom->path =
+        BuildPathQuery(*s, tokens, /*attribute_mode=*/1, false, true, rng);
+  };
+
+  for (int atoms : {1, 3, 5}) {
+    for (int k = 0; k < options.queries_per_setting; ++k) {
+      SpanBenchQuery bench;
+      bench.num_atoms = atoms;
+      bench.name = "span_a" + std::to_string(atoms) + "_" + std::to_string(k);
+      Query q;
+      q.outputs.push_back({"x", "Str"});
+      q.source = "bench";
+      VarDef def;
+      def.name = "x";
+      def.kind = VarDef::Kind::kSpan;
+      if (atoms == 1) {
+        SpanAtom atom;
+        if (rng.Bernoulli(0.5)) {
+          sample_path_atom(&atom);
+        } else {
+          atom.kind = SpanAtom::Kind::kLiteral;
+          atom.tokens = {sample_word()};
+        }
+        def.atoms.push_back(std::move(atom));
+      } else {
+        // Alternate anchors and elastic spans: anchor ^ anchor [^ anchor].
+        int anchors = (atoms + 1) / 2;
+        for (int a = 0; a < anchors; ++a) {
+          SpanAtom atom;
+          if (rng.Bernoulli(0.5)) {
+            sample_path_atom(&atom);
+          } else {
+            atom.kind = SpanAtom::Kind::kLiteral;
+            atom.tokens = {sample_word()};
+          }
+          def.atoms.push_back(std::move(atom));
+          if (a + 1 < anchors) {
+            SpanAtom elastic;
+            elastic.kind = SpanAtom::Kind::kElastic;
+            elastic.elastic.max_tokens = 8;
+            def.atoms.push_back(std::move(elastic));
+          }
+        }
+      }
+      q.defs.push_back(std::move(def));
+      bench.query = std::move(q);
+      queries.push_back(std::move(bench));
+    }
+  }
+  return queries;
+}
+
+}  // namespace koko

@@ -1,0 +1,57 @@
+#ifndef KOKO_CORPUS_QUERY_GEN_H_
+#define KOKO_CORPUS_QUERY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "index/path.h"
+#include "koko/ast.h"
+#include "text/document.h"
+
+namespace koko {
+
+/// One Synthetic Tree benchmark query: a tree pattern decomposed into
+/// root-to-leaf paths (one per node variable), §6.2.2.
+struct TreeBenchQuery {
+  std::string name;
+  std::vector<PathQuery> paths;
+};
+
+/// \brief Generates the §6.2.2 Synthetic Tree benchmark.
+///
+/// Path queries of length 2–5 are sampled from real root-to-node paths of
+/// the corpus so that selectivity varies naturally; each setting varies
+/// the attribute types on the path (parse labels only / + POS tags /
+/// + words), wildcard insertion, and root anchoring (`/` vs leading `//`),
+/// with `queries_per_setting` random picks per setting. Tree patterns with
+/// 3–10 labels are sampled as small sub-trees and decomposed into
+/// root-to-leaf paths. The default settings yield 350 queries, as in the
+/// paper.
+struct TreeBenchOptions {
+  int queries_per_setting = 5;
+  uint64_t seed = 7;
+};
+std::vector<TreeBenchQuery> GenerateSyntheticTreeBenchmark(
+    const AnnotatedCorpus& corpus, const TreeBenchOptions& options);
+
+/// \brief Generates the §6.2.3 Synthetic Span benchmark.
+///
+/// Span variables with 1, 3 or 5 atoms (paths / words sampled from the
+/// corpus, alternating with elastic spans so there are at most 0, 1, 2
+/// skippable atoms respectively); `queries_per_setting` = 100 gives the
+/// paper's 300 queries.
+struct SpanBenchOptions {
+  int queries_per_setting = 100;
+  uint64_t seed = 8;
+};
+struct SpanBenchQuery {
+  std::string name;
+  int num_atoms = 1;
+  Query query;  // extract x:Str ... with the span definition
+};
+std::vector<SpanBenchQuery> GenerateSyntheticSpanBenchmark(
+    const AnnotatedCorpus& corpus, const SpanBenchOptions& options);
+
+}  // namespace koko
+
+#endif  // KOKO_CORPUS_QUERY_GEN_H_

@@ -1,0 +1,247 @@
+#include "extract/crf.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace koko {
+
+CrfExtractor::CrfExtractor(Options options) : options_(options) {
+  weights_.assign(options_.feature_space * kNumLabels, 0.0);
+  acc_.assign(options_.feature_space * kNumLabels, 0.0);
+  last_.assign(options_.feature_space * kNumLabels, 0);
+}
+
+void CrfExtractor::Features(const std::vector<std::string>& tokens, int pos,
+                            std::vector<uint64_t>* out) const {
+  out->clear();
+  const std::string& tok = tokens[static_cast<size_t>(pos)];
+  auto add = [&](const std::string& f) {
+    out->push_back(Fnv1a64(f) % options_.feature_space);
+  };
+  add("w=" + ToLower(tok));
+  add(pos > 0 ? "w-1=" + ToLower(tokens[static_cast<size_t>(pos - 1)]) : "w-1=<s>");
+  add(pos + 1 < static_cast<int>(tokens.size())
+          ? "w+1=" + ToLower(tokens[static_cast<size_t>(pos + 1)])
+          : "w+1=</s>");
+  // Prefixes/suffixes up to 3 characters.
+  for (size_t len = 1; len <= 3 && len <= tok.size(); ++len) {
+    add("pre=" + ToLower(tok.substr(0, len)));
+    add("suf=" + ToLower(tok.substr(tok.size() - len)));
+  }
+  // Shape features (the paper's regex-flag features).
+  bool has_digit = false;
+  bool all_digit = !tok.empty();
+  bool has_punct = false;
+  bool all_caps = !tok.empty();
+  for (char c : tok) {
+    if (IsAsciiDigit(c)) {
+      has_digit = true;
+    } else {
+      all_digit = false;
+    }
+    if (!IsAsciiAlnum(c)) has_punct = true;
+    if (!IsAsciiUpper(c)) all_caps = false;
+  }
+  if (has_digit) add("f=has_digit");
+  if (all_digit) add("f=all_digit");
+  if (has_punct) add("f=has_punct");
+  if (all_caps) add("f=all_caps");
+  if (IsCapitalized(tok)) add("f=cap");
+  if (pos == 0) add("f=bos");
+}
+
+double CrfExtractor::EmissionScore(const std::vector<uint64_t>& feats, int label,
+                                   bool averaged) const {
+  double score = 0;
+  for (uint64_t f : feats) {
+    size_t idx = f * kNumLabels + static_cast<size_t>(label);
+    score += averaged ? acc_[idx] : weights_[idx];
+  }
+  return score;
+}
+
+void CrfExtractor::Update(const std::vector<uint64_t>& feats, int label,
+                          double delta) {
+  for (uint64_t f : feats) {
+    size_t idx = f * kNumLabels + static_cast<size_t>(label);
+    // Lazy averaging: fold in the weight's contribution since last touch.
+    acc_[idx] += weights_[idx] * static_cast<double>(step_ - last_[idx]);
+    last_[idx] = step_;
+    weights_[idx] += delta;
+  }
+}
+
+std::vector<int> CrfExtractor::Decode(const std::vector<std::string>& tokens,
+                                      bool averaged) const {
+  const int n = static_cast<int>(tokens.size());
+  if (n == 0) return {};
+  std::vector<std::array<double, kNumLabels>> score(static_cast<size_t>(n));
+  std::vector<std::array<int, kNumLabels>> back(static_cast<size_t>(n));
+  std::vector<uint64_t> feats;
+  // Invalid transitions: O -> I is disallowed (I must follow B or I).
+  auto trans = [&](int from, int to) {
+    if (to == 2 && from == 0) return -1e9;
+    return averaged ? transition_acc_[from][to] : transition_[from][to];
+  };
+  Features(tokens, 0, &feats);
+  for (int y = 0; y < kNumLabels; ++y) {
+    score[0][static_cast<size_t>(y)] = EmissionScore(feats, y, averaged);
+    if (y == 2) score[0][2] = -1e9;  // sentence cannot start with I
+  }
+  for (int i = 1; i < n; ++i) {
+    Features(tokens, i, &feats);
+    for (int y = 0; y < kNumLabels; ++y) {
+      double emit = EmissionScore(feats, y, averaged);
+      double best = -1e18;
+      int best_prev = 0;
+      for (int p = 0; p < kNumLabels; ++p) {
+        double s = score[static_cast<size_t>(i - 1)][static_cast<size_t>(p)] +
+                   trans(p, y);
+        if (s > best) {
+          best = s;
+          best_prev = p;
+        }
+      }
+      score[static_cast<size_t>(i)][static_cast<size_t>(y)] = best + emit;
+      back[static_cast<size_t>(i)][static_cast<size_t>(y)] = best_prev;
+    }
+  }
+  std::vector<int> labels(static_cast<size_t>(n));
+  int best_last = 0;
+  for (int y = 1; y < kNumLabels; ++y) {
+    if (score[static_cast<size_t>(n - 1)][static_cast<size_t>(y)] >
+        score[static_cast<size_t>(n - 1)][static_cast<size_t>(best_last)]) {
+      best_last = y;
+    }
+  }
+  labels[static_cast<size_t>(n - 1)] = best_last;
+  for (int i = n - 1; i > 0; --i) {
+    labels[static_cast<size_t>(i - 1)] =
+        back[static_cast<size_t>(i)][static_cast<size_t>(labels[static_cast<size_t>(i)])];
+  }
+  return labels;
+}
+
+void CrfExtractor::Train(const std::vector<LabeledSentence>& data) {
+  Rng rng(options_.seed);
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<uint64_t> feats;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t idx : order) {
+      const LabeledSentence& s = data[idx];
+      ++step_;
+      std::vector<int> predicted = Decode(s.tokens, /*averaged=*/false);
+      if (predicted == s.bio) continue;
+      for (size_t i = 0; i < s.tokens.size(); ++i) {
+        if (predicted[i] == s.bio[i]) continue;
+        Features(s.tokens, static_cast<int>(i), &feats);
+        Update(feats, s.bio[i], +1.0);
+        Update(feats, predicted[i], -1.0);
+      }
+      for (size_t i = 1; i < s.tokens.size(); ++i) {
+        if (predicted[i] == s.bio[i] && predicted[i - 1] == s.bio[i - 1]) continue;
+        transition_[s.bio[i - 1]][s.bio[i]] += 1.0;
+        transition_[predicted[i - 1]][predicted[i]] -= 1.0;
+      }
+    }
+  }
+  // Finalise the averages.
+  ++step_;
+  for (size_t idx = 0; idx < weights_.size(); ++idx) {
+    acc_[idx] += weights_[idx] * static_cast<double>(step_ - last_[idx]);
+    last_[idx] = step_;
+    acc_[idx] /= static_cast<double>(step_);
+  }
+  for (int p = 0; p < kNumLabels; ++p) {
+    for (int y = 0; y < kNumLabels; ++y) {
+      // Transitions were not lazily averaged; use the final values scaled.
+      transition_acc_[p][y] = transition_[p][y];
+    }
+  }
+  trained_ = true;
+}
+
+std::vector<int> CrfExtractor::Predict(const std::vector<std::string>& tokens) const {
+  return Decode(tokens, /*averaged=*/trained_);
+}
+
+std::vector<std::pair<int, int>> CrfExtractor::ExtractSpans(
+    const std::vector<std::string>& tokens) const {
+  std::vector<int> labels = Predict(tokens);
+  std::vector<std::pair<int, int>> spans;
+  int begin = -1;
+  for (int i = 0; i <= static_cast<int>(labels.size()); ++i) {
+    int y = i < static_cast<int>(labels.size()) ? labels[static_cast<size_t>(i)] : 0;
+    if (y == 1) {  // B
+      if (begin >= 0) spans.emplace_back(begin, i - 1);
+      begin = i;
+    } else if (y == 2) {  // I
+      if (begin < 0) begin = i;  // tolerate stray I
+    } else {
+      if (begin >= 0) spans.emplace_back(begin, i - 1);
+      begin = -1;
+    }
+  }
+  return spans;
+}
+
+std::vector<std::string> CrfExtractor::ExtractMentions(
+    const AnnotatedCorpus& corpus) const {
+  std::vector<std::string> mentions;
+  for (const Document& doc : corpus.docs) {
+    for (const Sentence& s : doc.sentences) {
+      std::vector<std::string> tokens;
+      tokens.reserve(s.tokens.size());
+      for (const Token& t : s.tokens) tokens.push_back(t.text);
+      for (auto [begin, end] : ExtractSpans(tokens)) {
+        mentions.push_back(s.SpanText(begin, end));
+      }
+    }
+  }
+  return mentions;
+}
+
+std::vector<CrfExtractor::LabeledSentence> CrfExtractor::MakeTrainingData(
+    const std::vector<const Document*>& docs,
+    const std::vector<std::string>& gold_mentions) {
+  // Tokenised gold mentions, longest first (greedy labelling).
+  std::vector<std::vector<std::string>> gold;
+  for (const auto& m : gold_mentions) gold.push_back(SplitWhitespace(m));
+  std::sort(gold.begin(), gold.end(), [](const auto& a, const auto& b) {
+    return a.size() > b.size();
+  });
+  std::vector<LabeledSentence> data;
+  for (const Document* doc : docs) {
+    for (const Sentence& s : doc->sentences) {
+      LabeledSentence ls;
+      for (const Token& t : s.tokens) ls.tokens.push_back(t.text);
+      ls.bio.assign(ls.tokens.size(), 0);
+      for (const auto& mention : gold) {
+        if (mention.empty()) continue;
+        for (size_t i = 0; i + mention.size() <= ls.tokens.size(); ++i) {
+          bool match = true;
+          for (size_t j = 0; j < mention.size(); ++j) {
+            if (!EqualsIgnoreCase(ls.tokens[i + j], mention[j]) ||
+                ls.bio[i + j] != 0) {
+              match = false;
+              break;
+            }
+          }
+          if (!match) continue;
+          ls.bio[i] = 1;
+          for (size_t j = 1; j < mention.size(); ++j) ls.bio[i + j] = 2;
+        }
+      }
+      data.push_back(std::move(ls));
+    }
+  }
+  return data;
+}
+
+}  // namespace koko

@@ -1,0 +1,79 @@
+#ifndef KOKO_EXTRACT_CRF_H_
+#define KOKO_EXTRACT_CRF_H_
+
+#include <string>
+#include <vector>
+
+#include "text/document.h"
+
+namespace koko {
+
+/// \brief First-order linear-chain CRF trained with the averaged
+/// perceptron — the paper's CRFsuite baseline (§6.1).
+///
+/// BIO tagging (O / B-ENT / I-ENT) with the paper's exact feature template:
+/// the token, its previous and next tokens, prefixes and suffixes up to 3
+/// characters, and binary shape features (has-digit, all-digits,
+/// capitalised, all-caps, has-punct). Features are hashed into a fixed
+/// weight vector; decoding is Viterbi over emission + transition scores.
+class CrfExtractor {
+ public:
+  struct Options {
+    int epochs = 8;
+    uint64_t seed = 42;           // training-order shuffle seed
+    size_t feature_space = 1 << 20;
+  };
+
+  /// One training sentence: tokens plus BIO labels (0=O, 1=B, 2=I).
+  struct LabeledSentence {
+    std::vector<std::string> tokens;
+    std::vector<int> bio;
+  };
+
+  CrfExtractor() : CrfExtractor(Options()) {}
+  explicit CrfExtractor(Options options);
+
+  /// Averaged-perceptron training.
+  void Train(const std::vector<LabeledSentence>& data);
+
+  /// Predicted BIO labels for a sentence.
+  std::vector<int> Predict(const std::vector<std::string>& tokens) const;
+
+  /// Predicted mention spans [begin, end] (inclusive).
+  std::vector<std::pair<int, int>> ExtractSpans(
+      const std::vector<std::string>& tokens) const;
+
+  /// Extracts all mention strings from a corpus.
+  std::vector<std::string> ExtractMentions(const AnnotatedCorpus& corpus) const;
+
+  /// Builds BIO training data from annotated documents using gold mention
+  /// strings (every token-sequence occurrence of a gold mention is
+  /// labelled).
+  static std::vector<LabeledSentence> MakeTrainingData(
+      const std::vector<const Document*>& docs,
+      const std::vector<std::string>& gold_mentions);
+
+ private:
+  static constexpr int kNumLabels = 3;  // O, B, I
+
+  void Features(const std::vector<std::string>& tokens, int pos,
+                std::vector<uint64_t>* out) const;
+  double EmissionScore(const std::vector<uint64_t>& feats, int label,
+                       bool averaged) const;
+  std::vector<int> Decode(const std::vector<std::string>& tokens,
+                          bool averaged) const;
+  void Update(const std::vector<uint64_t>& feats, int label, double delta);
+
+  Options options_;
+  std::vector<double> weights_;
+  std::vector<double> acc_;      // accumulated weights for averaging
+  std::vector<int64_t> last_;    // last update step per weight (lazy average)
+  double transition_[kNumLabels][kNumLabels] = {};
+  double transition_acc_[kNumLabels][kNumLabels] = {};
+  int64_t step_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace koko
+
+#endif  // KOKO_EXTRACT_CRF_H_

@@ -1,0 +1,239 @@
+#include "extract/ike.h"
+
+#include <functional>
+#include <set>
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace koko {
+
+std::vector<std::pair<int, int>> NounPhraseChunks(const Sentence& s) {
+  std::vector<std::pair<int, int>> chunks;
+  int i = 0;
+  const int n = s.size();
+  auto chunkable = [&](int t) {
+    switch (s.tokens[t].pos) {
+      case PosTag::kDet:
+      case PosTag::kAdj:
+      case PosTag::kNoun:
+      case PosTag::kPropn:
+      case PosTag::kNum:
+        return true;
+      default:
+        return false;
+    }
+  };
+  auto nounish = [&](int t) {
+    return s.tokens[t].pos == PosTag::kNoun || s.tokens[t].pos == PosTag::kPropn;
+  };
+  while (i < n) {
+    if (!chunkable(i)) {
+      ++i;
+      continue;
+    }
+    int begin = i;
+    int last_noun = -1;
+    while (i < n && chunkable(i)) {
+      if (nounish(i)) last_noun = i;
+      ++i;
+    }
+    if (last_noun >= 0) {
+      // The NP proper excludes the leading determiner (IKE captures "Blue
+      // Bottle", not "the Blue Bottle").
+      int np_begin = begin;
+      while (np_begin < last_noun && s.tokens[np_begin].pos == PosTag::kDet) {
+        ++np_begin;
+      }
+      chunks.emplace_back(np_begin, last_noun);
+    }
+  }
+  return chunks;
+}
+
+Result<std::vector<IkeExtractor::Element>> IkeExtractor::ParsePattern(
+    const std::string& pattern) const {
+  std::vector<Element> elements;
+  size_t i = 0;
+  const size_t n = pattern.size();
+  while (i < n) {
+    if (IsAsciiSpace(pattern[i])) {
+      ++i;
+      continue;
+    }
+    if (pattern[i] == '(') {
+      // (NP) or ("phrase" ~ N)
+      size_t close = pattern.find(')', i);
+      if (close == std::string::npos) {
+        return Status::ParseError("unbalanced '(' in IKE pattern");
+      }
+      std::string inner(Trim(std::string_view(pattern).substr(i + 1, close - i - 1)));
+      i = close + 1;
+      if (EqualsIgnoreCase(inner, "NP")) {
+        Element e;
+        e.kind = Element::Kind::kCapture;
+        elements.push_back(std::move(e));
+        continue;
+      }
+      // "phrase" ~ N
+      size_t q1 = inner.find('"');
+      size_t q2 = inner.rfind('"');
+      if (q1 == std::string::npos || q2 <= q1) {
+        return Status::ParseError("expected quoted phrase in IKE group: " + inner);
+      }
+      std::string phrase = inner.substr(q1 + 1, q2 - q1 - 1);
+      int k = 10;
+      size_t tilde = inner.find('~', q2);
+      if (tilde != std::string::npos) {
+        k = std::stoi(inner.substr(tilde + 1));
+      }
+      Element e;
+      e.kind = Element::Kind::kSimilar;
+      // Expand each word of the phrase to its top-k neighbours; variants
+      // are the cartesian alternatives per word position.
+      std::vector<std::string> words = SplitWhitespace(ToLower(phrase));
+      std::vector<std::vector<std::string>> per_word;
+      for (const auto& w : words) {
+        std::vector<std::string> alts = {w};
+        for (const auto& nb : model_->Neighbors(w, k, 0.35)) {
+          alts.push_back(nb.text);
+        }
+        per_word.push_back(std::move(alts));
+      }
+      // Enumerate variants (bounded).
+      size_t total = 1;
+      for (const auto& alts : per_word) total *= alts.size();
+      total = std::min<size_t>(total, 512);
+      for (size_t combo = 0; combo < total; ++combo) {
+        size_t rem = combo;
+        std::vector<std::string> variant;
+        for (const auto& alts : per_word) {
+          variant.push_back(alts[rem % alts.size()]);
+          rem /= alts.size();
+        }
+        e.variants.push_back(std::move(variant));
+      }
+      elements.push_back(std::move(e));
+      continue;
+    }
+    if (pattern[i] == '"') {
+      size_t close = pattern.find('"', i + 1);
+      if (close == std::string::npos) {
+        return Status::ParseError("unterminated string in IKE pattern");
+      }
+      Element e;
+      e.kind = Element::Kind::kLiteral;
+      e.tokens = Tokenizer::Tokenize(pattern.substr(i + 1, close - i - 1));
+      elements.push_back(std::move(e));
+      i = close + 1;
+      continue;
+    }
+    return Status::ParseError("unexpected character in IKE pattern: " +
+                              std::string(1, pattern[i]));
+  }
+  if (elements.empty()) return Status::ParseError("empty IKE pattern");
+  return elements;
+}
+
+namespace {
+
+bool TokensMatchAt(const Sentence& s, int pos, const std::vector<std::string>& words) {
+  if (pos + static_cast<int>(words.size()) > s.size()) return false;
+  for (size_t j = 0; j < words.size(); ++j) {
+    if (!EqualsIgnoreCase(s.tokens[pos + static_cast<int>(j)].text, words[j])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> IkeExtractor::Run(const AnnotatedCorpus& corpus,
+                                                   const std::string& pattern) const {
+  auto elements = ParsePattern(pattern);
+  if (!elements.ok()) return elements.status();
+
+  std::vector<std::string> results;
+  for (uint32_t sid = 0; sid < corpus.NumSentences(); ++sid) {
+    const Sentence& s = corpus.sentence(sid);
+    std::vector<std::pair<int, int>> chunks = NounPhraseChunks(s);
+
+    // Recursive matcher over element positions.
+    std::function<void(size_t, int, std::vector<std::pair<int, int>>&)> match =
+        [&](size_t idx, int pos, std::vector<std::pair<int, int>>& captures) {
+          if (idx == elements->size()) {
+            for (auto [b, e] : captures) results.push_back(s.SpanText(b, e));
+            return;
+          }
+          const Element& el = (*elements)[idx];
+          switch (el.kind) {
+            case Element::Kind::kCapture: {
+              for (auto [b, e] : chunks) {
+                if (b != pos && pos >= 0) continue;
+                if (pos < 0) {
+                  // Unanchored leading capture: any chunk.
+                }
+                captures.emplace_back(b, e);
+                match(idx + 1, e + 1, captures);
+                captures.pop_back();
+              }
+              break;
+            }
+            case Element::Kind::kLiteral: {
+              if (pos < 0) {
+                for (int start = 0; start < s.size(); ++start) {
+                  if (TokensMatchAt(s, start, el.tokens)) {
+                    match(idx + 1, start + static_cast<int>(el.tokens.size()),
+                          captures);
+                  }
+                }
+              } else if (TokensMatchAt(s, pos, el.tokens)) {
+                match(idx + 1, pos + static_cast<int>(el.tokens.size()), captures);
+              }
+              break;
+            }
+            case Element::Kind::kSimilar: {
+              for (const auto& variant : el.variants) {
+                if (pos < 0) {
+                  for (int start = 0; start < s.size(); ++start) {
+                    if (TokensMatchAt(s, start, variant)) {
+                      match(idx + 1, start + static_cast<int>(variant.size()),
+                            captures);
+                    }
+                  }
+                } else if (TokensMatchAt(s, pos, variant)) {
+                  match(idx + 1, pos + static_cast<int>(variant.size()), captures);
+                }
+              }
+              break;
+            }
+          }
+        };
+    std::vector<std::pair<int, int>> captures;
+    match(0, -1, captures);
+  }
+  // Dedup, preserving first-seen order.
+  std::set<std::string> seen;
+  std::vector<std::string> unique;
+  for (auto& r : results) {
+    if (seen.insert(r).second) unique.push_back(std::move(r));
+  }
+  return unique;
+}
+
+Result<std::vector<std::string>> IkeExtractor::RunAll(
+    const AnnotatedCorpus& corpus, const std::vector<std::string>& patterns) const {
+  std::set<std::string> seen;
+  std::vector<std::string> all;
+  for (const auto& pattern : patterns) {
+    auto results = Run(corpus, pattern);
+    if (!results.ok()) return results.status();
+    for (auto& r : *results) {
+      if (seen.insert(r).second) all.push_back(std::move(r));
+    }
+  }
+  return all;
+}
+
+}  // namespace koko

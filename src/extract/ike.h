@@ -1,0 +1,57 @@
+#ifndef KOKO_EXTRACT_IKE_H_
+#define KOKO_EXTRACT_IKE_H_
+
+#include <string>
+#include <vector>
+
+#include "embed/embedding.h"
+#include "text/document.h"
+#include "util/status.h"
+
+namespace koko {
+
+/// \brief IKE baseline (Dalvi et al. 2016) — per-sentence pattern search
+/// with distributional-similarity expansion (§5, §6.1, Appendix A).
+///
+/// Pattern syntax (the subset the paper's Appendix uses):
+///   (NP)              — captures a noun phrase
+///   "literal phrase"  — exact token sequence
+///   ("phrase" ~ N)    — the phrase or any of its N distributional
+///                       neighbours (per-word embedding expansion)
+///
+/// Crucially, IKE matches one sentence at a time and cannot aggregate
+/// evidence across mentions — the property that separates it from KOKO in
+/// Figure 3.
+class IkeExtractor {
+ public:
+  explicit IkeExtractor(const EmbeddingModel* model) : model_(model) {}
+
+  /// Runs one pattern over the corpus; returns the captured NP strings.
+  Result<std::vector<std::string>> Run(const AnnotatedCorpus& corpus,
+                                       const std::string& pattern) const;
+
+  /// Runs several patterns and unions the captures (the paper executes each
+  /// pattern separately, incrementally adding results to a relation).
+  Result<std::vector<std::string>> RunAll(
+      const AnnotatedCorpus& corpus, const std::vector<std::string>& patterns) const;
+
+ private:
+  struct Element {
+    enum class Kind { kCapture, kLiteral, kSimilar };
+    Kind kind = Kind::kLiteral;
+    std::vector<std::string> tokens;                  // kLiteral
+    std::vector<std::vector<std::string>> variants;   // kSimilar (expanded)
+  };
+
+  Result<std::vector<Element>> ParsePattern(const std::string& pattern) const;
+
+  const EmbeddingModel* model_;
+};
+
+/// Noun-phrase chunks of a sentence: [begin, end] spans whose head is the
+/// final noun (shared with the NELL baseline).
+std::vector<std::pair<int, int>> NounPhraseChunks(const Sentence& s);
+
+}  // namespace koko
+
+#endif  // KOKO_EXTRACT_IKE_H_

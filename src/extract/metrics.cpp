@@ -1,0 +1,62 @@
+#include "extract/metrics.h"
+
+#include "util/string_util.h"
+
+namespace koko {
+
+std::string NormalizeMention(const std::string& text) {
+  std::string lower = ToLower(Trim(text));
+  // Collapse whitespace runs.
+  std::string out;
+  bool prev_space = false;
+  for (char c : lower) {
+    if (IsAsciiSpace(c)) {
+      if (!prev_space && !out.empty()) out += ' ';
+      prev_space = true;
+    } else {
+      out += c;
+      prev_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+PRF ScoreExtractions(const std::set<std::string>& gold,
+                     const std::set<std::string>& predicted) {
+  PRF result;
+  for (const auto& p : predicted) {
+    if (gold.count(p) > 0) {
+      ++result.tp;
+    } else {
+      ++result.fp;
+    }
+  }
+  for (const auto& g : gold) {
+    if (predicted.count(g) == 0) ++result.fn;
+  }
+  if (result.tp + result.fp > 0) {
+    result.precision = static_cast<double>(result.tp) /
+                       static_cast<double>(result.tp + result.fp);
+  }
+  if (result.tp + result.fn > 0) {
+    result.recall =
+        static_cast<double>(result.tp) / static_cast<double>(result.tp + result.fn);
+  }
+  if (result.precision + result.recall > 0) {
+    result.f1 = 2 * result.precision * result.recall /
+                (result.precision + result.recall);
+  }
+  return result;
+}
+
+PRF ScoreExtractionLists(const std::vector<std::string>& gold,
+                         const std::vector<std::string>& predicted) {
+  std::set<std::string> g;
+  std::set<std::string> p;
+  for (const auto& s : gold) g.insert(NormalizeMention(s));
+  for (const auto& s : predicted) p.insert(NormalizeMention(s));
+  return ScoreExtractions(g, p);
+}
+
+}  // namespace koko

@@ -1,0 +1,34 @@
+#ifndef KOKO_EXTRACT_METRICS_H_
+#define KOKO_EXTRACT_METRICS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace koko {
+
+/// Precision / recall / F1 of a set-valued extraction task.
+struct PRF {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+};
+
+/// Canonicalises an extracted mention for comparison (lower-case, trimmed,
+/// single-spaced).
+std::string NormalizeMention(const std::string& text);
+
+/// Scores predicted mentions against gold mentions (both normalised).
+PRF ScoreExtractions(const std::set<std::string>& gold,
+                     const std::set<std::string>& predicted);
+
+/// Convenience: normalises both sides then scores.
+PRF ScoreExtractionLists(const std::vector<std::string>& gold,
+                         const std::vector<std::string>& predicted);
+
+}  // namespace koko
+
+#endif  // KOKO_EXTRACT_METRICS_H_

@@ -1,0 +1,114 @@
+#include "extract/nell.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "extract/ike.h"  // NounPhraseChunks
+#include "extract/metrics.h"
+#include "util/string_util.h"
+
+namespace koko {
+
+namespace {
+
+// A mention candidate with its left/right context keys.
+struct Candidate {
+  std::string text;       // normalised NP text
+  std::string left_ctx;   // "L:w-2 w-1"
+  std::string right_ctx;  // "R:w+1 w+2"
+};
+
+std::vector<Candidate> CollectCandidates(const AnnotatedCorpus& corpus) {
+  std::vector<Candidate> out;
+  for (uint32_t sid = 0; sid < corpus.NumSentences(); ++sid) {
+    const Sentence& s = corpus.sentence(sid);
+    for (auto [b, e] : NounPhraseChunks(s)) {
+      Candidate c;
+      c.text = NormalizeMention(s.SpanText(b, e));
+      std::string l1 = b >= 1 ? ToLower(s.tokens[b - 1].text) : "<s>";
+      std::string l2 = b >= 2 ? ToLower(s.tokens[b - 2].text) : "<s>";
+      c.left_ctx = "L:" + l2 + " " + l1;
+      std::string r1 = e + 1 < s.size() ? ToLower(s.tokens[e + 1].text) : "</s>";
+      std::string r2 = e + 2 < s.size() ? ToLower(s.tokens[e + 2].text) : "</s>";
+      c.right_ctx = "R:" + r1 + " " + r2;
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> NellExtractor::Bootstrap(
+    const AnnotatedCorpus& corpus, const std::vector<std::string>& seeds) const {
+  promoted_.clear();
+  std::set<std::string> known;
+  std::set<std::string> seed_set;
+  for (const auto& s : seeds) {
+    known.insert(NormalizeMention(s));
+    seed_set.insert(NormalizeMention(s));
+  }
+  std::vector<Candidate> candidates = CollectCandidates(corpus);
+  std::set<std::string> promoted_patterns;
+
+  for (int round = 0; round < options_.iterations; ++round) {
+    // 1. Score context patterns against the current instance set.
+    std::map<std::string, std::pair<int, int>> stats;  // pattern -> (hits, total)
+    for (const Candidate& c : candidates) {
+      bool is_instance = known.count(c.text) > 0;
+      for (const std::string* ctx : {&c.left_ctx, &c.right_ctx}) {
+        auto& [hits, total] = stats[*ctx];
+        ++total;
+        if (is_instance) ++hits;
+      }
+    }
+    // 2. Promote high-precision, sufficiently supported patterns.
+    std::vector<std::pair<double, std::string>> ranked;
+    for (const auto& [pattern, ht] : stats) {
+      auto [hits, total] = ht;
+      if (hits < options_.min_pattern_support) continue;
+      double precision = static_cast<double>(hits) / static_cast<double>(total);
+      if (precision < options_.min_pattern_precision) continue;
+      if (promoted_patterns.count(pattern) > 0) continue;
+      ranked.push_back({precision, pattern});
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    int promoted_now = 0;
+    for (const auto& [precision, pattern] : ranked) {
+      if (promoted_now >= options_.patterns_per_round) break;
+      promoted_patterns.insert(pattern);
+      ++promoted_now;
+    }
+    if (promoted_now == 0) break;
+
+    // 3. Extract instances supported by enough promoted patterns.
+    std::map<std::string, std::set<std::string>> support;
+    for (const Candidate& c : candidates) {
+      if (known.count(c.text) > 0) continue;
+      if (promoted_patterns.count(c.left_ctx) > 0) {
+        support[c.text].insert(c.left_ctx);
+      }
+      if (promoted_patterns.count(c.right_ctx) > 0) {
+        support[c.text].insert(c.right_ctx);
+      }
+    }
+    for (const auto& [text, patterns] : support) {
+      if (static_cast<int>(patterns.size()) >= options_.min_instance_support) {
+        known.insert(text);
+      }
+    }
+  }
+
+  promoted_.assign(promoted_patterns.begin(), promoted_patterns.end());
+  std::vector<std::string> learned;
+  for (const auto& inst : known) {
+    if (seed_set.count(inst) == 0) learned.push_back(inst);
+  }
+  return learned;
+}
+
+}  // namespace koko

@@ -1,0 +1,47 @@
+#ifndef KOKO_EXTRACT_NELL_H_
+#define KOKO_EXTRACT_NELL_H_
+
+#include <string>
+#include <vector>
+
+#include "text/document.h"
+
+namespace koko {
+
+/// \brief NELL-style conservative pattern bootstrapper (§5, §6.1).
+///
+/// Coupled pattern learning for one category: starting from seed
+/// instances, learn left/right context patterns that co-occur with seeds,
+/// promote only high-precision patterns, extract instances supported by at
+/// least two promoted patterns, and iterate a few rounds. The conservatism
+/// (high promotion threshold, multi-pattern support) reproduces NELL's
+/// reported behaviour on rare entities: high precision, very low recall.
+class NellExtractor {
+ public:
+  struct Options {
+    int iterations = 3;
+    int patterns_per_round = 12;
+    double min_pattern_precision = 0.5;
+    int min_pattern_support = 1;  // seed mentions a pattern must cover
+    int min_instance_support = 1; // promoted patterns an instance needs
+  };
+
+  NellExtractor() : NellExtractor(Options()) {}
+  explicit NellExtractor(Options options) : options_(options) {}
+
+  /// Bootstraps the category from `seeds`; returns all learned instances
+  /// (excluding the seeds themselves).
+  std::vector<std::string> Bootstrap(const AnnotatedCorpus& corpus,
+                                     const std::vector<std::string>& seeds) const;
+
+  /// Patterns promoted in the last Bootstrap call (for inspection).
+  const std::vector<std::string>& promoted_patterns() const { return promoted_; }
+
+ private:
+  Options options_;
+  mutable std::vector<std::string> promoted_;
+};
+
+}  // namespace koko
+
+#endif  // KOKO_EXTRACT_NELL_H_

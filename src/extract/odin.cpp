@@ -1,0 +1,78 @@
+#include "extract/odin.h"
+
+#include <algorithm>
+#include <set>
+
+#include "extract/ike.h"  // NounPhraseChunks
+#include "util/string_util.h"
+
+namespace koko {
+
+std::vector<std::string> OdinExtractor::Run(const AnnotatedCorpus& corpus,
+                                            const std::vector<OdinRule>& rules,
+                                            RunStats* stats) const {
+  std::vector<OdinRule> ordered = rules;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const OdinRule& a, const OdinRule& b) {
+                     return a.priority < b.priority;
+                   });
+  std::set<std::string> mentions;
+  RunStats local;
+  bool changed = true;
+  // Iterative application until fixpoint, as Odin's runtime does. Each
+  // iteration re-scans the full corpus for every rule (no indexing).
+  while (changed) {
+    changed = false;
+    ++local.iterations;
+    for (const OdinRule& rule : ordered) {
+      for (uint32_t sid = 0; sid < corpus.NumSentences(); ++sid) {
+        const Sentence& s = corpus.sentence(sid);
+        ++local.sentence_visits;
+        if (rule.kind == OdinRule::Kind::kDependency) {
+          std::vector<int> nodes = MatchPathInSentence(s, rule.path);
+          if (nodes.empty()) continue;
+          // Mention = the NP chunk containing the matched node (or the
+          // token itself when it sits outside any chunk).
+          std::vector<std::pair<int, int>> chunks = NounPhraseChunks(s);
+          for (int t : nodes) {
+            std::string text = s.tokens[t].text;
+            for (auto [b, e] : chunks) {
+              if (t >= b && t <= e) {
+                text = s.SpanText(b, e);
+                break;
+              }
+            }
+            if (mentions.insert(text).second) changed = true;
+          }
+        } else {
+          // Surface trigger.
+          const int m = static_cast<int>(rule.trigger.size());
+          std::vector<std::pair<int, int>> chunks = NounPhraseChunks(s);
+          for (int i = 0; i + m <= s.size(); ++i) {
+            bool ok = true;
+            for (int j = 0; j < m; ++j) {
+              if (!EqualsIgnoreCase(s.tokens[i + j].text,
+                                    rule.trigger[static_cast<size_t>(j)])) {
+                ok = false;
+                break;
+              }
+            }
+            if (!ok) continue;
+            // Adjacent NP chunk.
+            for (auto [b, e] : chunks) {
+              bool adjacent = rule.capture_left ? (e == i - 1) : (b == i + m);
+              if (adjacent) {
+                if (mentions.insert(s.SpanText(b, e)).second) changed = true;
+                break;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return std::vector<std::string>(mentions.begin(), mentions.end());
+}
+
+}  // namespace koko

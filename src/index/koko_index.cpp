@@ -1,0 +1,392 @@
+#include "index/koko_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace koko {
+
+namespace {
+
+constexpr uint32_t kNoNode = static_cast<uint32_t>(-1);
+
+// Column positions in W.
+enum WCol : uint32_t {
+  kWWord = 0,
+  kWSid,
+  kWTid,
+  kWLeft,
+  kWRight,
+  kWDepth,
+  kWPlid,
+  kWPosid,
+};
+
+// Column positions in E.
+enum ECol : uint32_t { kEEntity = 0, kESid, kELeft, kERight, kEType };
+
+}  // namespace
+
+// ---- Trie -------------------------------------------------------------------
+
+uint32_t KokoIndex::Trie::FindChild(uint32_t parent, Symbol label) const {
+  const auto& kids = nodes[parent].children;
+  auto it = std::lower_bound(
+      kids.begin(), kids.end(), label,
+      [](const std::pair<Symbol, uint32_t>& a, Symbol l) { return a.first < l; });
+  if (it != kids.end() && it->first == label) return it->second;
+  return kNoNode;
+}
+
+uint32_t KokoIndex::Trie::GetOrAddChild(uint32_t parent, Symbol label) {
+  uint32_t existing = FindChild(parent, label);
+  if (existing != kNoNode) return existing;
+  uint32_t id = static_cast<uint32_t>(nodes.size());
+  TrieNode node;
+  node.label = label;
+  node.parent = static_cast<int32_t>(parent);
+  node.depth = nodes[parent].depth + 1;
+  nodes.push_back(std::move(node));
+  auto& kids = nodes[parent].children;
+  auto it = std::lower_bound(
+      kids.begin(), kids.end(), label,
+      [](const std::pair<Symbol, uint32_t>& a, Symbol l) { return a.first < l; });
+  kids.insert(it, {label, id});
+  return id;
+}
+
+std::vector<uint32_t> KokoIndex::Trie::Match(const PathQuery& path,
+                                             bool use_pos) const {
+  std::vector<uint32_t> current = {0};  // dummy root
+  std::vector<char> seen;
+  for (const PathStep& step : path.steps) {
+    // Resolve the step's label for this trie; unconstrained -> wildcard.
+    bool wildcard;
+    Symbol label = kInvalidSymbol;
+    if (use_pos) {
+      wildcard = !step.constraint.pos.has_value();
+      if (!wildcard) {
+        label = labels.Find(PosTagName(*step.constraint.pos));
+        if (label == kInvalidSymbol) return {};
+      }
+    } else {
+      wildcard = !step.constraint.dep.has_value();
+      if (!wildcard) {
+        label = labels.Find(DepLabelName(*step.constraint.dep));
+        if (label == kInvalidSymbol) return {};
+      }
+    }
+    std::vector<uint32_t> next;
+    seen.assign(nodes.size(), 0);
+    auto add = [&](uint32_t id) {
+      if (!seen[id]) {
+        seen[id] = 1;
+        next.push_back(id);
+      }
+    };
+    for (uint32_t node : current) {
+      if (step.axis == PathStep::Axis::kChild) {
+        if (wildcard) {
+          for (const auto& [_, child] : nodes[node].children) add(child);
+        } else {
+          uint32_t child = FindChild(node, label);
+          if (child != kNoNode) add(child);
+        }
+      } else {
+        // Descendant axis: DFS below `node`.
+        std::vector<uint32_t> stack;
+        for (const auto& [_, child] : nodes[node].children) stack.push_back(child);
+        while (!stack.empty()) {
+          uint32_t t = stack.back();
+          stack.pop_back();
+          if (wildcard || nodes[t].label == label) add(t);
+          for (const auto& [_, child] : nodes[t].children) stack.push_back(child);
+        }
+      }
+    }
+    current = std::move(next);
+    if (current.empty()) return {};
+  }
+  std::sort(current.begin(), current.end());
+  return current;
+}
+
+size_t KokoIndex::Trie::MemoryUsage() const {
+  size_t bytes = nodes.capacity() * sizeof(TrieNode);
+  for (const auto& n : nodes) {
+    bytes += n.children.capacity() * sizeof(std::pair<Symbol, uint32_t>);
+    bytes += n.rows.capacity() * sizeof(uint32_t);
+  }
+  bytes += labels.MemoryUsage();
+  return bytes;
+}
+
+// ---- Build -------------------------------------------------------------------
+
+std::unique_ptr<KokoIndex> KokoIndex::Build(const AnnotatedCorpus& corpus) {
+  WallTimer timer;
+  auto index = std::unique_ptr<KokoIndex>(new KokoIndex());
+
+  index->w_ = index->catalog_.CreateTable(
+      "W", {{"word", ColumnType::kString},
+            {"x", ColumnType::kInt64},
+            {"y", ColumnType::kInt64},
+            {"u", ColumnType::kInt64},
+            {"v", ColumnType::kInt64},
+            {"d", ColumnType::kInt64},
+            {"plid", ColumnType::kInt64},
+            {"posid", ColumnType::kInt64}});
+  index->e_ = index->catalog_.CreateTable(
+      "E", {{"entity", ColumnType::kString},
+            {"x", ColumnType::kInt64},
+            {"u", ColumnType::kInt64},
+            {"v", ColumnType::kInt64},
+            {"etype", ColumnType::kInt64}});
+
+  Trie& pl = index->pl_trie_;
+  Trie& pos = index->pos_trie_;
+
+  for (uint32_t sid = 0; sid < corpus.NumSentences(); ++sid) {
+    const Sentence& s = corpus.sentence(sid);
+    const int n = s.size();
+    if (n == 0) continue;
+    ++index->stats_.num_sentences;
+
+    // Trie node per token: walk top-down so parents resolve first.
+    std::vector<uint32_t> pl_node(n, 0);
+    std::vector<uint32_t> pos_node(n, 0);
+    // BFS order from root guarantees head processed before child.
+    std::vector<int> order;
+    order.reserve(n);
+    order.push_back(s.root);
+    for (size_t k = 0; k < order.size(); ++k) {
+      for (int child : s.children[order[k]]) order.push_back(child);
+    }
+    for (int t : order) {
+      uint32_t pl_parent = s.tokens[t].head < 0 ? 0 : pl_node[s.tokens[t].head];
+      uint32_t pos_parent = s.tokens[t].head < 0 ? 0 : pos_node[s.tokens[t].head];
+      pl_node[t] = pl.GetOrAddChild(pl_parent,
+                                    pl.labels.Intern(DepLabelName(s.tokens[t].label)));
+      pos_node[t] = pos.GetOrAddChild(
+          pos_parent, pos.labels.Intern(PosTagName(s.tokens[t].pos)));
+    }
+
+    for (int t = 0; t < n; ++t) {
+      uint32_t row = static_cast<uint32_t>(index->w_->NumRows());
+      KOKO_CHECK_OK(index->w_->AppendRow(
+          {s.tokens[t].text, static_cast<int64_t>(sid), static_cast<int64_t>(t),
+           static_cast<int64_t>(s.subtree_left[t]),
+           static_cast<int64_t>(s.subtree_right[t]),
+           static_cast<int64_t>(s.depth[t]), static_cast<int64_t>(pl_node[t]),
+           static_cast<int64_t>(pos_node[t])}));
+      pl.nodes[pl_node[t]].rows.push_back(row);
+      pos.nodes[pos_node[t]].rows.push_back(row);
+      ++index->stats_.num_tokens;
+    }
+
+    for (const Entity& ent : s.entities) {
+      KOKO_CHECK_OK(index->e_->AppendRow(
+          {s.SpanText(ent.begin, ent.end), static_cast<int64_t>(sid),
+           static_cast<int64_t>(ent.begin), static_cast<int64_t>(ent.end),
+           static_cast<int64_t>(ent.type)}));
+      ++index->stats_.num_entities;
+    }
+  }
+
+  KOKO_CHECK_OK(index->w_->CreateIndex("w_word", {"word"}));
+  KOKO_CHECK_OK(index->e_->CreateIndex("e_entity", {"entity"}));
+
+  index->ExportClosureTable(pl, "PL");
+  index->ExportClosureTable(pos, "POS");
+  index->RebuildEntityCache();
+
+  index->stats_.pl_trie_nodes = pl.nodes.size() - 1;
+  index->stats_.pos_trie_nodes = pos.nodes.size() - 1;
+  index->stats_.build_seconds = timer.ElapsedSeconds();
+  return index;
+}
+
+void KokoIndex::ExportClosureTable(const Trie& trie, const std::string& table_name) {
+  Table* t = catalog_.CreateTable(
+      table_name, {{"id", ColumnType::kInt64},
+                   {"label", ColumnType::kString},
+                   {"depth", ColumnType::kInt64},
+                   {"aid", ColumnType::kInt64},
+                   {"alabel", ColumnType::kString},
+                   {"adepth", ColumnType::kInt64}});
+  // Closure rows: every (node, ancestor-or-self) pair, excluding the dummy.
+  for (uint32_t id = 1; id < trie.nodes.size(); ++id) {
+    const std::string& label = trie.labels.Lookup(trie.nodes[id].label);
+    int32_t anc = static_cast<int32_t>(id);
+    while (anc > 0) {
+      const TrieNode& a = trie.nodes[static_cast<uint32_t>(anc)];
+      KOKO_CHECK_OK(t->AppendRow({static_cast<int64_t>(id), label,
+                                  static_cast<int64_t>(trie.nodes[id].depth),
+                                  static_cast<int64_t>(anc),
+                                  trie.labels.Lookup(a.label),
+                                  static_cast<int64_t>(a.depth)}));
+      anc = a.parent;
+    }
+  }
+  KOKO_CHECK_OK(t->CreateIndex(table_name + "_label", {"label"}));
+}
+
+void KokoIndex::RebuildEntityCache() {
+  all_entities_.clear();
+  all_entities_.reserve(e_->NumRows());
+  for (uint32_t row = 0; row < e_->NumRows(); ++row) {
+    EntityPosting p;
+    p.sid = static_cast<uint32_t>(e_->GetInt(row, kESid));
+    p.left = static_cast<uint32_t>(e_->GetInt(row, kELeft));
+    p.right = static_cast<uint32_t>(e_->GetInt(row, kERight));
+    p.type = static_cast<EntityType>(e_->GetInt(row, kEType));
+    all_entities_.push_back(p);
+  }
+}
+
+// ---- Lookups ------------------------------------------------------------------
+
+Quintuple KokoIndex::RowToQuintuple(uint32_t row) const {
+  Quintuple q;
+  q.sid = static_cast<uint32_t>(w_->GetInt(row, kWSid));
+  q.tid = static_cast<uint32_t>(w_->GetInt(row, kWTid));
+  q.left = static_cast<uint32_t>(w_->GetInt(row, kWLeft));
+  q.right = static_cast<uint32_t>(w_->GetInt(row, kWRight));
+  q.depth = static_cast<uint32_t>(w_->GetInt(row, kWDepth));
+  return q;
+}
+
+PostingList KokoIndex::LookupWord(std::string_view token) const {
+  auto rows = w_->IndexLookup("w_word", {std::string(token)});
+  KOKO_CHECK(rows.ok());
+  PostingList out;
+  out.reserve(rows->size());
+  for (uint32_t row : *rows) out.push_back(RowToQuintuple(row));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<EntityPosting> KokoIndex::LookupEntityText(std::string_view text) const {
+  auto rows = e_->IndexLookup("e_entity", {std::string(text)});
+  KOKO_CHECK(rows.ok());
+  std::vector<EntityPosting> out;
+  out.reserve(rows->size());
+  for (uint32_t row : *rows) out.push_back(all_entities_[row]);
+  return out;
+}
+
+std::vector<EntityPosting> KokoIndex::EntitiesOfType(EntityType type) const {
+  std::vector<EntityPosting> out;
+  for (const EntityPosting& p : all_entities_) {
+    if (p.type == type) out.push_back(p);
+  }
+  return out;
+}
+
+PostingList KokoIndex::LookupParseLabelPath(const PathQuery& path) const {
+  std::vector<uint32_t> nodes = pl_trie_.Match(path, /*use_pos=*/false);
+  PostingList out;
+  for (uint32_t node : nodes) {
+    for (uint32_t row : pl_trie_.nodes[node].rows) out.push_back(RowToQuintuple(row));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+PostingList KokoIndex::LookupPosPath(const PathQuery& path) const {
+  std::vector<uint32_t> nodes = pos_trie_.Match(path, /*use_pos=*/true);
+  PostingList out;
+  for (uint32_t node : nodes) {
+    for (uint32_t row : pos_trie_.nodes[node].rows) out.push_back(RowToQuintuple(row));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t KokoIndex::CountPlPathNodes(const PathQuery& path) const {
+  return pl_trie_.Match(path, /*use_pos=*/false).size();
+}
+
+size_t KokoIndex::CountPosPathNodes(const PathQuery& path) const {
+  return pos_trie_.Match(path, /*use_pos=*/true).size();
+}
+
+size_t KokoIndex::MemoryUsage() const {
+  return catalog_.MemoryUsage() + pl_trie_.MemoryUsage() + pos_trie_.MemoryUsage() +
+         all_entities_.capacity() * sizeof(EntityPosting);
+}
+
+// ---- Persistence ----------------------------------------------------------------
+
+Status KokoIndex::Save(const std::string& path) const {
+  return catalog_.SaveToFile(path);
+}
+
+Status KokoIndex::RebuildTrieFromClosure(const std::string& table_name, Trie* trie,
+                                         int w_node_col) {
+  const Table* t = catalog_.GetTable(table_name);
+  if (t == nullptr) return Status::NotFound("closure table " + table_name);
+  // Pass 1: create nodes (max id) and record parent/label/depth.
+  int64_t max_id = 0;
+  for (uint32_t row = 0; row < t->NumRows(); ++row) {
+    max_id = std::max(max_id, t->GetInt(row, 0));
+  }
+  trie->nodes.clear();
+  trie->nodes.resize(static_cast<size_t>(max_id) + 1);
+  trie->nodes[0].parent = -1;
+  for (uint32_t row = 0; row < t->NumRows(); ++row) {
+    int64_t id = t->GetInt(row, 0);
+    int64_t depth = t->GetInt(row, 2);
+    int64_t aid = t->GetInt(row, 3);
+    int64_t adepth = t->GetInt(row, 5);
+    TrieNode& node = trie->nodes[static_cast<size_t>(id)];
+    node.label = trie->labels.Intern(t->GetString(row, 1));
+    node.depth = static_cast<uint32_t>(depth);
+    if (adepth == depth) {
+      // self-pair; parent derived from the depth-1 ancestor row.
+      if (depth == 1) node.parent = 0;
+    } else if (adepth == depth - 1) {
+      node.parent = static_cast<int32_t>(aid);
+    }
+  }
+  // Pass 2: children links.
+  for (uint32_t id = 1; id < trie->nodes.size(); ++id) {
+    TrieNode& node = trie->nodes[id];
+    if (node.parent < 0) node.parent = 0;
+    auto& kids = trie->nodes[static_cast<uint32_t>(node.parent)].children;
+    auto it = std::lower_bound(kids.begin(), kids.end(), node.label,
+                               [](const std::pair<Symbol, uint32_t>& a, Symbol l) {
+                                 return a.first < l;
+                               });
+    kids.insert(it, {node.label, id});
+  }
+  // Pass 3: posting rows from W.
+  for (uint32_t row = 0; row < w_->NumRows(); ++row) {
+    int64_t node = w_->GetInt(row, static_cast<uint32_t>(w_node_col));
+    trie->nodes[static_cast<size_t>(node)].rows.push_back(row);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<KokoIndex>> KokoIndex::Load(const std::string& path) {
+  auto index = std::unique_ptr<KokoIndex>(new KokoIndex());
+  KOKO_RETURN_IF_ERROR(index->catalog_.LoadFromFile(path));
+  index->w_ = index->catalog_.GetTable("W");
+  index->e_ = index->catalog_.GetTable("E");
+  if (index->w_ == nullptr || index->e_ == nullptr) {
+    return Status::ParseError("catalog missing W/E tables");
+  }
+  KOKO_RETURN_IF_ERROR(
+      index->RebuildTrieFromClosure("PL", &index->pl_trie_, kWPlid));
+  KOKO_RETURN_IF_ERROR(
+      index->RebuildTrieFromClosure("POS", &index->pos_trie_, kWPosid));
+  index->RebuildEntityCache();
+  index->stats_.num_tokens = index->w_->NumRows();
+  index->stats_.num_entities = index->e_->NumRows();
+  index->stats_.pl_trie_nodes = index->pl_trie_.nodes.size() - 1;
+  index->stats_.pos_trie_nodes = index->pos_trie_.nodes.size() - 1;
+  return index;
+}
+
+}  // namespace koko

@@ -1,0 +1,146 @@
+#ifndef KOKO_INDEX_KOKO_INDEX_H_
+#define KOKO_INDEX_KOKO_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/path.h"
+#include "index/posting.h"
+#include "storage/table.h"
+#include "text/document.h"
+#include "util/interner.h"
+#include "util/status.h"
+
+namespace koko {
+
+/// \brief KOKO's multi-indexing scheme (paper §3).
+///
+/// Four indices over one physical layout:
+///  * **Word index** — table W(word, x, y, u, v, d, plid, posid), one row
+///    per token, B-tree on `word`. The quintuple columns are §3.1's
+///    (x, y, u-v, d); plid/posid are the token's node ids in the two
+///    hierarchy indices (§6.2.1's schema, verbatim).
+///  * **Entity index** — table E(entity, x, u, v [, etype]), B-tree on
+///    `entity`.
+///  * **PL / POS hierarchy indices** — dependency trees of all sentences
+///    merged into one trie per label type (§3.2): children with equal
+///    labels merge, so every trie node is a unique root path with a posting
+///    list (represented as row ids into W — the paper's PL.id ⋈ W.plid
+///    join). Persisted as closure tables PL/POS(id, label, depth, aid,
+///    alabel, adepth).
+///
+/// Node-merge statistics back the paper's claim that the hierarchy index
+/// removes >99.7% of tree nodes.
+class KokoIndex {
+ public:
+  struct Stats {
+    double build_seconds = 0;
+    size_t num_sentences = 0;
+    size_t num_tokens = 0;       // == pre-merge dependency-tree nodes
+    size_t num_entities = 0;
+    size_t pl_trie_nodes = 0;    // post-merge (excluding the dummy root)
+    size_t pos_trie_nodes = 0;
+
+    /// Fraction of tree nodes eliminated by merging, e.g. 0.997.
+    double PlCompression() const {
+      return num_tokens == 0
+                 ? 0.0
+                 : 1.0 - static_cast<double>(pl_trie_nodes) / num_tokens;
+    }
+    double PosCompression() const {
+      return num_tokens == 0
+                 ? 0.0
+                 : 1.0 - static_cast<double>(pos_trie_nodes) / num_tokens;
+    }
+  };
+
+  /// Builds all four indices over an annotated corpus.
+  static std::unique_ptr<KokoIndex> Build(const AnnotatedCorpus& corpus);
+
+  // ---- Inverted-index lookups --------------------------------------------
+
+  /// Posting list of a surface token (exact match), §3.1 word index.
+  PostingList LookupWord(std::string_view token) const;
+
+  /// Entity postings whose surface text equals `text` exactly.
+  std::vector<EntityPosting> LookupEntityText(std::string_view text) const;
+
+  /// All entity postings (corpus order). Used when a variable is declared
+  /// as an entity with no further restriction.
+  const std::vector<EntityPosting>& AllEntities() const { return all_entities_; }
+
+  /// Entity postings of one type.
+  std::vector<EntityPosting> EntitiesOfType(EntityType type) const;
+
+  // ---- Hierarchy-index lookups --------------------------------------------
+
+  /// Union of posting lists of all PL-trie nodes matched by `path`, whose
+  /// constraints must only use parse labels or wildcards (the output of
+  /// DPLI's path decomposition).
+  PostingList LookupParseLabelPath(const PathQuery& path) const;
+
+  /// Same over the POS trie (POS-tag constraints or wildcards).
+  PostingList LookupPosPath(const PathQuery& path) const;
+
+  /// Number of trie nodes matched (no posting materialisation); lets DPLI
+  /// detect "path absent from index" cheaply.
+  size_t CountPlPathNodes(const PathQuery& path) const;
+  size_t CountPosPathNodes(const PathQuery& path) const;
+
+  // ---- Introspection / persistence ----------------------------------------
+
+  const Stats& stats() const { return stats_; }
+
+  /// Heap footprint of everything: tables, B-trees, tries, entity cache.
+  size_t MemoryUsage() const;
+
+  /// Storage-level view (tables W, E, PL, POS) for tests and tooling.
+  const Catalog& catalog() const { return catalog_; }
+
+  Status Save(const std::string& path) const;
+  static Result<std::unique_ptr<KokoIndex>> Load(const std::string& path);
+
+ private:
+  // Merged dependency-tree trie (one per label type).
+  struct TrieNode {
+    Symbol label = kInvalidSymbol;
+    int32_t parent = -1;
+    uint32_t depth = 0;
+    std::vector<std::pair<Symbol, uint32_t>> children;  // sorted by label
+    std::vector<uint32_t> rows;                         // row ids into W
+  };
+  struct Trie {
+    std::vector<TrieNode> nodes;  // nodes[0] = dummy root above all trees
+    StringPool labels;
+
+    Trie() { nodes.emplace_back(); }
+    uint32_t GetOrAddChild(uint32_t parent, Symbol label);
+    uint32_t FindChild(uint32_t parent, Symbol label) const;  // -1u if absent
+    /// Trie nodes matched by a decomposed path (steps constrain only this
+    /// trie's label kind, or are wildcards).
+    std::vector<uint32_t> Match(const PathQuery& path, bool use_pos) const;
+    size_t MemoryUsage() const;
+  };
+
+  KokoIndex() = default;
+
+  Quintuple RowToQuintuple(uint32_t row) const;
+  void ExportClosureTable(const Trie& trie, const std::string& table_name);
+  Status RebuildTrieFromClosure(const std::string& table_name, Trie* trie,
+                                int w_node_col);
+  void RebuildEntityCache();
+
+  Catalog catalog_;
+  Table* w_ = nullptr;  // W(word, x, y, u, v, d, plid, posid)
+  Table* e_ = nullptr;  // E(entity, x, u, v, etype)
+  Trie pl_trie_;
+  Trie pos_trie_;
+  std::vector<EntityPosting> all_entities_;
+  Stats stats_;
+};
+
+}  // namespace koko
+
+#endif  // KOKO_INDEX_KOKO_INDEX_H_

@@ -1,0 +1,105 @@
+#include "index/path.h"
+
+#include <algorithm>
+
+#include "regex/regex.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace koko {
+
+bool NodeConstraint::Matches(const Sentence& s, int tid) const {
+  const Token& tok = s.tokens[tid];
+  if (dep && tok.label != *dep) return false;
+  if (pos && tok.pos != *pos) return false;
+  if (word && tok.text != *word) return false;
+  if (etype && tok.etype != *etype) return false;
+  if (any_entity && tok.etype == EntityType::kNone) return false;
+  if (regex) {
+    auto re = Regex::Compile(*regex);
+    if (!re.ok() || !re->FullMatch(tok.text)) return false;
+  }
+  return true;
+}
+
+std::string NodeConstraint::ToString() const {
+  // Emits valid query syntax: the parse label (or a quoted word, or `*`)
+  // as the step label, everything else as bracketed conditions.
+  std::string label;
+  std::vector<std::string> conds;
+  if (dep) {
+    label = std::string(DepLabelName(*dep));
+    if (word) conds.push_back("text=\"" + *word + "\"");
+  } else if (word && !pos && !regex && !etype && !any_entity) {
+    return "\"" + *word + "\"";
+  } else {
+    label = "*";
+    if (word) conds.push_back("text=\"" + *word + "\"");
+  }
+  if (pos) conds.push_back("@pos=\"" + std::string(PosTagName(*pos)) + "\"");
+  if (regex) conds.push_back("@regex=\"" + *regex + "\"");
+  if (etype) conds.push_back("etype=\"" + std::string(EntityTypeName(*etype)) + "\"");
+  if (any_entity) conds.push_back("etype=\"Entity\"");
+  if (conds.empty()) return label;
+  return label + "[" + Join(conds, ", ") + "]";
+}
+
+std::string PathQuery::ToString() const {
+  std::string out;
+  for (const PathStep& step : steps) {
+    out += step.axis == PathStep::Axis::kChild ? "/" : "//";
+    out += step.constraint.ToString();
+  }
+  return out;
+}
+
+std::vector<int> MatchPathInSentence(const Sentence& s, const PathQuery& path) {
+  std::vector<int> result;
+  if (s.size() == 0 || path.empty()) return result;
+
+  // Node sets per step; -1 denotes the virtual node above the root.
+  std::vector<int> current = {-1};
+  std::vector<char> in_set(static_cast<size_t>(s.size()) + 1, 0);
+
+  auto children_of = [&](int node) -> std::vector<int> {
+    if (node == -1) return {s.root};
+    return s.children[node];
+  };
+
+  for (const PathStep& step : path.steps) {
+    std::vector<int> next;
+    std::fill(in_set.begin(), in_set.end(), 0);
+    auto add = [&](int t) {
+      if (!in_set[static_cast<size_t>(t) + 1]) {
+        in_set[static_cast<size_t>(t) + 1] = 1;
+        next.push_back(t);
+      }
+    };
+    for (int node : current) {
+      if (step.axis == PathStep::Axis::kChild) {
+        for (int child : children_of(node)) {
+          if (step.constraint.Matches(s, child)) add(child);
+        }
+      } else {
+        // Descendant axis: DFS below `node`.
+        std::vector<int> stack = children_of(node);
+        while (!stack.empty()) {
+          int t = stack.back();
+          stack.pop_back();
+          if (step.constraint.Matches(s, t)) add(t);
+          for (int child : s.children[t]) stack.push_back(child);
+        }
+      }
+    }
+    current = std::move(next);
+    if (current.empty()) return {};
+  }
+  std::sort(current.begin(), current.end());
+  return current;
+}
+
+bool SentenceHasPathMatch(const Sentence& s, const PathQuery& path) {
+  return !MatchPathInSentence(s, path).empty();
+}
+
+}  // namespace koko

@@ -1,0 +1,44 @@
+#ifndef KOKO_INDEX_PATH_LOOKUP_H_
+#define KOKO_INDEX_PATH_LOOKUP_H_
+
+#include "index/koko_index.h"
+#include "index/path.h"
+#include "index/posting.h"
+
+namespace koko {
+
+/// Result of a decomposed-path lookup against the KOKO multi-index.
+///
+/// The posting list is *complete* (every true binding of the path's last
+/// step appears) but may be unsound (§4.2.2 Discussion) — callers must
+/// validate. When no index could constrain the path (all-wildcard), the
+/// result is flagged `unconstrained` instead.
+struct PathLookupResult {
+  bool unconstrained = false;
+  /// Candidate quintuples. When `exact_last`, they refer to the path's
+  /// last step; otherwise they refer to the last *word* on the path (an
+  /// ancestor of the actual target), usable for sentence pruning only.
+  PostingList postings;
+  bool exact_last = true;
+};
+
+/// \brief Decompose-and-join lookup of one root-anchored path (§4.2).
+///
+/// The path is decomposed into a parse-label path, a POS-tag path, and a
+/// word path (Example 4.2). The PL/POS hierarchy indices are consulted
+/// (results P1, P2), the word index is consulted for each word with
+/// ancestor-descendant joins whose depth deltas are derived from the axes
+/// between consecutive words (Example 4.4), and the three results are
+/// joined on token identity / ancestorship exactly as §4.2.2 describes.
+PathLookupResult KokoPathLookup(const KokoIndex& index, const PathQuery& path);
+
+/// Extracts the parse-label / POS-tag projection of `path` (non-matching
+/// constraints become wildcards). Returns an empty optional when the
+/// projection is all-wildcard (no index lookup possible).
+PathQuery ProjectParseLabelPath(const PathQuery& path);
+PathQuery ProjectPosPath(const PathQuery& path);
+bool IsAllWildcard(const PathQuery& path);
+
+}  // namespace koko
+
+#endif  // KOKO_INDEX_PATH_LOOKUP_H_

@@ -1,0 +1,65 @@
+#ifndef KOKO_INDEX_POSTING_H_
+#define KOKO_INDEX_POSTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/annotations.h"
+
+namespace koko {
+
+/// \brief The paper's quintuple (x, y, u-v, d) — §3.1.
+///
+/// x = sentence id, y = token id, [u, v] = first/last token id of the
+/// subtree rooted at the token, d = depth of the token in the dependency
+/// tree (root depth 0).
+struct Quintuple {
+  uint32_t sid = 0;
+  uint32_t tid = 0;
+  uint32_t left = 0;
+  uint32_t right = 0;
+  uint32_t depth = 0;
+
+  friend bool operator==(const Quintuple& a, const Quintuple& b) {
+    return a.sid == b.sid && a.tid == b.tid && a.left == b.left &&
+           a.right == b.right && a.depth == b.depth;
+  }
+  friend bool operator<(const Quintuple& a, const Quintuple& b) {
+    if (a.sid != b.sid) return a.sid < b.sid;
+    return a.tid < b.tid;
+  }
+};
+
+/// True when `parent` is the tree parent of `child` — the §3.1 test
+/// tp.x = tc.x ∧ tp.u ≤ tc.u ∧ tp.v ≥ tc.v ∧ tp.d = tc.d − ... (child is
+/// one deeper).
+inline bool IsParentOf(const Quintuple& parent, const Quintuple& child) {
+  return parent.sid == child.sid && parent.left <= child.left &&
+         parent.right >= child.right && parent.depth + 1 == child.depth;
+}
+
+/// True when `anc` is a proper ancestor of `desc` (any depth gap >= 1).
+inline bool IsAncestorOf(const Quintuple& anc, const Quintuple& desc) {
+  return anc.sid == desc.sid && anc.left <= desc.left &&
+         anc.right >= desc.right && anc.depth < desc.depth &&
+         !(anc.tid == desc.tid);
+}
+
+/// The paper's entity triple (x, u-v) plus the entity type.
+struct EntityPosting {
+  uint32_t sid = 0;
+  uint32_t left = 0;
+  uint32_t right = 0;
+  EntityType type = EntityType::kOther;
+
+  friend bool operator==(const EntityPosting& a, const EntityPosting& b) {
+    return a.sid == b.sid && a.left == b.left && a.right == b.right &&
+           a.type == b.type;
+  }
+};
+
+using PostingList = std::vector<Quintuple>;
+
+}  // namespace koko
+
+#endif  // KOKO_INDEX_POSTING_H_

@@ -1,0 +1,118 @@
+#ifndef KOKO_KOKO_AST_H_
+#define KOKO_KOKO_AST_H_
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "index/path.h"
+#include "text/annotations.h"
+
+namespace koko {
+
+/// One output column of the extract clause: `e:Entity`, `d:Str`, `a:GPE`...
+struct OutputSpec {
+  std::string var;
+  std::string type_name;
+};
+
+/// Options attached to an elastic span `^` / `^[...]` (§2.1): zero or more
+/// tokens, optionally bounded, optionally constrained by a regex over the
+/// span text or an entity-type requirement.
+struct ElasticSpec {
+  int min_tokens = 0;
+  int max_tokens = std::numeric_limits<int>::max();
+  std::optional<std::string> regex;
+  std::optional<EntityType> etype;
+  bool any_entity = false;
+};
+
+/// One atom of a span term x = atom1 + atom2 + ... (§2.1).
+struct SpanAtom {
+  enum class Kind {
+    kVarRef,    // a previously defined variable
+    kSubtree,   // var.subtree
+    kPath,      // an inline path expression (anonymous node variable)
+    kLiteral,   // a quoted token sequence
+    kElastic,   // ^ or ^[...]
+  };
+  Kind kind = Kind::kVarRef;
+  std::string var;                     // kVarRef / kSubtree
+  PathQuery path;                      // kPath
+  std::vector<std::string> tokens;     // kLiteral (tokenised)
+  ElasticSpec elastic;                 // kElastic
+};
+
+/// A variable definition inside the /ROOT:{ ... } block.
+struct VarDef {
+  enum class Kind {
+    kNode,    // path expression (possibly relative to another variable)
+    kSpan,    // span term (sequence of atoms)
+    kEntity,  // `a = Entity` — binds to any entity mention
+  };
+  std::string name;
+  Kind kind = Kind::kNode;
+  /// kNode: the path steps; when `base_var` is non-empty the path is
+  /// relative to that variable's node.
+  PathQuery path;
+  std::string base_var;
+  /// kSpan:
+  std::vector<SpanAtom> atoms;
+  /// kEntity: optional type restriction.
+  std::optional<EntityType> etype;
+};
+
+/// A constraint between variables stated outside the block (§2.1) or
+/// derived during normalisation (§4.1).
+struct Constraint {
+  enum class Kind { kIn, kEq, kParentOf, kAncestorOf, kLeftOf };
+  Kind kind = Kind::kIn;
+  std::string a;
+  std::string b;
+};
+
+/// One condition of a satisfying / excluding clause (§2.2, §4.4.1).
+struct SatCondition {
+  enum class Kind {
+    kStrContains,      // str(x) contains "..."
+    kStrMentions,      // str(x) mentions "..."
+    kStrMatches,       // str(x) matches <regex>
+    kFollowedBy,       // x "..."        (x strictly followed by string)
+    kPrecededBy,       // "..." x
+    kNear,             // x near "..."   (score 1/(1+distance))
+    kDescriptorRight,  // x [[descriptor]]
+    kDescriptorLeft,   // [[descriptor]] x
+    kSimilarTo,        // x SimilarTo "..."  (also spelled `~`)
+    kInDict,           // str(x) in dict("Location")
+  };
+  Kind kind = Kind::kStrContains;
+  std::string var;
+  std::string text;     // string / pattern / descriptor / dictionary name
+  double weight = 1.0;
+};
+
+/// The satisfying clause of one output variable with its threshold (§2.2).
+struct SatisfyingClause {
+  std::string var;
+  std::vector<SatCondition> conditions;
+  double threshold = 0.0;
+};
+
+/// \brief A parsed KOKO query (§2):
+///
+///   extract <outputs> from <source> if ( [/ROOT:{defs}] constraints* )
+///   [satisfying <var> (cond) or (cond) ... with threshold t]...
+///   [excluding (cond) or (cond) ...]
+struct Query {
+  std::vector<OutputSpec> outputs;
+  std::string source;
+  std::vector<VarDef> defs;
+  std::vector<Constraint> constraints;
+  std::vector<SatisfyingClause> satisfying;
+  std::vector<SatCondition> excluding;
+};
+
+}  // namespace koko
+
+#endif  // KOKO_KOKO_AST_H_

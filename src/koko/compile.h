@@ -1,0 +1,81 @@
+#ifndef KOKO_KOKO_COMPILE_H_
+#define KOKO_KOKO_COMPILE_H_
+
+#include <string>
+#include <vector>
+
+#include "koko/ast.h"
+#include "util/status.h"
+
+namespace koko {
+
+/// A variable after normalisation (§4.1). Node variables carry an absolute
+/// path; span-term atoms (paths, literals, elastic spans) have been lifted
+/// into variables of their own so every atom of a horizontal condition is a
+/// variable, as in Example 4.1's v1/v2.
+struct CompiledVar {
+  enum class Kind { kNode, kEntity, kSpan, kElastic, kLiteral, kSubtree };
+  std::string name;
+  Kind kind = Kind::kNode;
+
+  // kNode:
+  PathQuery abs_path;
+  /// Index of the node variable whose path dominates this one (§4.2.1);
+  /// self-index when this variable's path is itself dominant.
+  int dominant = -1;
+
+  // kEntity:
+  std::optional<EntityType> etype;
+
+  // kSpan: indices of the atom variables, in order.
+  std::vector<int> atoms;
+
+  // kElastic:
+  ElasticSpec elastic;
+
+  // kLiteral:
+  std::vector<std::string> literal;
+
+  // kSubtree: index of the base node variable.
+  int base = -1;
+};
+
+/// A constraint with variable names resolved to indices.
+struct CompiledConstraint {
+  Constraint::Kind kind = Constraint::Kind::kIn;
+  int a = -1;
+  int b = -1;
+};
+
+/// \brief A normalised, executable query (output of §4.1's Normalize step).
+struct CompiledQuery {
+  std::vector<OutputSpec> outputs;
+  std::vector<int> output_vars;  // var index per output column
+  std::vector<CompiledVar> vars;
+  std::vector<CompiledConstraint> constraints;
+  /// Indices of span variables — each is one horizontal condition (§4.3).
+  std::vector<int> horizontal;
+  std::vector<SatisfyingClause> satisfying;
+  std::vector<SatCondition> excluding;
+
+  int VarIndex(const std::string& name) const {
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Node variables whose paths are dominant (deduplicated), §4.2.1.
+  std::vector<int> DominantPathVars() const;
+};
+
+/// Normalises a parsed query: resolves variable references, expands
+/// relative paths to absolute form, derives parentOf/ancestorOf/leftOf
+/// constraints (Example 4.1), lifts span atoms into variables, materialises
+/// implicitly-defined output variables (typed entities), and computes path
+/// dominance.
+Result<CompiledQuery> CompileQuery(const Query& query);
+
+}  // namespace koko
+
+#endif  // KOKO_KOKO_COMPILE_H_

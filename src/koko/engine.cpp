@@ -1,0 +1,742 @@
+#include "koko/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "index/path_lookup.h"
+#include "koko/parser.h"
+#include "regex/regex.h"
+#include "util/logging.h"
+
+namespace koko {
+
+namespace {
+
+// A variable binding within one sentence: the token span [begin, end]
+// (end < begin encodes an empty span) plus the tree node for node variables.
+struct Binding {
+  int begin = 0;
+  int end = -1;
+  int node = -1;
+
+  bool empty_span() const { return end < begin; }
+  int length() const { return end - begin + 1; }
+};
+
+std::string BindingText(const Sentence& s, const Binding& b) {
+  if (b.empty_span()) return "";
+  return s.SpanText(b.begin, b.end);
+}
+
+// ---- Per-sentence evaluation ------------------------------------------------
+
+class SentenceEvaluator {
+ public:
+  SentenceEvaluator(const CompiledQuery& cq, const Sentence& s,
+                    const EngineOptions& opts, PhaseStats* phases)
+      : cq_(cq), s_(s), opts_(opts), phases_(phases) {}
+
+  // Enumerates all assignments; invokes `emit` with the bindings vector.
+  // Returns false when the row limit was hit.
+  bool Run(const std::function<bool(const std::vector<Binding>&)>& emit) {
+    emit_ = &emit;
+    const size_t n = cq_.vars.size();
+    assign_.assign(n, Binding{});
+    assigned_.assign(n, 0);
+    if (!ComputeDomains()) return true;  // some variable has no bindings
+    ComputeSkipPlan();
+    return Step(0);
+  }
+
+ private:
+  using Kind = CompiledVar::Kind;
+
+  // Fills domains for enumerable variables; false when any is empty.
+  bool ComputeDomains() {
+    domains_.assign(cq_.vars.size(), {});
+    for (size_t i = 0; i < cq_.vars.size(); ++i) {
+      const CompiledVar& v = cq_.vars[i];
+      switch (v.kind) {
+        case Kind::kNode: {
+          for (int t : MatchPathInSentence(s_, v.abs_path)) {
+            domains_[i].push_back(Binding{t, t, t});
+          }
+          if (domains_[i].empty()) return false;
+          break;
+        }
+        case Kind::kEntity: {
+          for (const Entity& e : s_.entities) {
+            if (v.etype && e.type != *v.etype) continue;
+            domains_[i].push_back(Binding{e.begin, e.end, -1});
+          }
+          if (domains_[i].empty()) return false;
+          break;
+        }
+        case Kind::kLiteral: {
+          for (int pos : Occurrences(v.literal)) {
+            domains_[i].push_back(
+                Binding{pos, pos + static_cast<int>(v.literal.size()) - 1, -1});
+          }
+          if (domains_[i].empty()) return false;
+          break;
+        }
+        case Kind::kElastic:
+        case Kind::kSubtree:
+        case Kind::kSpan:
+          break;  // derived
+      }
+    }
+    return true;
+  }
+
+  std::vector<int> Occurrences(const std::vector<std::string>& needle) const {
+    std::vector<int> out;
+    const int n = s_.size();
+    const int m = static_cast<int>(needle.size());
+    for (int i = 0; i + m <= n; ++i) {
+      bool ok = true;
+      for (int j = 0; j < m; ++j) {
+        if (s_.tokens[i + j].text != needle[static_cast<size_t>(j)]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) out.push_back(i);
+    }
+    return out;
+  }
+
+  // Algorithm 2: per horizontal condition, greedily mark the costliest
+  // variables as skipped (derived from their neighbours' bindings) provided
+  // neither horizontal neighbour is already skipped.
+  void ComputeSkipPlan() {
+    ScopedPhase phase(phases_, "GSP");
+    skipped_.assign(cq_.vars.size(), 0);
+    if (!opts_.use_gsp) return;
+    const double t = static_cast<double>(s_.size());
+    for (int span_idx : cq_.horizontal) {
+      const std::vector<int>& atoms = cq_.vars[static_cast<size_t>(span_idx)].atoms;
+      std::vector<std::pair<double, int>> cost;  // (cost, position in atoms)
+      for (size_t pos = 0; pos < atoms.size(); ++pos) {
+        const CompiledVar& v = cq_.vars[static_cast<size_t>(atoms[pos])];
+        double c;
+        switch (v.kind) {
+          case Kind::kElastic:
+            c = t * (t + 1) / 2;
+            break;
+          case Kind::kSubtree:
+            c = static_cast<double>(
+                domains_[static_cast<size_t>(v.base)].size());
+            break;
+          case Kind::kSpan:
+            c = 1;
+            break;
+          default:
+            c = static_cast<double>(domains_[static_cast<size_t>(atoms[pos])].size());
+            break;
+        }
+        cost.push_back({c, static_cast<int>(pos)});
+      }
+      std::sort(cost.begin(), cost.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      std::vector<char> in_list(atoms.size(), 0);
+      for (const auto& [c, pos] : cost) {
+        bool left_ok = pos == 0 || !in_list[static_cast<size_t>(pos - 1)];
+        bool right_ok = pos + 1 >= static_cast<int>(atoms.size()) ||
+                        !in_list[static_cast<size_t>(pos + 1)];
+        if (left_ok && right_ok) in_list[static_cast<size_t>(pos)] = 1;
+      }
+      // Never skip everything: keep the cheapest atom enumerated.
+      bool all = true;
+      for (char c : in_list) all = all && c;
+      if (all && !atoms.empty()) in_list[static_cast<size_t>(cost.back().second)] = 0;
+      for (size_t pos = 0; pos < atoms.size(); ++pos) {
+        if (in_list[pos]) skipped_[static_cast<size_t>(atoms[pos])] = 1;
+      }
+    }
+  }
+
+  // Checks all constraints whose variables are both assigned.
+  bool ConstraintsOk() const {
+    for (const CompiledConstraint& c : cq_.constraints) {
+      if (!assigned_[static_cast<size_t>(c.a)] ||
+          !assigned_[static_cast<size_t>(c.b)]) {
+        continue;
+      }
+      const Binding& a = assign_[static_cast<size_t>(c.a)];
+      const Binding& b = assign_[static_cast<size_t>(c.b)];
+      switch (c.kind) {
+        case Constraint::Kind::kIn:
+          if (a.empty_span() || b.empty_span()) return false;
+          if (!(a.begin >= b.begin && a.end <= b.end)) return false;
+          break;
+        case Constraint::Kind::kEq:
+          if (!(a.begin == b.begin && a.end == b.end)) return false;
+          break;
+        case Constraint::Kind::kParentOf: {
+          if (a.node < 0 || b.node < 0) return false;
+          if (s_.tokens[b.node].head != a.node) return false;
+          break;
+        }
+        case Constraint::Kind::kAncestorOf: {
+          if (a.node < 0 || b.node < 0) return false;
+          if (!s_.IsAncestor(a.node, b.node)) return false;
+          break;
+        }
+        case Constraint::Kind::kLeftOf:
+          // Empty elastic spans sit "between" their neighbours; they never
+          // violate ordering.
+          if (a.empty_span() || b.empty_span()) break;
+          if (!(a.end < b.begin)) return false;
+          break;
+      }
+    }
+    return true;
+  }
+
+  bool Assign(size_t var, const Binding& b) {
+    assign_[var] = b;
+    assigned_[var] = 1;
+    return ConstraintsOk();
+  }
+  void Unassign(size_t var) { assigned_[var] = 0; }
+
+  // Recursive enumeration over variables in index order.
+  bool Step(size_t var) {
+    if (var == cq_.vars.size()) return (*emit_)(assign_);
+    const CompiledVar& v = cq_.vars[var];
+    switch (v.kind) {
+      case Kind::kNode:
+      case Kind::kEntity:
+      case Kind::kLiteral: {
+        if (skipped_[var]) {
+          // Derived later during span alignment.
+          return Step(var + 1);
+        }
+        for (const Binding& b : domains_[var]) {
+          if (!Assign(var, b)) {
+            Unassign(var);
+            continue;
+          }
+          if (!Step(var + 1)) return false;
+          Unassign(var);
+        }
+        return true;
+      }
+      case Kind::kElastic: {
+        if (skipped_[var] || opts_.use_gsp) {
+          // With GSP, elastic atoms are (almost) always derived; an
+          // unskipped elastic under GSP is still aligned lazily.
+          return Step(var + 1);
+        }
+        // NOGSP: naive enumeration of every possible span.
+        const int n = s_.size();
+        int min_len = v.elastic.min_tokens;
+        int max_len = std::min(v.elastic.max_tokens, n);
+        for (int begin = 0; begin < n; ++begin) {
+          for (int len = min_len; len <= max_len && begin + len <= n; ++len) {
+            Binding b{begin, begin + len - 1, -1};
+            if (!ElasticOk(v.elastic, b)) continue;
+            if (!Assign(var, b)) {
+              Unassign(var);
+              continue;
+            }
+            if (!Step(var + 1)) return false;
+            Unassign(var);
+          }
+        }
+        return true;
+      }
+      case Kind::kSubtree: {
+        const Binding& base = assign_[static_cast<size_t>(v.base)];
+        if (!assigned_[static_cast<size_t>(v.base)] || base.node < 0) {
+          return true;  // base missing: no bindings
+        }
+        Binding b{s_.subtree_left[base.node], s_.subtree_right[base.node],
+                  base.node};
+        if (!Assign(var, b)) {
+          Unassign(var);
+          return true;
+        }
+        bool cont = Step(var + 1);
+        Unassign(var);
+        return cont;
+      }
+      case Kind::kSpan:
+        return AlignSpan(var);
+    }
+    return true;
+  }
+
+  bool ElasticOk(const ElasticSpec& spec, const Binding& b) const {
+    int len = b.empty_span() ? 0 : b.length();
+    if (len < spec.min_tokens || len > spec.max_tokens) return false;
+    if (spec.etype || spec.any_entity) {
+      bool found = false;
+      for (const Entity& e : s_.entities) {
+        if (e.begin == b.begin && e.end == b.end &&
+            (spec.any_entity || e.type == *spec.etype)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    if (spec.regex) {
+      auto re = Regex::Compile(*spec.regex);
+      if (!re.ok()) return false;
+      if (!re->FullMatch(BindingText(s_, b))) return false;
+    }
+    return true;
+  }
+
+  // Aligns the atoms of span variable `var`: anchors (already assigned
+  // atoms) fix positions; deferred runs (skipped or GSP-lazy atoms) are
+  // fitted into the gaps between anchors.
+  bool AlignSpan(size_t var) {
+    const CompiledVar& v = cq_.vars[var];
+    const std::vector<int>& atoms = v.atoms;
+    return AlignFrom(var, atoms, 0, /*cursor=*/-1, /*span_begin=*/-1);
+  }
+
+  // cursor = first token position the next atom must start at (-1 while no
+  // anchor has been placed yet). span_begin = begin of the whole span (-1
+  // until known).
+  bool AlignFrom(size_t var, const std::vector<int>& atoms, size_t pos, int cursor,
+                 int span_begin) {
+    if (pos == atoms.size()) {
+      const CompiledVar& v = cq_.vars[var];
+      (void)v;
+      int span_end = cursor - 1;
+      if (span_begin < 0) return true;  // nothing anchored: vacuous
+      Binding b{span_begin, span_end, -1};
+      if (!Assign(var, b)) {
+        Unassign(var);
+        return true;
+      }
+      bool cont = Step(var + 1);
+      Unassign(var);
+      return cont;
+    }
+    size_t atom_var = static_cast<size_t>(atoms[pos]);
+    const bool deferred = !assigned_[atom_var];
+
+    if (!deferred) {
+      const Binding& b = assign_[atom_var];
+      if (cursor >= 0 && b.begin != cursor) return true;  // misaligned
+      int begin = b.empty_span() ? cursor : b.begin;
+      if (begin < 0) begin = 0;
+      int next_cursor = b.empty_span() ? (cursor < 0 ? b.begin : cursor)
+                                       : b.end + 1;
+      // An assigned empty-span atom (possible for derived elastics reused
+      // across conditions) just passes the cursor through.
+      if (cursor < 0 && !b.empty_span()) {
+        return AlignFrom(var, atoms, pos + 1, b.end + 1, b.begin);
+      }
+      return AlignFrom(var, atoms, pos + 1, next_cursor,
+                       span_begin < 0 ? begin : span_begin);
+    }
+
+    // Deferred atom: find the run of consecutive deferred atoms, then the
+    // next anchor (or end of atom list).
+    size_t run_end = pos;
+    while (run_end < atoms.size() && !assigned_[static_cast<size_t>(atoms[run_end])]) {
+      ++run_end;
+    }
+    // Minimal token length the deferred run [pos, run_end) must occupy:
+    // literals are fixed-size, elastics contribute their min_tokens.
+    int required = 0;
+    for (size_t i = pos; i < run_end; ++i) {
+      const CompiledVar& rv = cq_.vars[static_cast<size_t>(atoms[i])];
+      if (rv.kind == Kind::kLiteral) {
+        required += static_cast<int>(rv.literal.size());
+      } else if (rv.kind == Kind::kElastic) {
+        required += rv.elastic.min_tokens;
+      } else {
+        required += 1;
+      }
+    }
+    if (run_end == atoms.size()) {
+      // Trailing deferred run: occupies exactly its minimal extent after
+      // the cursor (minimal-span semantics for unanchored elastics).
+      if (cursor < 0) {
+        // Whole condition deferred — cannot anchor; enumerate first atom.
+        return EnumerateDeferred(var, atoms, pos, cursor, span_begin);
+      }
+      if (cursor + required > s_.size()) return true;
+      return FitRun(var, atoms, pos, run_end, cursor, cursor + required - 1,
+                    cursor + required, span_begin);
+    }
+    size_t anchor_var = static_cast<size_t>(atoms[run_end]);
+    const Binding& anchor = assign_[anchor_var];
+    if (cursor < 0) {
+      // Leading deferred run: ends right before the anchor and occupies
+      // exactly its minimal extent.
+      int lo = anchor.begin - required;
+      if (lo < 0) return true;
+      return FitRun(var, atoms, pos, run_end, lo, anchor.begin - 1,
+                    anchor.begin, lo);
+    }
+    if (anchor.begin < cursor) return true;  // anchor behind cursor
+    return FitRun(var, atoms, pos, run_end, cursor, anchor.begin - 1, anchor.begin,
+                  span_begin);
+  }
+
+  // Fits deferred atoms [pos, run_end) into the token gap [lo, hi]
+  // (hi < lo for an empty gap), then continues from the anchor at run_end
+  // with the cursor at `resume_cursor`.
+  bool FitRun(size_t var, const std::vector<int>& atoms, size_t pos, size_t run_end,
+              int lo, int hi, int resume_cursor, int span_begin) {
+    if (pos == run_end) {
+      if (lo <= hi) return true;  // gap not fully consumed
+      return AlignFrom(var, atoms, run_end, resume_cursor,
+                       span_begin < 0 ? lo : span_begin);
+    }
+    size_t atom_var = static_cast<size_t>(atoms[pos]);
+    const CompiledVar& av = cq_.vars[atom_var];
+    const int gap_len = hi - lo + 1;
+    switch (av.kind) {
+      case Kind::kLiteral: {
+        int len = static_cast<int>(av.literal.size());
+        if (len > gap_len) return true;
+        for (int j = 0; j < len; ++j) {
+          if (s_.tokens[lo + j].text != av.literal[static_cast<size_t>(j)]) {
+            return true;
+          }
+        }
+        Binding b{lo, lo + len - 1, -1};
+        if (!Assign(atom_var, b)) {
+          Unassign(atom_var);
+          return true;
+        }
+        bool cont = FitRun(var, atoms, pos + 1, run_end, lo + len, hi,
+                           resume_cursor, span_begin);
+        Unassign(atom_var);
+        return cont;
+      }
+      case Kind::kElastic: {
+        // Try every feasible length (usually the remaining atoms pin it).
+        int max_len = std::min(av.elastic.max_tokens, gap_len);
+        for (int len = av.elastic.min_tokens; len <= max_len; ++len) {
+          Binding b{lo, lo + len - 1, -1};
+          if (!ElasticOk(av.elastic, b)) continue;
+          if (!Assign(atom_var, b)) {
+            Unassign(atom_var);
+            continue;
+          }
+          bool cont = FitRun(var, atoms, pos + 1, run_end, lo + len, hi,
+                             resume_cursor, span_begin);
+          Unassign(atom_var);
+          if (!cont) return false;
+        }
+        return true;
+      }
+      case Kind::kNode: {
+        if (gap_len < 1) return true;
+        // The gap's first token must be a binding of this node variable.
+        for (const Binding& b : domains_[atom_var]) {
+          if (b.begin != lo || b.end != lo) continue;
+          if (!Assign(atom_var, b)) {
+            Unassign(atom_var);
+            continue;
+          }
+          bool cont = FitRun(var, atoms, pos + 1, run_end, lo + 1, hi,
+                             resume_cursor, span_begin);
+          Unassign(atom_var);
+          if (!cont) return false;
+        }
+        return true;
+      }
+      case Kind::kEntity: {
+        for (const Binding& b : domains_[atom_var]) {
+          if (b.begin != lo || b.end > hi) continue;
+          if (!Assign(atom_var, b)) {
+            Unassign(atom_var);
+            continue;
+          }
+          bool cont = FitRun(var, atoms, pos + 1, run_end, b.end + 1, hi,
+                             resume_cursor, span_begin);
+          Unassign(atom_var);
+          if (!cont) return false;
+        }
+        return true;
+      }
+      default:
+        // Subtree/span atoms are always assigned before alignment.
+        return true;
+    }
+  }
+
+  // Fallback when an entire condition is deferred (single-atom elastic
+  // spans): enumerate the first atom explicitly.
+  bool EnumerateDeferred(size_t var, const std::vector<int>& atoms, size_t pos,
+                         int cursor, int span_begin) {
+    (void)cursor;
+    (void)span_begin;
+    size_t atom_var = static_cast<size_t>(atoms[pos]);
+    const CompiledVar& av = cq_.vars[atom_var];
+    if (av.kind != Kind::kElastic) return true;
+    const int n = s_.size();
+    int max_len = std::min(av.elastic.max_tokens, n);
+    for (int begin = 0; begin < n; ++begin) {
+      for (int len = av.elastic.min_tokens; len <= max_len && begin + len <= n;
+           ++len) {
+        Binding b{begin, begin + len - 1, -1};
+        if (!ElasticOk(av.elastic, b)) continue;
+        if (!Assign(atom_var, b)) {
+          Unassign(atom_var);
+          continue;
+        }
+        bool cont = AlignFrom(var, atoms, pos, b.begin, b.begin);
+        Unassign(atom_var);
+        if (!cont) return false;
+      }
+    }
+    return true;
+  }
+
+  const CompiledQuery& cq_;
+  const Sentence& s_;
+  const EngineOptions& opts_;
+  PhaseStats* phases_;
+  const std::function<bool(const std::vector<Binding>&)>* emit_ = nullptr;
+  std::vector<std::vector<Binding>> domains_;
+  std::vector<Binding> assign_;
+  std::vector<char> assigned_;
+  std::vector<char> skipped_;
+};
+
+}  // namespace
+
+// ---- Engine ------------------------------------------------------------------
+
+Engine::Engine(const AnnotatedCorpus* corpus, const KokoIndex* index,
+               const EmbeddingModel* embeddings, const EntityRecognizer* recognizer)
+    : corpus_(corpus),
+      index_(index),
+      embeddings_(embeddings),
+      recognizer_(recognizer) {}
+
+Result<QueryResult> Engine::ExecuteText(std::string_view query_text,
+                                        const EngineOptions& options) const {
+  auto query = ParseQuery(query_text);
+  if (!query.ok()) return query.status();
+  return Execute(*query, options);
+}
+
+Result<QueryResult> Engine::Execute(const Query& query,
+                                    const EngineOptions& options) const {
+  QueryResult result;
+  CompiledQuery cq;
+  {
+    ScopedPhase phase(&result.phases, "Normalize");
+    auto compiled = CompileQuery(query);
+    if (!compiled.ok()) return compiled.status();
+    cq = std::move(*compiled);
+  }
+  auto final_result = ExecuteCompiled(cq, options);
+  if (!final_result.ok()) return final_result.status();
+  final_result->phases.Add("Normalize", result.phases.Get("Normalize"));
+  return final_result;
+}
+
+Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
+                                            const EngineOptions& options) const {
+  QueryResult result;
+  for (const OutputSpec& spec : cq.outputs) result.output_names.push_back(spec.var);
+
+  // Variables whose values rows must carry: outputs + satisfying/excluding.
+  std::vector<int> tracked = cq.output_vars;
+  auto track = [&](const std::string& name) {
+    int idx = cq.VarIndex(name);
+    KOKO_CHECK(idx >= 0);
+    for (int t : tracked) {
+      if (t == idx) return;
+    }
+    tracked.push_back(idx);
+  };
+  for (const auto& clause : cq.satisfying) track(clause.var);
+  for (const auto& cond : cq.excluding) track(cond.var);
+
+  // ---- DPLI: prune to candidate sentences (Algorithm 1) ----
+  std::vector<uint32_t> candidates;
+  {
+    ScopedPhase phase(&result.phases, "DPLI");
+    bool pruned = false;
+    bool empty_answer = false;
+    std::vector<std::unordered_set<uint32_t>> sets;
+    if (options.use_index) {
+      for (int dom : cq.DominantPathVars()) {
+        PathLookupResult lookup =
+            KokoPathLookup(*index_, cq.vars[static_cast<size_t>(dom)].abs_path);
+        if (lookup.unconstrained) continue;
+        std::unordered_set<uint32_t> sids;
+        for (const Quintuple& q : lookup.postings) sids.insert(q.sid);
+        if (sids.empty()) empty_answer = true;
+        sets.push_back(std::move(sids));
+        pruned = true;
+      }
+      for (const CompiledVar& v : cq.vars) {
+        if (v.kind == CompiledVar::Kind::kEntity) {
+          std::unordered_set<uint32_t> sids;
+          for (const EntityPosting& e : index_->AllEntities()) {
+            if (!v.etype || e.type == *v.etype) sids.insert(e.sid);
+          }
+          sets.push_back(std::move(sids));
+          pruned = true;
+        } else if (v.kind == CompiledVar::Kind::kLiteral) {
+          std::unordered_set<uint32_t> sids;
+          bool first = true;
+          for (const std::string& word : v.literal) {
+            std::unordered_set<uint32_t> word_sids;
+            for (const Quintuple& q : index_->LookupWord(word)) {
+              word_sids.insert(q.sid);
+            }
+            if (first) {
+              sids = std::move(word_sids);
+              first = false;
+            } else {
+              std::unordered_set<uint32_t> merged;
+              for (uint32_t sid : sids) {
+                if (word_sids.count(sid) > 0) merged.insert(sid);
+              }
+              sids = std::move(merged);
+            }
+          }
+          sets.push_back(std::move(sids));
+          pruned = true;
+        }
+      }
+    }
+    if (empty_answer) {
+      result.candidate_sentences = 0;
+      return result;
+    }
+    if (!pruned) {
+      candidates.resize(corpus_->NumSentences());
+      for (uint32_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
+    } else {
+      // Intersect all sets.
+      std::unordered_set<uint32_t> current = std::move(sets[0]);
+      for (size_t i = 1; i < sets.size(); ++i) {
+        std::unordered_set<uint32_t> merged;
+        for (uint32_t sid : current) {
+          if (sets[i].count(sid) > 0) merged.insert(sid);
+        }
+        current = std::move(merged);
+      }
+      candidates.assign(current.begin(), current.end());
+      std::sort(candidates.begin(), candidates.end());
+    }
+  }
+  result.candidate_sentences = candidates.size();
+
+  // ---- LoadArticle: materialise candidate documents ----
+  std::map<uint32_t, Document> loaded;
+  {
+    ScopedPhase phase(&result.phases, "LoadArticle");
+    std::set<uint32_t> doc_ids;
+    for (uint32_t sid : candidates) doc_ids.insert(corpus_->refs[sid].doc);
+    for (uint32_t doc : doc_ids) {
+      loaded.emplace(doc, store_ != nullptr ? store_->LoadDocument(doc)
+                                            : corpus_->docs[doc]);
+    }
+  }
+
+  // ---- GSP + extract: per-sentence evaluation ----
+  struct PendingRow {
+    uint32_t doc;
+    uint32_t sid;
+    std::vector<std::string> tracked_values;
+  };
+  std::vector<PendingRow> pending;
+  {
+    ScopedPhase phase(&result.phases, "extract");
+    for (uint32_t sid : candidates) {
+      const SentenceRef& ref = corpus_->refs[sid];
+      const Sentence& s = loaded.at(ref.doc).sentences[ref.sent];
+      std::set<std::vector<std::string>> seen;  // dedup per sentence
+      SentenceEvaluator evaluator(cq, s, options, &result.phases);
+      bool keep_going =
+          evaluator.Run([&](const std::vector<Binding>& assignment) {
+            std::vector<std::string> values;
+            values.reserve(tracked.size());
+            for (int var : tracked) {
+              values.push_back(BindingText(s, assignment[static_cast<size_t>(var)]));
+            }
+            if (!seen.insert(values).second) return true;
+            pending.push_back({ref.doc, sid, std::move(values)});
+            return pending.size() < options.max_rows;
+          });
+      if (!keep_going) break;
+    }
+  }
+
+  // ---- Aggregate: satisfying / excluding over whole documents ----
+  {
+    ScopedPhase phase(&result.phases, "satisfying");
+    Aggregator::Options agg_options;
+    agg_options.use_descriptors = options.use_descriptors;
+    Aggregator aggregator(embeddings_, recognizer_, agg_options);
+    for (const auto& set : ontology_sets_) aggregator.AddOntologySet(set);
+
+    // Score cache: (doc, clause index, value) -> score.
+    std::map<std::tuple<uint32_t, size_t, std::string>, double> cache;
+    auto score_of = [&](uint32_t doc, size_t clause_idx,
+                        const std::string& value) {
+      auto key = std::make_tuple(doc, clause_idx, value);
+      auto it = cache.find(key);
+      if (it != cache.end()) return it->second;
+      double s = aggregator.Score(loaded.at(doc), value,
+                                  cq.satisfying[clause_idx]);
+      cache.emplace(std::move(key), s);
+      return s;
+    };
+
+    auto tracked_pos = [&](const std::string& name) {
+      int idx = cq.VarIndex(name);
+      for (size_t i = 0; i < tracked.size(); ++i) {
+        if (tracked[i] == idx) return i;
+      }
+      KOKO_CHECK(false);
+      return size_t{0};
+    };
+
+    for (PendingRow& row : pending) {
+      bool keep = true;
+      std::vector<double> scores;
+      for (size_t ci = 0; ci < cq.satisfying.size(); ++ci) {
+        const std::string& value = row.tracked_values[tracked_pos(cq.satisfying[ci].var)];
+        double s = score_of(row.doc, ci, value);
+        scores.push_back(s);
+        if (s < cq.satisfying[ci].threshold) {
+          keep = false;
+          break;
+        }
+      }
+      if (!keep) continue;
+      for (const SatCondition& cond : cq.excluding) {
+        const std::string& value = row.tracked_values[tracked_pos(cond.var)];
+        if (aggregator.Excluded(loaded.at(row.doc), value, cond)) {
+          keep = false;
+          break;
+        }
+      }
+      if (!keep) continue;
+      ResultRow out;
+      out.doc = row.doc;
+      out.sid = row.sid;
+      out.values.assign(row.tracked_values.begin(),
+                        row.tracked_values.begin() +
+                            static_cast<long>(cq.output_vars.size()));
+      out.scores = std::move(scores);
+      result.rows.push_back(std::move(out));
+    }
+  }
+  return result;
+}
+
+}  // namespace koko

@@ -1,0 +1,97 @@
+#ifndef KOKO_KOKO_ENGINE_H_
+#define KOKO_KOKO_ENGINE_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "embed/embedding.h"
+#include "index/koko_index.h"
+#include "koko/aggregate.h"
+#include "koko/ast.h"
+#include "koko/compile.h"
+#include "ner/entity_recognizer.h"
+#include "storage/doc_store.h"
+#include "text/document.h"
+#include "util/timer.h"
+
+namespace koko {
+
+/// One result tuple. `values` holds one string per output column;
+/// `scores` holds the aggregated evidence score per satisfying clause
+/// (empty when the query has none).
+struct ResultRow {
+  uint32_t doc = 0;
+  uint32_t sid = 0;
+  std::vector<std::string> values;
+  std::vector<double> scores;
+};
+
+struct QueryResult {
+  std::vector<std::string> output_names;
+  std::vector<ResultRow> rows;
+  /// Wall time per phase: Normalize, DPLI, LoadArticle, GSP, extract,
+  /// satisfying — the Table 2 breakdown.
+  PhaseStats phases;
+  size_t candidate_sentences = 0;
+};
+
+struct EngineOptions {
+  /// Generate skip plans (§4.3). When false the evaluator runs the naive
+  /// nested-loop strategy over every variable including elastic spans —
+  /// the KOKO&NOGSP baseline of Table 1.
+  bool use_gsp = true;
+  /// Use the multi-index for sentence pruning. When false every sentence
+  /// is considered (reference evaluator for correctness tests).
+  bool use_index = true;
+  /// Expand descriptors (§4.4.1(a)). When false descriptor conditions
+  /// score zero — the Figure 5 ablation.
+  bool use_descriptors = true;
+  /// Safety valve for adversarial queries.
+  size_t max_rows = std::numeric_limits<size_t>::max();
+};
+
+/// \brief The KOKO query evaluation engine (Figure 2).
+///
+/// Executes a query in four phases: Normalize (CompileQuery), Decompose
+/// Paths & Lookup Indices (Algorithm 1), Generate Skip Plan + extract
+/// (Algorithm 2 per relevant sentence), and Aggregate (satisfying /
+/// excluding clauses over whole documents).
+class Engine {
+ public:
+  /// All pointers are borrowed and must outlive the engine.
+  Engine(const AnnotatedCorpus* corpus, const KokoIndex* index,
+         const EmbeddingModel* embeddings, const EntityRecognizer* recognizer);
+
+  /// Optional: serve LoadArticle from a serialized document store (paying
+  /// per-article deserialisation, as the paper's DBMS-backed engine does).
+  void set_document_store(const DocumentStore* store) { store_ = store; }
+
+  /// Registers a domain ontology set used by descriptor expansion.
+  void AddOntologySet(const std::vector<std::string>& related) {
+    ontology_sets_.push_back(related);
+  }
+
+  /// Parses, compiles and executes KOKO query text.
+  Result<QueryResult> ExecuteText(std::string_view query_text,
+                                  const EngineOptions& options) const;
+  Result<QueryResult> ExecuteText(std::string_view query_text) const {
+    return ExecuteText(query_text, EngineOptions());
+  }
+
+  Result<QueryResult> Execute(const Query& query, const EngineOptions& options) const;
+  Result<QueryResult> ExecuteCompiled(const CompiledQuery& query,
+                                      const EngineOptions& options) const;
+
+ private:
+  const AnnotatedCorpus* corpus_;
+  const KokoIndex* index_;
+  const EmbeddingModel* embeddings_;
+  const EntityRecognizer* recognizer_;
+  const DocumentStore* store_ = nullptr;
+  std::vector<std::vector<std::string>> ontology_sets_;
+};
+
+}  // namespace koko
+
+#endif  // KOKO_KOKO_ENGINE_H_

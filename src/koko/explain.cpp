@@ -1,0 +1,71 @@
+#include "koko/explain.h"
+
+#include "util/string_util.h"
+
+namespace koko {
+
+std::string SatConditionToString(const SatCondition& cond) {
+  switch (cond.kind) {
+    case SatCondition::Kind::kStrContains:
+      return "str(" + cond.var + ") contains \"" + cond.text + "\"";
+    case SatCondition::Kind::kStrMentions:
+      return "str(" + cond.var + ") mentions \"" + cond.text + "\"";
+    case SatCondition::Kind::kStrMatches:
+      return "str(" + cond.var + ") matches \"" + cond.text + "\"";
+    case SatCondition::Kind::kFollowedBy:
+      return cond.var + " \"" + cond.text + "\"";
+    case SatCondition::Kind::kPrecededBy:
+      return "\"" + cond.text + "\" " + cond.var;
+    case SatCondition::Kind::kNear:
+      return cond.var + " near \"" + cond.text + "\"";
+    case SatCondition::Kind::kDescriptorRight:
+      return cond.var + " [[\"" + cond.text + "\"]]";
+    case SatCondition::Kind::kDescriptorLeft:
+      return "[[\"" + cond.text + "\"]] " + cond.var;
+    case SatCondition::Kind::kSimilarTo:
+      return cond.var + " SimilarTo \"" + cond.text + "\"";
+    case SatCondition::Kind::kInDict:
+      return "str(" + cond.var + ") in dict(\"" + cond.text + "\")";
+  }
+  return "?";
+}
+
+std::string ClauseExplanation::ToString() const {
+  std::string out = "satisfying " + var + " for value \"" + value + "\": score " +
+                    FormatDouble(score, 3) + (passed ? " >= " : " < ") +
+                    FormatDouble(threshold, 3) + " -> " +
+                    (passed ? "PASS" : "FAIL") + "\n";
+  for (const ConditionExplanation& c : conditions) {
+    out += "  " + FormatDouble(c.contribution, 3) + " = " +
+           FormatDouble(c.condition.weight, 2) + " * " +
+           FormatDouble(c.confidence, 3) + "  (" +
+           SatConditionToString(c.condition) + ")\n";
+  }
+  return out;
+}
+
+Explainer::Explainer(const EmbeddingModel* model,
+                     const EntityRecognizer* recognizer, bool use_descriptors)
+    : aggregator_(model, recognizer,
+                  Aggregator::Options{.use_descriptors = use_descriptors}) {}
+
+ClauseExplanation Explainer::Explain(const Document& doc,
+                                     const std::string& value,
+                                     const SatisfyingClause& clause) const {
+  ClauseExplanation out;
+  out.var = clause.var;
+  out.value = value;
+  out.threshold = clause.threshold;
+  for (const SatCondition& cond : clause.conditions) {
+    ConditionExplanation ce;
+    ce.condition = cond;
+    ce.confidence = aggregator_.ConditionScore(doc, value, cond);
+    ce.contribution = cond.weight * ce.confidence;
+    out.score += ce.contribution;
+    out.conditions.push_back(std::move(ce));
+  }
+  out.passed = out.score >= clause.threshold;
+  return out;
+}
+
+}  // namespace koko

@@ -1,0 +1,60 @@
+#ifndef KOKO_KOKO_EXPLAIN_H_
+#define KOKO_KOKO_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "embed/embedding.h"
+#include "koko/aggregate.h"
+#include "koko/ast.h"
+#include "ner/entity_recognizer.h"
+#include "text/document.h"
+
+namespace koko {
+
+/// Per-condition contribution to one satisfying-clause score.
+struct ConditionExplanation {
+  SatCondition condition;
+  double confidence = 0;  // m_i(e)
+  double contribution = 0;  // w_i * m_i(e)
+};
+
+/// Why a value passed (or failed) a satisfying clause.
+struct ClauseExplanation {
+  std::string var;
+  std::string value;
+  double threshold = 0;
+  double score = 0;
+  bool passed = false;
+  std::vector<ConditionExplanation> conditions;
+
+  /// Human-readable rendering (one line per condition).
+  std::string ToString() const;
+};
+
+/// \brief Extraction debuggability (§5: rule-based systems are
+/// explainable; "users can discover the reasons that led to an
+/// extraction").
+///
+/// Recomputes the per-condition confidence breakdown of a value against a
+/// document so a user can see exactly which evidence sentences/conditions
+/// produced (or blocked) an extraction.
+class Explainer {
+ public:
+  Explainer(const EmbeddingModel* model, const EntityRecognizer* recognizer,
+            bool use_descriptors = true);
+
+  ClauseExplanation Explain(const Document& doc, const std::string& value,
+                            const SatisfyingClause& clause) const;
+
+ private:
+  Aggregator aggregator_;
+};
+
+/// Renders a SatCondition back to (approximately) its query syntax; shared
+/// by the explainer and the query printer.
+std::string SatConditionToString(const SatCondition& cond);
+
+}  // namespace koko
+
+#endif  // KOKO_KOKO_EXPLAIN_H_

@@ -1,0 +1,128 @@
+#include "koko/lexer.h"
+
+#include "util/string_util.h"
+
+namespace koko {
+
+Result<std::vector<QToken>> LexQuery(std::string_view text) {
+  std::vector<QToken> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto push = [&](QTokenKind kind, std::string t, size_t off) {
+    QToken tok;
+    tok.kind = kind;
+    tok.text = std::move(t);
+    tok.offset = off;
+    tokens.push_back(std::move(tok));
+  };
+  while (i < n) {
+    char c = text[i];
+    if (IsAsciiSpace(c)) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (c == '"') {
+      ++i;
+      std::string value;
+      while (i < n && text[i] != '"') {
+        if (text[i] == '\\' && i + 1 < n) {
+          value.push_back(text[i + 1]);
+          i += 2;
+        } else {
+          value.push_back(text[i]);
+          ++i;
+        }
+      }
+      if (i >= n) {
+        return Status::ParseError("unterminated string at offset " +
+                                  std::to_string(start));
+      }
+      ++i;  // closing quote
+      push(QTokenKind::kString, std::move(value), start);
+      continue;
+    }
+    if (IsAsciiDigit(c) ||
+        (c == '.' && i + 1 < n && IsAsciiDigit(text[i + 1]))) {
+      size_t j = i;
+      while (j < n && (IsAsciiDigit(text[j]) || text[j] == '.')) ++j;
+      std::string num(text.substr(i, j - i));
+      QToken tok;
+      tok.kind = QTokenKind::kNumber;
+      tok.text = num;
+      tok.number = std::stod(num);
+      tok.offset = start;
+      tokens.push_back(std::move(tok));
+      i = j;
+      continue;
+    }
+    if (IsAsciiAlpha(c) || c == '_') {
+      size_t j = i;
+      while (j < n && (IsAsciiAlnum(text[j]) || text[j] == '_')) ++j;
+      push(QTokenKind::kIdent, std::string(text.substr(i, j - i)), start);
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '(': push(QTokenKind::kLParen, "(", start); ++i; break;
+      case ')': push(QTokenKind::kRParen, ")", start); ++i; break;
+      case '{': push(QTokenKind::kLBrace, "{", start); ++i; break;
+      case '}': push(QTokenKind::kRBrace, "}", start); ++i; break;
+      case '[':
+        if (i + 1 < n && text[i + 1] == '[') {
+          push(QTokenKind::kLLBracket, "[[", start);
+          i += 2;
+        } else {
+          push(QTokenKind::kLBracket, "[", start);
+          ++i;
+        }
+        break;
+      case ']':
+        if (i + 1 < n && text[i + 1] == ']') {
+          push(QTokenKind::kRRBracket, "]]", start);
+          i += 2;
+        } else {
+          push(QTokenKind::kRBracket, "]", start);
+          ++i;
+        }
+        break;
+      case ',': push(QTokenKind::kComma, ",", start); ++i; break;
+      case ':': push(QTokenKind::kColon, ":", start); ++i; break;
+      case '=': push(QTokenKind::kEquals, "=", start); ++i; break;
+      case '+': push(QTokenKind::kPlus, "+", start); ++i; break;
+      case '.': push(QTokenKind::kDot, ".", start); ++i; break;
+      case '^': push(QTokenKind::kCaret, "^", start); ++i; break;
+      case '*': push(QTokenKind::kStar, "*", start); ++i; break;
+      case '@': push(QTokenKind::kAt, "@", start); ++i; break;
+      case '~': push(QTokenKind::kTilde, "~", start); ++i; break;
+      case '/':
+        if (i + 1 < n && text[i + 1] == '/') {
+          push(QTokenKind::kSlashSlash, "//", start);
+          i += 2;
+        } else {
+          push(QTokenKind::kSlash, "/", start);
+          ++i;
+        }
+        break;
+      default: {
+        // Accept the UTF-8 wedge '∧' (E2 88 A7) as an elastic span marker.
+        if (static_cast<unsigned char>(c) == 0xE2 && i + 2 < n &&
+            static_cast<unsigned char>(text[i + 1]) == 0x88 &&
+            static_cast<unsigned char>(text[i + 2]) == 0xA7) {
+          push(QTokenKind::kCaret, "^", start);
+          i += 3;
+          break;
+        }
+        return Status::ParseError("unexpected character '" + std::string(1, c) +
+                                  "' at offset " + std::to_string(start));
+      }
+    }
+  }
+  QToken end;
+  end.kind = QTokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace koko

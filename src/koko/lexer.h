@@ -1,0 +1,53 @@
+#ifndef KOKO_KOKO_LEXER_H_
+#define KOKO_KOKO_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace koko {
+
+/// Token kinds of the KOKO query language.
+enum class QTokenKind {
+  kIdent,     // extract, satisfying, variable names, labels, ...
+  kString,    // "..."
+  kNumber,    // 0.8, 1, 17
+  kLParen,    // (
+  kRParen,    // )
+  kLBrace,    // {
+  kRBrace,    // }
+  kLBracket,  // [
+  kRBracket,  // ]
+  kLLBracket, // [[
+  kRRBracket, // ]]
+  kComma,     // ,
+  kColon,     // :
+  kEquals,    // =
+  kPlus,      // +
+  kSlash,     // /
+  kSlashSlash,// //
+  kDot,       // .
+  kCaret,     // ^ (elastic span; accepts the unicode wedge too)
+  kStar,      // *
+  kAt,        // @
+  kTilde,     // ~ (SimilarTo shorthand)
+  kEnd,
+};
+
+struct QToken {
+  QTokenKind kind = QTokenKind::kEnd;
+  std::string text;   // identifier/string/number text
+  double number = 0;  // valid for kNumber
+  size_t offset = 0;  // byte offset for error messages
+};
+
+/// Tokenises KOKO query text. Strings support \" escapes; `//` inside path
+/// context is one token (the descendant axis) — comments are not supported
+/// in the language (the paper's queries have none).
+Result<std::vector<QToken>> LexQuery(std::string_view text);
+
+}  // namespace koko
+
+#endif  // KOKO_KOKO_LEXER_H_

@@ -1,0 +1,536 @@
+#include "koko/parser.h"
+
+#include <set>
+
+#include "koko/lexer.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace koko {
+
+namespace {
+
+class QueryParser {
+ public:
+  explicit QueryParser(std::vector<QToken> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    Query q;
+    KOKO_RETURN_IF_ERROR(ExpectKeyword("extract"));
+    KOKO_RETURN_IF_ERROR(ParseOutputs(&q));
+    KOKO_RETURN_IF_ERROR(ExpectKeyword("from"));
+    KOKO_RETURN_IF_ERROR(ParseSource(&q));
+    KOKO_RETURN_IF_ERROR(ExpectKeyword("if"));
+    KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kLParen));
+    KOKO_RETURN_IF_ERROR(ParseBody(&q));
+    KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kRParen));
+    while (IsKeyword("satisfying")) {
+      KOKO_RETURN_IF_ERROR(ParseSatisfying(&q));
+    }
+    if (IsKeyword("excluding")) {
+      Advance();
+      KOKO_RETURN_IF_ERROR(ParseConditionDisjunction(&q.excluding, ""));
+    }
+    if (Peek().kind != QTokenKind::kEnd) {
+      return Err("trailing input after query");
+    }
+    return q;
+  }
+
+ private:
+  const QToken& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const QToken& Advance() { return tokens_[pos_++]; }
+  bool IsKeyword(std::string_view kw) const {
+    return Peek().kind == QTokenKind::kIdent && EqualsIgnoreCase(Peek().text, kw);
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " (at offset " + std::to_string(Peek().offset) +
+                              ")");
+  }
+  Status Expect(QTokenKind kind) {
+    if (Peek().kind != kind) return Err("unexpected token '" + Peek().text + "'");
+    Advance();
+    return Status::OK();
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!IsKeyword(kw)) {
+      return Err("expected '" + std::string(kw) + "', got '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseOutputs(Query* q) {
+    while (true) {
+      if (Peek().kind != QTokenKind::kIdent) return Err("expected output variable");
+      OutputSpec spec;
+      spec.var = Advance().text;
+      KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kColon));
+      if (Peek().kind != QTokenKind::kIdent) return Err("expected output type");
+      spec.type_name = Advance().text;
+      // Output variables are implicitly defined (typed entity variables or
+      // block-defined spans); register the name so span terms can refer to
+      // them (e.g. the Title query's `c = a + ^ + v + ^ + b`).
+      defined_.insert(spec.var);
+      q->outputs.push_back(std::move(spec));
+      if (Peek().kind != QTokenKind::kComma) break;
+      Advance();
+    }
+    // The paper allows an empty extract clause: `extract x:Entity ... if ()`
+    // has outputs; a fully empty list is also tolerated upstream.
+    return Status::OK();
+  }
+
+  Status ParseSource(Query* q) {
+    if (Peek().kind == QTokenKind::kString) {
+      q->source = Advance().text;
+      return Status::OK();
+    }
+    // Unquoted form: input.txt / wiki.article
+    if (Peek().kind != QTokenKind::kIdent) return Err("expected source");
+    q->source = Advance().text;
+    while (Peek().kind == QTokenKind::kDot) {
+      Advance();
+      if (Peek().kind != QTokenKind::kIdent) return Err("bad source suffix");
+      q->source += "." + Advance().text;
+    }
+    return Status::OK();
+  }
+
+  Status ParseBody(Query* q) {
+    // Optional block: /ROOT:{ ... }
+    if (Peek().kind == QTokenKind::kSlash && Peek(1).kind == QTokenKind::kIdent &&
+        EqualsIgnoreCase(Peek(1).text, "root") &&
+        Peek(2).kind == QTokenKind::kColon) {
+      Advance();
+      Advance();
+      Advance();
+      KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kLBrace));
+      while (Peek().kind != QTokenKind::kRBrace) {
+        KOKO_RETURN_IF_ERROR(ParseVarDef(q));
+        if (Peek().kind == QTokenKind::kComma) {
+          Advance();
+        } else {
+          break;
+        }
+      }
+      KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kRBrace));
+    }
+    // Constraints: (a) in (b)  /  (a) eq (b)
+    while (Peek().kind == QTokenKind::kLParen) {
+      Advance();
+      if (Peek().kind != QTokenKind::kIdent) return Err("expected variable");
+      Constraint c;
+      c.a = Advance().text;
+      KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kRParen));
+      if (IsKeyword("in")) {
+        c.kind = Constraint::Kind::kIn;
+      } else if (IsKeyword("eq")) {
+        c.kind = Constraint::Kind::kEq;
+      } else {
+        return Err("expected 'in' or 'eq'");
+      }
+      Advance();
+      KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kLParen));
+      if (Peek().kind != QTokenKind::kIdent) return Err("expected variable");
+      c.b = Advance().text;
+      KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kRParen));
+      q->constraints.push_back(std::move(c));
+    }
+    return Status::OK();
+  }
+
+  Status ParseVarDef(Query* q) {
+    if (Peek().kind != QTokenKind::kIdent) return Err("expected variable name");
+    VarDef def;
+    def.name = Advance().text;
+    KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kEquals));
+
+    // Optional parenthesised right-hand side: d = (b.subtree)
+    bool parenthesised = false;
+    if (Peek().kind == QTokenKind::kLParen) {
+      parenthesised = true;
+      Advance();
+    }
+
+    std::vector<SpanAtom> atoms;
+    while (true) {
+      SpanAtom atom;
+      KOKO_RETURN_IF_ERROR(ParseAtom(&atom));
+      atoms.push_back(std::move(atom));
+      if (Peek().kind != QTokenKind::kPlus) break;
+      Advance();
+    }
+    if (parenthesised) KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kRParen));
+
+    if (atoms.size() == 1 && atoms[0].kind == SpanAtom::Kind::kPath) {
+      // Single path: a node definition (possibly var-relative).
+      def.kind = VarDef::Kind::kNode;
+      def.path = std::move(atoms[0].path);
+      def.base_var = std::move(atoms[0].var);  // set by ParseAtom for rel paths
+    } else {
+      def.kind = VarDef::Kind::kSpan;
+      def.atoms = std::move(atoms);
+    }
+    defined_.insert(def.name);
+    // Entity definitions masquerade as paths; fix up here.
+    if (def.kind == VarDef::Kind::kNode && def.path.steps.size() == 1 &&
+        def.base_var.empty()) {
+      const NodeConstraint& c = def.path.steps[0].constraint;
+      if (c.any_entity && !c.dep && !c.pos && !c.word) {
+        def.kind = VarDef::Kind::kEntity;
+        def.etype.reset();
+        def.path.steps.clear();
+      } else if (c.etype && !c.dep && !c.pos && !c.word && bare_entity_step_) {
+        def.kind = VarDef::Kind::kEntity;
+        def.etype = c.etype;
+        def.path.steps.clear();
+      }
+    }
+    bare_entity_step_ = false;
+    q->defs.push_back(std::move(def));
+    return Status::OK();
+  }
+
+  // Parses one span atom: path / var ref / var.subtree / literal / elastic.
+  Status ParseAtom(SpanAtom* atom) {
+    const QToken& t = Peek();
+    if (t.kind == QTokenKind::kCaret) {
+      Advance();
+      atom->kind = SpanAtom::Kind::kElastic;
+      if (Peek().kind == QTokenKind::kLBracket) {
+        KOKO_RETURN_IF_ERROR(ParseElasticConditions(&atom->elastic));
+      }
+      return Status::OK();
+    }
+    if (t.kind == QTokenKind::kString) {
+      // Literal token sequence ("delicious", ", a cafe"). Inside a path it
+      // would be consumed by ParsePath; here it stands alone.
+      atom->kind = SpanAtom::Kind::kLiteral;
+      atom->tokens = Tokenizer::Tokenize(Advance().text);
+      return Status::OK();
+    }
+    if (t.kind == QTokenKind::kSlash || t.kind == QTokenKind::kSlashSlash) {
+      atom->kind = SpanAtom::Kind::kPath;
+      return ParsePath(&atom->path);
+    }
+    if (t.kind == QTokenKind::kIdent) {
+      // Var reference, var-relative path, var.subtree, Entity, or bare label.
+      std::string name = Advance().text;
+      if (Peek().kind == QTokenKind::kDot && Peek(1).kind == QTokenKind::kIdent &&
+          EqualsIgnoreCase(Peek(1).text, "subtree")) {
+        Advance();
+        Advance();
+        atom->kind = SpanAtom::Kind::kSubtree;
+        atom->var = std::move(name);
+        return Status::OK();
+      }
+      if ((Peek().kind == QTokenKind::kSlash ||
+           Peek().kind == QTokenKind::kSlashSlash) &&
+          defined_.count(name) > 0) {
+        // Relative path: b = a/dobj.
+        atom->kind = SpanAtom::Kind::kPath;
+        atom->var = std::move(name);
+        return ParsePath(&atom->path);
+      }
+      if (defined_.count(name) > 0) {
+        atom->kind = SpanAtom::Kind::kVarRef;
+        atom->var = std::move(name);
+        return Status::OK();
+      }
+      // Bare label: Entity / entity type / parse label / POS tag / word.
+      atom->kind = SpanAtom::Kind::kPath;
+      PathStep step;
+      step.axis = PathStep::Axis::kChild;
+      KOKO_RETURN_IF_ERROR(ResolveLabel(name, &step.constraint));
+      if (Peek().kind == QTokenKind::kLBracket) {
+        KOKO_RETURN_IF_ERROR(ParseStepConditions(&step.constraint));
+      }
+      bare_entity_step_ = step.constraint.any_entity ||
+                          step.constraint.etype.has_value();
+      atom->path.steps.push_back(std::move(step));
+      return Status::OK();
+    }
+    return Err("expected span atom, got '" + t.text + "'");
+  }
+
+  // Parses /label[...]/..//... (leading axis already peeked).
+  Status ParsePath(PathQuery* path) {
+    while (Peek().kind == QTokenKind::kSlash ||
+           Peek().kind == QTokenKind::kSlashSlash) {
+      PathStep step;
+      step.axis = Advance().kind == QTokenKind::kSlash
+                      ? PathStep::Axis::kChild
+                      : PathStep::Axis::kDescendant;
+      const QToken& label = Peek();
+      if (label.kind == QTokenKind::kStar) {
+        Advance();  // wildcard: no constraint
+      } else if (label.kind == QTokenKind::kString) {
+        step.constraint.word = Advance().text;
+      } else if (label.kind == QTokenKind::kIdent) {
+        KOKO_RETURN_IF_ERROR(ResolveLabel(Advance().text, &step.constraint));
+      } else {
+        return Err("expected label after axis");
+      }
+      if (Peek().kind == QTokenKind::kLBracket) {
+        KOKO_RETURN_IF_ERROR(ParseStepConditions(&step.constraint));
+      }
+      path->steps.push_back(std::move(step));
+    }
+    if (path->steps.empty()) return Err("empty path expression");
+    return Status::OK();
+  }
+
+  // label resolution order: parse label, POS tag, entity type, else word.
+  Status ResolveLabel(const std::string& name, NodeConstraint* c) {
+    if (EqualsIgnoreCase(name, "entity")) {
+      c->any_entity = true;
+      return Status::OK();
+    }
+    DepLabel dep;
+    if (ParseDepLabel(name, &dep)) {
+      c->dep = dep;
+      return Status::OK();
+    }
+    PosTag pos;
+    if (ParsePosTag(name, &pos)) {
+      c->pos = pos;
+      return Status::OK();
+    }
+    EntityType etype;
+    if (ParseEntityType(name, &etype)) {
+      c->etype = etype;
+      return Status::OK();
+    }
+    c->word = name;
+    return Status::OK();
+  }
+
+  // [@pos="noun", etype="Person", text="ate", @regex="..."]
+  Status ParseStepConditions(NodeConstraint* c) {
+    KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kLBracket));
+    while (Peek().kind != QTokenKind::kRBracket) {
+      bool at = false;
+      if (Peek().kind == QTokenKind::kAt) {
+        at = true;
+        Advance();
+      }
+      if (Peek().kind != QTokenKind::kIdent) return Err("expected condition name");
+      std::string key = ToLower(Advance().text);
+      KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kEquals));
+      if (Peek().kind != QTokenKind::kString) return Err("expected string value");
+      std::string value = Advance().text;
+      if (key == "pos") {
+        PosTag pos;
+        if (!ParsePosTag(value, &pos)) return Err("unknown POS tag " + value);
+        c->pos = pos;
+      } else if (key == "regex") {
+        c->regex = value;
+      } else if (key == "text") {
+        c->word = value;
+      } else if (key == "etype") {
+        if (EqualsIgnoreCase(value, "entity")) {
+          c->any_entity = true;
+        } else {
+          EntityType etype;
+          if (!ParseEntityType(value, &etype)) {
+            return Err("unknown entity type " + value);
+          }
+          c->etype = etype;
+        }
+      } else {
+        return Err("unknown condition '" + key + "'" + (at ? " (after @)" : ""));
+      }
+      if (Peek().kind == QTokenKind::kComma) Advance();
+    }
+    return Expect(QTokenKind::kRBracket);
+  }
+
+  // ^[etype="Entity", regex="...", min="2", max="5"]
+  Status ParseElasticConditions(ElasticSpec* spec) {
+    KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kLBracket));
+    while (Peek().kind != QTokenKind::kRBracket) {
+      if (Peek().kind == QTokenKind::kAt) Advance();
+      if (Peek().kind != QTokenKind::kIdent) return Err("expected condition name");
+      std::string key = ToLower(Advance().text);
+      KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kEquals));
+      if (key == "min" || key == "max") {
+        double value;
+        if (Peek().kind == QTokenKind::kNumber) {
+          value = Advance().number;
+        } else if (Peek().kind == QTokenKind::kString) {
+          value = std::stod(Advance().text);
+        } else {
+          return Err("expected number");
+        }
+        if (key == "min") {
+          spec->min_tokens = static_cast<int>(value);
+        } else {
+          spec->max_tokens = static_cast<int>(value);
+        }
+        if (Peek().kind == QTokenKind::kComma) Advance();
+        continue;
+      }
+      if (Peek().kind != QTokenKind::kString) return Err("expected string value");
+      std::string value = Advance().text;
+      if (key == "regex") {
+        spec->regex = value;
+      } else if (key == "etype") {
+        if (EqualsIgnoreCase(value, "entity")) {
+          spec->any_entity = true;
+        } else {
+          EntityType etype;
+          if (!ParseEntityType(value, &etype)) {
+            return Err("unknown entity type " + value);
+          }
+          spec->etype = etype;
+        }
+      } else {
+        return Err("unknown elastic condition '" + key + "'");
+      }
+      if (Peek().kind == QTokenKind::kComma) Advance();
+    }
+    return Expect(QTokenKind::kRBracket);
+  }
+
+  Status ParseSatisfying(Query* q) {
+    KOKO_RETURN_IF_ERROR(ExpectKeyword("satisfying"));
+    SatisfyingClause clause;
+    if (Peek().kind != QTokenKind::kIdent) return Err("expected variable");
+    clause.var = Advance().text;
+    KOKO_RETURN_IF_ERROR(ParseConditionDisjunction(&clause.conditions, clause.var));
+    KOKO_RETURN_IF_ERROR(ExpectKeyword("with"));
+    KOKO_RETURN_IF_ERROR(ExpectKeyword("threshold"));
+    if (Peek().kind != QTokenKind::kNumber) return Err("expected threshold value");
+    clause.threshold = Advance().number;
+    q->satisfying.push_back(std::move(clause));
+    return Status::OK();
+  }
+
+  Status ParseConditionDisjunction(std::vector<SatCondition>* out,
+                                   const std::string& default_var) {
+    while (true) {
+      KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kLParen));
+      SatCondition cond;
+      KOKO_RETURN_IF_ERROR(ParseCondition(&cond, default_var));
+      KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kRParen));
+      out->push_back(std::move(cond));
+      if (!IsKeyword("or")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseCondition(SatCondition* cond, const std::string& default_var) {
+    cond->var = default_var;
+    // str(x) <op> "..."
+    if (IsKeyword("str") && Peek(1).kind == QTokenKind::kLParen) {
+      Advance();
+      Advance();
+      if (Peek().kind != QTokenKind::kIdent) return Err("expected variable");
+      cond->var = Advance().text;
+      KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kRParen));
+      if (IsKeyword("contains")) {
+        cond->kind = SatCondition::Kind::kStrContains;
+      } else if (IsKeyword("mentions")) {
+        cond->kind = SatCondition::Kind::kStrMentions;
+      } else if (IsKeyword("matches")) {
+        cond->kind = SatCondition::Kind::kStrMatches;
+      } else if (IsKeyword("in")) {
+        Advance();
+        KOKO_RETURN_IF_ERROR(ExpectKeyword("dict"));
+        KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kLParen));
+        if (Peek().kind != QTokenKind::kString) return Err("expected dict name");
+        cond->kind = SatCondition::Kind::kInDict;
+        cond->text = Advance().text;
+        KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kRParen));
+        return ParseWeight(cond);
+      } else {
+        return Err("expected contains/mentions/matches/in");
+      }
+      Advance();
+      if (Peek().kind != QTokenKind::kString) return Err("expected string");
+      cond->text = Advance().text;
+      return ParseWeight(cond);
+    }
+    // [[descriptor]] x
+    if (Peek().kind == QTokenKind::kLLBracket) {
+      Advance();
+      if (Peek().kind != QTokenKind::kString) return Err("expected descriptor");
+      cond->kind = SatCondition::Kind::kDescriptorLeft;
+      cond->text = Advance().text;
+      KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kRRBracket));
+      if (Peek().kind != QTokenKind::kIdent) return Err("expected variable");
+      cond->var = Advance().text;
+      return ParseWeight(cond);
+    }
+    // "..." x   (preceded-by)
+    if (Peek().kind == QTokenKind::kString) {
+      cond->kind = SatCondition::Kind::kPrecededBy;
+      cond->text = Advance().text;
+      if (Peek().kind != QTokenKind::kIdent) return Err("expected variable");
+      cond->var = Advance().text;
+      return ParseWeight(cond);
+    }
+    // x <something>
+    if (Peek().kind != QTokenKind::kIdent) return Err("expected condition");
+    cond->var = Advance().text;
+    if (Peek().kind == QTokenKind::kString) {
+      cond->kind = SatCondition::Kind::kFollowedBy;
+      cond->text = Advance().text;
+      return ParseWeight(cond);
+    }
+    if (Peek().kind == QTokenKind::kLLBracket) {
+      Advance();
+      if (Peek().kind != QTokenKind::kString) return Err("expected descriptor");
+      cond->kind = SatCondition::Kind::kDescriptorRight;
+      cond->text = Advance().text;
+      KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kRRBracket));
+      return ParseWeight(cond);
+    }
+    if (IsKeyword("near")) {
+      Advance();
+      if (Peek().kind != QTokenKind::kString) return Err("expected string");
+      cond->kind = SatCondition::Kind::kNear;
+      cond->text = Advance().text;
+      return ParseWeight(cond);
+    }
+    if (IsKeyword("similarto") || Peek().kind == QTokenKind::kTilde) {
+      Advance();
+      if (Peek().kind != QTokenKind::kString) return Err("expected string");
+      cond->kind = SatCondition::Kind::kSimilarTo;
+      cond->text = Advance().text;
+      return ParseWeight(cond);
+    }
+    return Err("unrecognised condition");
+  }
+
+  Status ParseWeight(SatCondition* cond) {
+    if (Peek().kind == QTokenKind::kLBrace) {
+      Advance();
+      if (Peek().kind != QTokenKind::kNumber) return Err("expected weight");
+      cond->weight = Advance().number;
+      KOKO_RETURN_IF_ERROR(Expect(QTokenKind::kRBrace));
+    }
+    return Status::OK();
+  }
+
+  std::vector<QToken> tokens_;
+  size_t pos_ = 0;
+  std::set<std::string> defined_;
+  bool bare_entity_step_ = false;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  auto tokens = LexQuery(text);
+  if (!tokens.ok()) return tokens.status();
+  QueryParser parser(std::move(*tokens));
+  return parser.Parse();
+}
+
+}  // namespace koko

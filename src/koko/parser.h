@@ -1,0 +1,29 @@
+#ifndef KOKO_KOKO_PARSER_H_
+#define KOKO_KOKO_PARSER_H_
+
+#include <string_view>
+
+#include "koko/ast.h"
+#include "util/status.h"
+
+namespace koko {
+
+/// \brief Parses KOKO query text (§2's surface syntax) into a Query AST.
+///
+/// Accepted grammar (recursive descent; ASCII `^` or the paper's `∧` for
+/// elastic spans, `~` as shorthand for SimilarTo):
+///
+///   query      := 'extract' outputs 'from' source 'if' '(' body ')'
+///                 satisfying* excluding?
+///   outputs    := var ':' type (',' var ':' type)*
+///   body       := [ '/' 'ROOT' ':' '{' vardef (',' vardef)* '}' ] constraint*
+///   vardef     := var '=' rhs      ; rhs is a path, span term, or 'Entity'
+///   constraint := '(' var ')' ('in'|'eq') '(' var ')'
+///   satisfying := 'satisfying' var conds 'with' 'threshold' number
+///   conds      := '(' cond ')' ('or' '(' cond ')')*
+///   excluding  := 'excluding' conds
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace koko
+
+#endif  // KOKO_KOKO_PARSER_H_

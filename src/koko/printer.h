@@ -1,0 +1,21 @@
+#ifndef KOKO_KOKO_PRINTER_H_
+#define KOKO_KOKO_PRINTER_H_
+
+#include <string>
+
+#include "koko/ast.h"
+
+namespace koko {
+
+/// Renders a Query AST back to KOKO query text. The output re-parses to a
+/// structurally identical query (verified by round-trip property tests),
+/// which makes programmatically constructed queries (benchmark generators)
+/// loggable and debuggable.
+std::string QueryToString(const Query& query);
+
+/// Renders a single variable definition ("b = a/dobj").
+std::string VarDefToString(const VarDef& def);
+
+}  // namespace koko
+
+#endif  // KOKO_KOKO_PRINTER_H_

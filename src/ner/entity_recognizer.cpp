@@ -1,0 +1,216 @@
+#include "ner/entity_recognizer.h"
+
+#include "text/lexicon.h"
+#include "util/string_util.h"
+
+namespace koko {
+
+namespace {
+
+constexpr std::string_view kGpe[] = {
+    "china", "japan", "beijing", "tokyo", "paris", "france", "london",
+    "england", "berlin", "germany", "rome", "italy", "madrid", "spain",
+    "portland", "seattle", "austin", "denver", "chicago", "boston",
+    "brooklyn", "oakland", "kyoto", "osaka", "seoul", "korea", "india",
+    "delhi", "mumbai", "sydney", "australia", "toronto", "canada",
+    "vienna", "austria", "oslo", "norway", "lisbon", "dublin", "ireland",
+    "prague", "helsinki", "finland", "athens", "greece", "cairo", "egypt",
+    "lima", "peru", "bogota", "colombia", "quito", "ecuador", "nairobi",
+    "kenya", "hanoi", "vietnam", "bangkok", "thailand", "manila",
+};
+
+constexpr std::string_view kFirstNames[] = {
+    "anna",  "alys",  "vera",   "cyd",   "john",  "mary",   "james", "linda",
+    "david", "sarah", "michael", "emma",  "daniel", "sofia",  "lucas", "maria",
+    "peter", "alice", "henry",  "clara", "george", "ivy",    "oscar", "nora",
+    "felix", "ruth",  "hugo",   "elsa",  "leo",    "ada",    "max",   "iris",
+    "tom",   "jane",  "paul",   "rosa",  "carl",   "nina",   "eric",  "lena",
+};
+
+constexpr std::string_view kFacilityKeywords[] = {
+    "stadium", "park", "arena", "center", "centre", "museum", "library",
+    "airport", "mall", "theater", "theatre", "plaza", "gym", "hall",
+    "garden", "gardens", "zoo", "bridge", "tower", "hospital",
+};
+
+constexpr std::string_view kOrgKeywords[] = {
+    "inc", "corp", "labs", "ltd", "university", "college", "institute",
+    "company", "magazine", "society", "association", "press",
+};
+
+constexpr std::string_view kTeamKeywords[] = {
+    "united", "fc", "city", "rovers", "tigers", "eagles", "wolves",
+    "sharks", "hawks", "bears", "lions", "dynamo", "athletic", "rangers",
+};
+
+bool IsYear(const std::string& tok) {
+  if (tok.size() != 4 || !IsAllDigits(tok)) return false;
+  int y = std::stoi(tok);
+  return y >= 1400 && y <= 2100;
+}
+
+bool IsDayNumber(const std::string& tok) {
+  if (tok.empty() || tok.size() > 2 || !IsAllDigits(tok)) return false;
+  int d = std::stoi(tok);
+  return d >= 1 && d <= 31;
+}
+
+}  // namespace
+
+EntityRecognizer::EntityRecognizer() {
+  for (auto w : kGpe) phrase_types_.emplace(std::string(w), EntityType::kGpe);
+  for (auto w : kFirstNames) person_first_names_.insert(std::string(w));
+  for (auto w : kFacilityKeywords) facility_keywords_.insert(std::string(w));
+  for (auto w : kOrgKeywords) org_keywords_.insert(std::string(w));
+  for (auto w : kTeamKeywords) team_keywords_.insert(std::string(w));
+}
+
+void EntityRecognizer::AddGazetteer(EntityType type,
+                                    const std::vector<std::string>& phrases) {
+  for (const auto& p : phrases) phrase_types_[ToLower(p)] = type;
+}
+
+bool EntityRecognizer::InGazetteer(EntityType type,
+                                   std::string_view lower_phrase) const {
+  auto it = phrase_types_.find(std::string(lower_phrase));
+  if (it != phrase_types_.end() && it->second == type) return true;
+  // Person membership: the first token is a known first name.
+  if (type == EntityType::kPerson) {
+    std::string first(lower_phrase.substr(0, lower_phrase.find(' ')));
+    return person_first_names_.count(first) > 0;
+  }
+  return false;
+}
+
+EntityType EntityRecognizer::ClassifyMention(const Sentence& s, int begin,
+                                             int end) const {
+  // Whole-phrase gazetteer match first.
+  std::string phrase = ToLower(s.SpanText(begin, end));
+  auto it = phrase_types_.find(phrase);
+  if (it != phrase_types_.end()) return it->second;
+
+  // Keyword-based typing on individual tokens.
+  for (int i = begin; i <= end; ++i) {
+    std::string low = ToLower(s.tokens[i].text);
+    auto pt = phrase_types_.find(low);
+    if (pt != phrase_types_.end() && begin == end) return pt->second;
+    if (facility_keywords_.count(low)) return EntityType::kFacility;
+    if (org_keywords_.count(low)) return EntityType::kOrganization;
+  }
+  // Team names: "<Word> <TeamKeyword>" ("Oakland United").
+  if (end > begin) {
+    std::string last = ToLower(s.tokens[end].text);
+    if (team_keywords_.count(last)) return EntityType::kTeam;
+  }
+  // Person: first token is a known first name.
+  if (person_first_names_.count(ToLower(s.tokens[begin].text))) {
+    return EntityType::kPerson;
+  }
+  // Single-token gazetteer member inside a multiword mention ("Portland
+  // Roasters" is not a GPE); fall through to OTHER.
+  return EntityType::kOther;
+}
+
+void EntityRecognizer::Annotate(Sentence* sentence) const {
+  Sentence& s = *sentence;
+  const int n = s.size();
+  s.entities.clear();
+  for (auto& t : s.tokens) {
+    t.etype = EntityType::kNone;
+    t.entity_id = -1;
+  }
+  const Lexicon& lex = Lexicon::Get();
+
+  int i = 0;
+  while (i < n) {
+    const Token& tok = s.tokens[i];
+    std::string low = ToLower(tok.text);
+
+    // Date expressions: "1 December 1900", "December 1900", "1911".
+    if (lex.IsMonth(low) || IsYear(tok.text)) {
+      int begin = i;
+      int end = i;
+      if (lex.IsMonth(low)) {
+        if (i > 0 && IsDayNumber(s.tokens[i - 1].text) &&
+            s.tokens[i - 1].entity_id == -1) {
+          begin = i - 1;
+        }
+        if (i + 1 < n && IsYear(s.tokens[i + 1].text)) end = i + 1;
+      }
+      Entity e{begin, end, EntityType::kDate};
+      int id = static_cast<int>(s.entities.size());
+      s.entities.push_back(e);
+      for (int k = begin; k <= end; ++k) {
+        s.tokens[k].etype = EntityType::kDate;
+        s.tokens[k].entity_id = id;
+      }
+      i = end + 1;
+      continue;
+    }
+
+    // Capitalised / proper-noun runs.
+    bool starts_mention =
+        tok.pos == PosTag::kPropn ||
+        (IsCapitalized(tok.text) && i > 0 && !lex.IsFunctionWord(low) &&
+         tok.pos != PosTag::kPunct &&
+         (tok.pos == PosTag::kNoun || phrase_types_.count(low) > 0));
+    // Sentence-initial capitalised words only when gazetteer-known or the
+    // tagger already called them PROPN.
+    if (i == 0 && tok.pos != PosTag::kPropn) {
+      starts_mention = IsCapitalized(tok.text) && phrase_types_.count(low) > 0;
+    }
+    if (!starts_mention) {
+      ++i;
+      continue;
+    }
+    int begin = i;
+    int end = i;
+    while (end + 1 < n) {
+      const Token& next = s.tokens[end + 1];
+      std::string nlow = ToLower(next.text);
+      bool continues = next.pos == PosTag::kPropn ||
+                       (IsCapitalized(next.text) && next.pos != PosTag::kPunct) ||
+                       (next.pos == PosTag::kNoun &&
+                        (facility_keywords_.count(nlow) > 0 ||
+                         org_keywords_.count(nlow) > 0));
+      if (!continues) break;
+      ++end;
+    }
+    EntityType type = ClassifyMention(s, begin, end);
+    Entity e{begin, end, type};
+    int id = static_cast<int>(s.entities.size());
+    s.entities.push_back(e);
+    for (int k = begin; k <= end; ++k) {
+      s.tokens[k].etype = type;
+      s.tokens[k].entity_id = id;
+    }
+    i = end + 1;
+  }
+
+  // Common-noun mentions: maximal runs of NOUN tokens become entities of
+  // type OTHER, matching the paper's entity index which contains
+  // "cheesecake", "grocery store" and "chocolate ice cream" (Example 3.2).
+  i = 0;
+  while (i < n) {
+    if (s.tokens[i].pos != PosTag::kNoun || s.tokens[i].entity_id != -1) {
+      ++i;
+      continue;
+    }
+    int begin = i;
+    int end = i;
+    while (end + 1 < n && s.tokens[end + 1].pos == PosTag::kNoun &&
+           s.tokens[end + 1].entity_id == -1) {
+      ++end;
+    }
+    Entity e{begin, end, EntityType::kOther};
+    int id = static_cast<int>(s.entities.size());
+    s.entities.push_back(e);
+    for (int k = begin; k <= end; ++k) {
+      s.tokens[k].etype = EntityType::kOther;
+      s.tokens[k].entity_id = id;
+    }
+    i = end + 1;
+  }
+}
+
+}  // namespace koko

@@ -1,0 +1,51 @@
+#ifndef KOKO_NER_ENTITY_RECOGNIZER_H_
+#define KOKO_NER_ENTITY_RECOGNIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "text/document.h"
+
+namespace koko {
+
+/// \brief Gazetteer + heuristic named-entity recogniser.
+///
+/// Stands in for the spaCy / Google-NL entity annotators. Mentions are
+/// maximal runs of proper-noun/capitalised tokens plus date expressions.
+/// Types come from built-in gazetteers (cities/countries -> GPE, first
+/// names -> PERSON, facility and organisation keywords, team suffixes) with
+/// OTHER as the fallback — matching the paper's "Entity type: OTHER"
+/// annotations. Additional user dictionaries can be registered (the paper's
+/// `dict("Location")` excluding clause relies on this).
+class EntityRecognizer {
+ public:
+  /// Recogniser with the built-in gazetteers.
+  EntityRecognizer();
+
+  /// Registers extra surface forms for a type (lower-cased matching).
+  void AddGazetteer(EntityType type, const std::vector<std::string>& phrases);
+
+  /// Detects entities in a sentence whose tokens/POS are populated; fills
+  /// Sentence::entities and the per-token etype/entity_id fields.
+  void Annotate(Sentence* sentence) const;
+
+  /// True when `phrase` (lower-cased) is a known member of `type`'s
+  /// gazetteer. Used by dict(...) query conditions.
+  bool InGazetteer(EntityType type, std::string_view lower_phrase) const;
+
+ private:
+  EntityType ClassifyMention(const Sentence& s, int begin, int end) const;
+
+  std::unordered_map<std::string, EntityType> phrase_types_;
+  std::unordered_set<std::string> person_first_names_;
+  std::unordered_set<std::string> facility_keywords_;
+  std::unordered_set<std::string> org_keywords_;
+  std::unordered_set<std::string> team_keywords_;
+};
+
+}  // namespace koko
+
+#endif  // KOKO_NER_ENTITY_RECOGNIZER_H_

@@ -1,0 +1,48 @@
+#include "nlp/pipeline.h"
+
+#include "parser/dep_parser.h"
+#include "text/pos_tagger.h"
+#include "text/tokenizer.h"
+
+namespace koko {
+
+Pipeline::Pipeline() : recognizer_(std::make_unique<EntityRecognizer>()) {}
+
+Sentence Pipeline::AnnotateSentence(const std::string& text) const {
+  Sentence sentence;
+  std::vector<std::string> words = Tokenizer::Tokenize(text);
+  std::vector<PosTag> tags = PosTagger::Tag(words);
+  sentence.tokens.reserve(words.size());
+  for (size_t i = 0; i < words.size(); ++i) {
+    Token tok;
+    tok.text = std::move(words[i]);
+    tok.pos = tags[i];
+    sentence.tokens.push_back(std::move(tok));
+  }
+  DepParser::Parse(&sentence);
+  recognizer_->Annotate(&sentence);
+  return sentence;
+}
+
+Document Pipeline::AnnotateDocument(const RawDocument& raw, uint32_t id) const {
+  Document doc;
+  doc.id = id;
+  doc.title = raw.title;
+  for (const std::string& sent_text : SentenceSplitter::Split(raw.text)) {
+    Sentence s = AnnotateSentence(sent_text);
+    if (s.size() > 0) doc.sentences.push_back(std::move(s));
+  }
+  return doc;
+}
+
+AnnotatedCorpus Pipeline::AnnotateCorpus(const std::vector<RawDocument>& raw) const {
+  AnnotatedCorpus corpus;
+  corpus.docs.reserve(raw.size());
+  for (uint32_t i = 0; i < raw.size(); ++i) {
+    corpus.docs.push_back(AnnotateDocument(raw[i], i));
+  }
+  corpus.RebuildRefs();
+  return corpus;
+}
+
+}  // namespace koko

@@ -1,0 +1,49 @@
+#ifndef KOKO_NLP_PIPELINE_H_
+#define KOKO_NLP_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ner/entity_recognizer.h"
+#include "text/document.h"
+
+namespace koko {
+
+/// Raw input document before annotation.
+struct RawDocument {
+  std::string title;
+  std::string text;
+};
+
+/// \brief The preprocessing pipeline of Figure 2's "Parse text" stage.
+///
+/// Runs sentence splitting, tokenisation, POS tagging, dependency parsing,
+/// and NER, producing the AnnotatedCorpus every index and query consumes.
+/// Equivalent to the paper's spaCy/Google-NL preprocessing step.
+class Pipeline {
+ public:
+  Pipeline();
+
+  /// The recogniser is exposed so callers can register domain gazetteers
+  /// (e.g. the Location dictionary used by the cafe query's excluding
+  /// clause) before annotation.
+  EntityRecognizer* recognizer() { return recognizer_.get(); }
+  const EntityRecognizer& recognizer() const { return *recognizer_; }
+
+  /// Annotates a single sentence (no sentence splitting).
+  Sentence AnnotateSentence(const std::string& text) const;
+
+  /// Splits and annotates a whole document.
+  Document AnnotateDocument(const RawDocument& raw, uint32_t id) const;
+
+  /// Annotates a batch of documents into a corpus with global sentence ids.
+  AnnotatedCorpus AnnotateCorpus(const std::vector<RawDocument>& raw) const;
+
+ private:
+  std::unique_ptr<EntityRecognizer> recognizer_;
+};
+
+}  // namespace koko
+
+#endif  // KOKO_NLP_PIPELINE_H_

@@ -1,0 +1,43 @@
+#ifndef KOKO_PARSER_DEP_PARSER_H_
+#define KOKO_PARSER_DEP_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "text/document.h"
+
+namespace koko {
+
+/// \brief Deterministic rule-based dependency parser.
+///
+/// Stands in for spaCy / Google Cloud NL (the paper's parsers). Produces
+/// Stanford-style trees over the universal POS tags:
+///
+///  1. NP chunking: maximal [DET] [ADJ|NOUN|PROPN|NUM]* [NOUN|PROPN] runs;
+///     the chunk head is the last noun; internal tokens attach as det /
+///     amod / nn / num / poss.
+///  2. Verb groups: AUX* VERB; auxiliaries attach as aux to the main verb.
+///  3. Clause segmentation: the main clause, relative clauses (introduced
+///     by which/that/who after a noun -> rcmod), coordinated clauses
+///     (CONJ followed by a verb group -> conj + cc), and open-clause
+///     complements ("to" + verb -> xcomp).
+///  4. Within-clause attachment: nsubj (chunk before the verb), dobj/iobj
+///     (bare chunks after it), acomp/attr after copulas, prep+pobj with
+///     noun-vs-verb attachment, advmod, neg, cc/conj for NP coordination,
+///     punct.
+///  5. Fallbacks guarantee a single-root tree: unattached tokens become
+///     `dep` children of the root.
+///
+/// The output satisfies the invariants KOKO's indices rely on: exactly one
+/// root, acyclic heads, every token attached (verified by property tests).
+class DepParser {
+ public:
+  /// Assigns Token::head and Token::label for every token of `sentence`
+  /// (tokens and POS tags must already be populated) and recomputes the
+  /// derived tree info.
+  static void Parse(Sentence* sentence);
+};
+
+}  // namespace koko
+
+#endif  // KOKO_PARSER_DEP_PARSER_H_

@@ -1,0 +1,125 @@
+#include "storage/doc_store.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "storage/serde.h"
+#include "util/logging.h"
+
+namespace koko {
+
+std::string DocumentStore::SerializeDocument(const Document& doc) {
+  std::ostringstream out;
+  BinaryWriter w(&out);
+  w.WriteU32(doc.id);
+  w.WriteString(doc.title);
+  w.WriteU32(static_cast<uint32_t>(doc.sentences.size()));
+  for (const Sentence& s : doc.sentences) {
+    w.WriteU32(static_cast<uint32_t>(s.tokens.size()));
+    for (const Token& t : s.tokens) {
+      w.WriteString(t.text);
+      w.WriteU8(static_cast<uint8_t>(t.pos));
+      w.WriteU8(static_cast<uint8_t>(t.label));
+      w.WriteI64(t.head);
+      w.WriteU8(static_cast<uint8_t>(t.etype));
+      w.WriteI64(t.entity_id);
+    }
+    w.WriteU32(static_cast<uint32_t>(s.entities.size()));
+    for (const Entity& e : s.entities) {
+      w.WriteI64(e.begin);
+      w.WriteI64(e.end);
+      w.WriteU8(static_cast<uint8_t>(e.type));
+    }
+  }
+  return out.str();
+}
+
+Result<Document> DocumentStore::DeserializeDocument(const std::string& blob) {
+  std::istringstream in(blob);
+  BinaryReader r(&in);
+  Document doc;
+  KOKO_ASSIGN_OR_RETURN(doc.id, r.ReadU32());
+  KOKO_ASSIGN_OR_RETURN(doc.title, r.ReadString());
+  KOKO_ASSIGN_OR_RETURN(uint32_t num_sentences, r.ReadU32());
+  doc.sentences.resize(num_sentences);
+  for (Sentence& s : doc.sentences) {
+    KOKO_ASSIGN_OR_RETURN(uint32_t num_tokens, r.ReadU32());
+    s.tokens.resize(num_tokens);
+    for (Token& t : s.tokens) {
+      KOKO_ASSIGN_OR_RETURN(t.text, r.ReadString());
+      KOKO_ASSIGN_OR_RETURN(uint8_t pos, r.ReadU8());
+      t.pos = static_cast<PosTag>(pos);
+      KOKO_ASSIGN_OR_RETURN(uint8_t label, r.ReadU8());
+      t.label = static_cast<DepLabel>(label);
+      KOKO_ASSIGN_OR_RETURN(int64_t head, r.ReadI64());
+      t.head = static_cast<int>(head);
+      KOKO_ASSIGN_OR_RETURN(uint8_t etype, r.ReadU8());
+      t.etype = static_cast<EntityType>(etype);
+      KOKO_ASSIGN_OR_RETURN(int64_t eid, r.ReadI64());
+      t.entity_id = static_cast<int>(eid);
+    }
+    KOKO_ASSIGN_OR_RETURN(uint32_t num_entities, r.ReadU32());
+    s.entities.resize(num_entities);
+    for (Entity& e : s.entities) {
+      KOKO_ASSIGN_OR_RETURN(int64_t begin, r.ReadI64());
+      e.begin = static_cast<int>(begin);
+      KOKO_ASSIGN_OR_RETURN(int64_t end, r.ReadI64());
+      e.end = static_cast<int>(end);
+      KOKO_ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
+      e.type = static_cast<EntityType>(type);
+    }
+    s.ComputeTreeInfo();
+  }
+  return doc;
+}
+
+DocumentStore DocumentStore::FromCorpus(const AnnotatedCorpus& corpus) {
+  DocumentStore store;
+  store.blobs_.reserve(corpus.docs.size());
+  for (const Document& doc : corpus.docs) {
+    store.blobs_.push_back(SerializeDocument(doc));
+  }
+  return store;
+}
+
+Document DocumentStore::LoadDocument(uint32_t doc_id) const {
+  KOKO_CHECK(doc_id < blobs_.size());
+  auto doc = DeserializeDocument(blobs_[doc_id]);
+  KOKO_CHECK(doc.ok());
+  return std::move(*doc);
+}
+
+size_t DocumentStore::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& blob : blobs_) total += blob.size();
+  return total;
+}
+
+Status DocumentStore::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  BinaryWriter w(&out);
+  w.WriteU32(0x4b444f43);  // "CODK"
+  w.WriteU32(static_cast<uint32_t>(blobs_.size()));
+  for (const auto& blob : blobs_) w.WriteString(blob);
+  if (!w.ok()) return Status::IoError("write failure on " + path);
+  return Status::OK();
+}
+
+Status DocumentStore::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  BinaryReader r(&in);
+  KOKO_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != 0x4b444f43) return Status::ParseError("bad doc-store magic");
+  KOKO_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  blobs_.clear();
+  blobs_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    KOKO_ASSIGN_OR_RETURN(std::string blob, r.ReadString());
+    blobs_.push_back(std::move(blob));
+  }
+  return Status::OK();
+}
+
+}  // namespace koko

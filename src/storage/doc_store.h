@@ -1,0 +1,45 @@
+#ifndef KOKO_STORAGE_DOC_STORE_H_
+#define KOKO_STORAGE_DOC_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "text/document.h"
+#include "util/status.h"
+
+namespace koko {
+
+/// \brief Serialized store of parsed documents.
+///
+/// Plays the role of the paper's "parsed text stored in PostgreSQL": the
+/// engine's LoadArticle phase fetches candidate articles from here, paying
+/// a real deserialisation cost per article (Table 2 attributes >50% of
+/// end-to-end time to this phase). Each document is one binary blob.
+class DocumentStore {
+ public:
+  /// Serialises every document of a corpus.
+  static DocumentStore FromCorpus(const AnnotatedCorpus& corpus);
+
+  /// Deserialises document `doc_id`. Aborts on corrupt blobs (they are
+  /// produced only by FromCorpus/LoadFromFile).
+  Document LoadDocument(uint32_t doc_id) const;
+
+  size_t NumDocs() const { return blobs_.size(); }
+
+  /// Total serialized size (what "the parsed text corpus on disk" costs).
+  size_t TotalBytes() const;
+
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+  /// Standalone (de)serialisation helpers, also used in tests.
+  static std::string SerializeDocument(const Document& doc);
+  static Result<Document> DeserializeDocument(const std::string& blob);
+
+ private:
+  std::vector<std::string> blobs_;
+};
+
+}  // namespace koko
+
+#endif  // KOKO_STORAGE_DOC_STORE_H_

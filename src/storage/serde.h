@@ -1,0 +1,111 @@
+#ifndef KOKO_STORAGE_SERDE_H_
+#define KOKO_STORAGE_SERDE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace koko {
+
+/// \brief Little-endian binary writer over an std::ostream.
+///
+/// The persistence format for tables and indices: fixed-width integers,
+/// length-prefixed strings. Deliberately simple — the paper persists its
+/// indices in PostgreSQL; here a flat binary image plays that role.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream* out) : out_(out) {}
+
+  void WriteU8(uint8_t v) { out_->write(reinterpret_cast<const char*>(&v), 1); }
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteString(const std::string& s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    out_->write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU32(static_cast<uint32_t>(v.size()));
+    if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(T));
+  }
+
+  bool ok() const { return out_->good(); }
+
+ private:
+  void WriteRaw(const void* data, size_t size) {
+    out_->write(reinterpret_cast<const char*>(data),
+                static_cast<std::streamsize>(size));
+  }
+  std::ostream* out_;
+};
+
+/// Binary reader matching BinaryWriter's format.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream* in) : in_(in) {}
+
+  Result<uint8_t> ReadU8() {
+    uint8_t v = 0;
+    return ReadRaw(&v, 1) ? Result<uint8_t>(v) : Fail<uint8_t>();
+  }
+  Result<uint32_t> ReadU32() {
+    uint32_t v = 0;
+    return ReadRaw(&v, sizeof(v)) ? Result<uint32_t>(v) : Fail<uint32_t>();
+  }
+  Result<uint64_t> ReadU64() {
+    uint64_t v = 0;
+    return ReadRaw(&v, sizeof(v)) ? Result<uint64_t>(v) : Fail<uint64_t>();
+  }
+  Result<int64_t> ReadI64() {
+    int64_t v = 0;
+    return ReadRaw(&v, sizeof(v)) ? Result<int64_t>(v) : Fail<int64_t>();
+  }
+  Result<double> ReadDouble() {
+    double v = 0;
+    return ReadRaw(&v, sizeof(v)) ? Result<double>(v) : Fail<double>();
+  }
+
+  Result<std::string> ReadString() {
+    auto len = ReadU32();
+    if (!len.ok()) return len.status();
+    std::string s(*len, '\0');
+    if (*len > 0 && !ReadRaw(s.data(), *len)) return Fail<std::string>();
+    return s;
+  }
+
+  template <typename T>
+  Result<std::vector<T>> ReadVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto len = ReadU32();
+    if (!len.ok()) return len.status();
+    std::vector<T> v(*len);
+    if (*len > 0 && !ReadRaw(v.data(), v.size() * sizeof(T))) {
+      return Fail<std::vector<T>>();
+    }
+    return v;
+  }
+
+ private:
+  template <typename T>
+  Result<T> Fail() {
+    return Status::IoError("unexpected end of stream");
+  }
+  bool ReadRaw(void* data, size_t size) {
+    in_->read(reinterpret_cast<char*>(data), static_cast<std::streamsize>(size));
+    return in_->good() || (in_->eof() && static_cast<size_t>(in_->gcount()) == size);
+  }
+  std::istream* in_;
+};
+
+}  // namespace koko
+
+#endif  // KOKO_STORAGE_SERDE_H_

@@ -1,0 +1,77 @@
+#include "text/annotations.h"
+
+#include "util/string_util.h"
+
+namespace koko {
+
+namespace {
+
+constexpr std::string_view kPosNames[kNumPosTags] = {
+    "noun", "propn", "verb", "adj", "adv", "pron", "det",
+    "adp",  "num",   "conj", "prt", "punct", "x",
+};
+
+constexpr std::string_view kDepNames[kNumDepLabels] = {
+    "root", "nsubj", "dobj",  "iobj",  "det",   "amod",  "nn",
+    "prep", "pobj",  "punct", "cc",    "conj",  "advmod", "acomp",
+    "rcmod", "xcomp", "ccomp", "aux",  "cop",   "neg",   "poss",
+    "num",  "appos", "attr",  "mark",  "prt",   "dep",
+};
+
+constexpr std::string_view kEntityNames[kNumEntityTypes] = {
+    "None", "Other", "Person", "Location", "GPE",
+    "Organization", "Date", "Facility", "Team", "Event",
+};
+
+}  // namespace
+
+std::string_view PosTagName(PosTag tag) { return kPosNames[static_cast<int>(tag)]; }
+std::string_view DepLabelName(DepLabel label) {
+  return kDepNames[static_cast<int>(label)];
+}
+std::string_view EntityTypeName(EntityType type) {
+  return kEntityNames[static_cast<int>(type)];
+}
+
+bool ParsePosTag(std::string_view name, PosTag* out) {
+  for (int i = 0; i < kNumPosTags; ++i) {
+    if (EqualsIgnoreCase(name, kPosNames[i])) {
+      *out = static_cast<PosTag>(i);
+      return true;
+    }
+  }
+  // Common aliases.
+  if (EqualsIgnoreCase(name, ".")) {
+    *out = PosTag::kPunct;
+    return true;
+  }
+  return false;
+}
+
+bool ParseDepLabel(std::string_view name, DepLabel* out) {
+  for (int i = 0; i < kNumDepLabels; ++i) {
+    if (EqualsIgnoreCase(name, kDepNames[i])) {
+      *out = static_cast<DepLabel>(i);
+      return true;
+    }
+  }
+  if (EqualsIgnoreCase(name, "p")) {  // the paper abbreviates punct as "p"
+    *out = DepLabel::kPunct;
+    return true;
+  }
+  return false;
+}
+
+bool ParseEntityType(std::string_view name, EntityType* out) {
+  for (int i = 0; i < kNumEntityTypes; ++i) {
+    if (EqualsIgnoreCase(name, kEntityNames[i])) {
+      *out = static_cast<EntityType>(i);
+      return true;
+    }
+  }
+  // "Entity" means "any entity type" in queries; callers handle that case
+  // separately, so it is deliberately not parsed here.
+  return false;
+}
+
+}  // namespace koko

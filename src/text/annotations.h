@@ -1,0 +1,91 @@
+#ifndef KOKO_TEXT_ANNOTATIONS_H_
+#define KOKO_TEXT_ANNOTATIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace koko {
+
+/// Universal POS tagset (Petrov, Das, McDonald 2012), as used in the paper,
+/// plus PROPN (proper noun) which the paper's queries reference (`/propn`).
+enum class PosTag : uint8_t {
+  kNoun = 0,
+  kPropn,
+  kVerb,
+  kAdj,
+  kAdv,
+  kPron,
+  kDet,
+  kAdp,   // adpositions (prepositions)
+  kNum,
+  kConj,
+  kPrt,   // particles ("to", "up" in phrasal verbs)
+  kPunct,
+  kX,     // everything else
+};
+inline constexpr int kNumPosTags = 13;
+
+/// Stanford-style dependency parse labels; the subset that appears in the
+/// paper's figures and queries plus common companions.
+enum class DepLabel : uint8_t {
+  kRoot = 0,
+  kNsubj,
+  kDobj,
+  kIobj,
+  kDet,
+  kAmod,
+  kNn,      // noun compound modifier
+  kPrep,
+  kPobj,
+  kPunct,
+  kCc,
+  kConj,
+  kAdvmod,
+  kAcomp,
+  kRcmod,
+  kXcomp,
+  kCcomp,
+  kAux,
+  kCop,
+  kNeg,
+  kPoss,
+  kNum,
+  kAppos,
+  kAttr,
+  kMark,
+  kPrt,
+  kDep,     // unclassified dependency
+};
+inline constexpr int kNumDepLabels = 27;
+
+/// Named-entity types. kNone marks tokens outside any entity; kOther is the
+/// paper's generic "Entity type: OTHER".
+enum class EntityType : uint8_t {
+  kNone = 0,
+  kOther,
+  kPerson,
+  kLocation,
+  kGpe,      // geo-political entities (cities, countries)
+  kOrganization,
+  kDate,
+  kFacility,
+  kTeam,
+  kEvent,
+};
+inline constexpr int kNumEntityTypes = 10;
+
+/// Lower-case canonical names ("noun", "dobj", "Person", ...) matching the
+/// paper's query syntax; parsing is case-insensitive.
+std::string_view PosTagName(PosTag tag);
+std::string_view DepLabelName(DepLabel label);
+std::string_view EntityTypeName(EntityType type);
+
+/// Reverse lookups; return false when `name` is not a member of the set.
+bool ParsePosTag(std::string_view name, PosTag* out);
+bool ParseDepLabel(std::string_view name, DepLabel* out);
+bool ParseEntityType(std::string_view name, EntityType* out);
+
+}  // namespace koko
+
+#endif  // KOKO_TEXT_ANNOTATIONS_H_

@@ -1,0 +1,91 @@
+#include "text/document.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace koko {
+
+void Sentence::ComputeTreeInfo() {
+  const int n = size();
+  children.assign(n, {});
+  subtree_left.assign(n, 0);
+  subtree_right.assign(n, 0);
+  depth.assign(n, 0);
+  root = -1;
+  for (int i = 0; i < n; ++i) {
+    int h = tokens[i].head;
+    if (h < 0) {
+      root = i;
+    } else {
+      KOKO_CHECK(h < n);
+      children[h].push_back(i);
+    }
+  }
+  if (n == 0) return;
+  KOKO_CHECK(root >= 0);
+
+  // Depth-first traversal computing depth and subtree extents.
+  // Iterative to avoid recursion limits on degenerate chains.
+  std::vector<std::pair<int, int>> stack;  // (node, child cursor)
+  for (int i = 0; i < n; ++i) {
+    subtree_left[i] = i;
+    subtree_right[i] = i;
+  }
+  depth[root] = 0;
+  stack.emplace_back(root, 0);
+  while (!stack.empty()) {
+    auto& [node, cursor] = stack.back();
+    if (cursor < static_cast<int>(children[node].size())) {
+      int child = children[node][cursor++];
+      depth[child] = depth[node] + 1;
+      stack.emplace_back(child, 0);
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) {
+        int parent = stack.back().first;
+        subtree_left[parent] = std::min(subtree_left[parent], subtree_left[node]);
+        subtree_right[parent] = std::max(subtree_right[parent], subtree_right[node]);
+      }
+    }
+  }
+}
+
+std::string Sentence::SpanText(int begin, int end) const {
+  std::string out;
+  for (int i = begin; i <= end && i < size(); ++i) {
+    if (i > begin) out += ' ';
+    out += tokens[i].text;
+  }
+  return out;
+}
+
+bool Sentence::IsAncestor(int ancestor, int node) const {
+  int cur = tokens[node].head;
+  while (cur >= 0) {
+    if (cur == ancestor) return true;
+    cur = tokens[cur].head;
+  }
+  return false;
+}
+
+void AnnotatedCorpus::RebuildRefs() {
+  refs.clear();
+  doc_first_sid.clear();
+  for (uint32_t d = 0; d < docs.size(); ++d) {
+    doc_first_sid.push_back(static_cast<uint32_t>(refs.size()));
+    for (uint32_t s = 0; s < docs[d].sentences.size(); ++s) {
+      refs.push_back(SentenceRef{d, s});
+    }
+  }
+}
+
+size_t AnnotatedCorpus::NumTokens() const {
+  size_t total = 0;
+  for (const auto& doc : docs) {
+    for (const auto& sent : doc.sentences) total += sent.tokens.size();
+  }
+  return total;
+}
+
+}  // namespace koko

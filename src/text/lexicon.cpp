@@ -1,0 +1,247 @@
+#include "text/lexicon.h"
+
+namespace koko {
+
+namespace {
+
+struct PosEntry {
+  std::string_view word;
+  PosTag tag;
+};
+
+// Closed classes: deterministic tags.
+constexpr PosEntry kClosedClass[] = {
+    // Determiners.
+    {"a", PosTag::kDet}, {"an", PosTag::kDet}, {"the", PosTag::kDet},
+    {"this", PosTag::kDet}, {"that", PosTag::kDet}, {"these", PosTag::kDet},
+    {"those", PosTag::kDet}, {"some", PosTag::kDet}, {"any", PosTag::kDet},
+    {"every", PosTag::kDet}, {"each", PosTag::kDet}, {"no", PosTag::kDet},
+    {"another", PosTag::kDet}, {"both", PosTag::kDet}, {"either", PosTag::kDet},
+    {"all", PosTag::kDet}, {"many", PosTag::kDet}, {"several", PosTag::kDet},
+    {"few", PosTag::kDet}, {"most", PosTag::kDet}, {"such", PosTag::kDet},
+    // Pronouns.
+    {"i", PosTag::kPron}, {"you", PosTag::kPron}, {"he", PosTag::kPron},
+    {"she", PosTag::kPron}, {"it", PosTag::kPron}, {"we", PosTag::kPron},
+    {"they", PosTag::kPron}, {"me", PosTag::kPron}, {"him", PosTag::kPron},
+    {"her", PosTag::kPron}, {"us", PosTag::kPron}, {"them", PosTag::kPron},
+    {"my", PosTag::kPron}, {"your", PosTag::kPron}, {"his", PosTag::kPron},
+    {"its", PosTag::kPron}, {"our", PosTag::kPron}, {"their", PosTag::kPron},
+    {"who", PosTag::kPron}, {"whom", PosTag::kPron}, {"which", PosTag::kDet},
+    {"what", PosTag::kPron}, {"someone", PosTag::kPron}, {"something", PosTag::kPron},
+    {"myself", PosTag::kPron}, {"himself", PosTag::kPron}, {"herself", PosTag::kPron},
+    {"itself", PosTag::kPron}, {"themselves", PosTag::kPron},
+    // Adpositions.
+    {"in", PosTag::kAdp}, {"on", PosTag::kAdp}, {"at", PosTag::kAdp},
+    {"by", PosTag::kAdp}, {"with", PosTag::kAdp}, {"from", PosTag::kAdp},
+    {"of", PosTag::kAdp}, {"for", PosTag::kAdp}, {"about", PosTag::kAdp},
+    {"into", PosTag::kAdp}, {"over", PosTag::kAdp}, {"under", PosTag::kAdp},
+    {"after", PosTag::kAdp}, {"before", PosTag::kAdp}, {"between", PosTag::kAdp},
+    {"through", PosTag::kAdp}, {"during", PosTag::kAdp}, {"without", PosTag::kAdp},
+    {"against", PosTag::kAdp}, {"near", PosTag::kAdp}, {"since", PosTag::kAdp},
+    {"until", PosTag::kAdp}, {"along", PosTag::kAdp}, {"behind", PosTag::kAdp},
+    {"beside", PosTag::kAdp}, {"above", PosTag::kAdp}, {"below", PosTag::kAdp},
+    {"across", PosTag::kAdp}, {"toward", PosTag::kAdp}, {"towards", PosTag::kAdp},
+    {"as", PosTag::kAdp}, {"like", PosTag::kAdp},
+    // Conjunctions.
+    {"and", PosTag::kConj}, {"or", PosTag::kConj}, {"but", PosTag::kConj},
+    {"nor", PosTag::kConj}, {"yet", PosTag::kConj}, {"so", PosTag::kConj},
+    {"because", PosTag::kConj}, {"although", PosTag::kConj},
+    {"while", PosTag::kConj}, {"if", PosTag::kConj}, {"when", PosTag::kConj},
+    {"where", PosTag::kConj}, {"whereas", PosTag::kConj},
+    // Particles.
+    {"to", PosTag::kPrt}, {"up", PosTag::kPrt}, {"out", PosTag::kPrt},
+    {"off", PosTag::kPrt}, {"down", PosTag::kPrt},
+    // Numbers (written-out).
+    {"one", PosTag::kNum}, {"two", PosTag::kNum}, {"three", PosTag::kNum},
+    {"four", PosTag::kNum}, {"five", PosTag::kNum}, {"six", PosTag::kNum},
+    {"seven", PosTag::kNum}, {"eight", PosTag::kNum}, {"nine", PosTag::kNum},
+    {"ten", PosTag::kNum}, {"hundred", PosTag::kNum}, {"thousand", PosTag::kNum},
+    {"million", PosTag::kNum}, {"first", PosTag::kNum}, {"second", PosTag::kNum},
+    {"third", PosTag::kNum},
+};
+
+// Common open-class words with their most frequent tag. This list leans
+// toward the vocabulary the corpus generators and the paper's examples use.
+constexpr PosEntry kOpenClass[] = {
+    // Verbs (base/past forms the generators emit).
+    {"ate", PosTag::kVerb}, {"eat", PosTag::kVerb}, {"eats", PosTag::kVerb},
+    {"was", PosTag::kVerb}, {"is", PosTag::kVerb}, {"are", PosTag::kVerb},
+    {"were", PosTag::kVerb}, {"be", PosTag::kVerb}, {"been", PosTag::kVerb},
+    {"has", PosTag::kVerb}, {"have", PosTag::kVerb}, {"had", PosTag::kVerb},
+    {"do", PosTag::kVerb}, {"does", PosTag::kVerb}, {"did", PosTag::kVerb},
+    {"will", PosTag::kVerb}, {"would", PosTag::kVerb}, {"can", PosTag::kVerb},
+    {"could", PosTag::kVerb}, {"may", PosTag::kVerb}, {"might", PosTag::kVerb},
+    {"should", PosTag::kVerb}, {"must", PosTag::kVerb},
+    {"bought", PosTag::kVerb}, {"buy", PosTag::kVerb}, {"buys", PosTag::kVerb},
+    {"serves", PosTag::kVerb}, {"serve", PosTag::kVerb}, {"served", PosTag::kVerb},
+    {"sells", PosTag::kVerb}, {"sell", PosTag::kVerb}, {"sold", PosTag::kVerb},
+    {"sips", PosTag::kVerb}, {"makes", PosTag::kVerb}, {"make", PosTag::kVerb},
+    {"made", PosTag::kVerb}, {"opened", PosTag::kVerb}, {"opens", PosTag::kVerb},
+    {"open", PosTag::kVerb}, {"hired", PosTag::kVerb}, {"hires", PosTag::kVerb},
+    {"employs", PosTag::kVerb}, {"employed", PosTag::kVerb},
+    {"offers", PosTag::kVerb}, {"offered", PosTag::kVerb},
+    {"visited", PosTag::kVerb}, {"visits", PosTag::kVerb}, {"visit", PosTag::kVerb},
+    {"went", PosTag::kVerb}, {"go", PosTag::kVerb}, {"goes", PosTag::kVerb},
+    {"came", PosTag::kVerb}, {"come", PosTag::kVerb}, {"comes", PosTag::kVerb},
+    {"said", PosTag::kVerb}, {"says", PosTag::kVerb}, {"say", PosTag::kVerb},
+    {"called", PosTag::kVerb}, {"call", PosTag::kVerb}, {"calls", PosTag::kVerb},
+    {"born", PosTag::kVerb}, {"married", PosTag::kVerb}, {"lived", PosTag::kVerb},
+    {"lives", PosTag::kVerb}, {"live", PosTag::kVerb}, {"died", PosTag::kVerb},
+    {"wrote", PosTag::kVerb}, {"writes", PosTag::kVerb}, {"write", PosTag::kVerb},
+    {"won", PosTag::kVerb}, {"wins", PosTag::kVerb}, {"win", PosTag::kVerb},
+    {"played", PosTag::kVerb}, {"plays", PosTag::kVerb}, {"play", PosTag::kVerb},
+    {"hosts", PosTag::kVerb}, {"hosted", PosTag::kVerb}, {"host", PosTag::kVerb},
+    {"beat", PosTag::kVerb}, {"defeated", PosTag::kVerb},
+    {"founded", PosTag::kVerb}, {"became", PosTag::kVerb},
+    {"enjoyed", PosTag::kVerb}, {"enjoys", PosTag::kVerb}, {"enjoy", PosTag::kVerb},
+    {"loved", PosTag::kVerb}, {"loves", PosTag::kVerb}, {"love", PosTag::kVerb},
+    {"felt", PosTag::kVerb}, {"feel", PosTag::kVerb}, {"feels", PosTag::kVerb},
+    {"got", PosTag::kVerb}, {"get", PosTag::kVerb}, {"gets", PosTag::kVerb},
+    {"saw", PosTag::kVerb}, {"see", PosTag::kVerb}, {"sees", PosTag::kVerb},
+    {"finished", PosTag::kVerb}, {"started", PosTag::kVerb},
+    {"received", PosTag::kVerb}, {"gave", PosTag::kVerb},
+    {"took", PosTag::kVerb}, {"prepared", PosTag::kVerb},
+    {"manufactured", PosTag::kVerb}, {"brews", PosTag::kVerb},
+    {"brewed", PosTag::kVerb}, {"roasts", PosTag::kVerb}, {"roasted", PosTag::kVerb},
+    {"pours", PosTag::kVerb}, {"poured", PosTag::kVerb},
+    {"tried", PosTag::kVerb}, {"tries", PosTag::kVerb}, {"try", PosTag::kVerb},
+    {"features", PosTag::kVerb}, {"featured", PosTag::kVerb},
+    {"describes", PosTag::kVerb}, {"described", PosTag::kVerb},
+    // Irregular / common past and present forms.
+    {"grew", PosTag::kVerb}, {"knew", PosTag::kVerb}, {"threw", PosTag::kVerb},
+    {"ran", PosTag::kVerb}, {"sat", PosTag::kVerb}, {"stood", PosTag::kVerb},
+    {"found", PosTag::kVerb}, {"left", PosTag::kVerb}, {"kept", PosTag::kVerb},
+    {"held", PosTag::kVerb}, {"brought", PosTag::kVerb},
+    {"thought", PosTag::kVerb}, {"began", PosTag::kVerb},
+    {"drank", PosTag::kVerb}, {"drove", PosTag::kVerb}, {"flew", PosTag::kVerb},
+    {"rose", PosTag::kVerb}, {"spoke", PosTag::kVerb}, {"wore", PosTag::kVerb},
+    {"met", PosTag::kVerb}, {"paid", PosTag::kVerb}, {"put", PosTag::kVerb},
+    {"read", PosTag::kVerb}, {"sent", PosTag::kVerb}, {"built", PosTag::kVerb},
+    {"caught", PosTag::kVerb}, {"chose", PosTag::kVerb}, {"drew", PosTag::kVerb},
+    {"melts", PosTag::kVerb}, {"hangs", PosTag::kVerb}, {"sits", PosTag::kVerb},
+    {"face", PosTag::kVerb}, {"returns", PosTag::kVerb},
+    {"produces", PosTag::kVerb}, {"talked", PosTag::kVerb},
+    {"leaned", PosTag::kVerb}, {"stuck", PosTag::kVerb}, {"meet", PosTag::kVerb},
+    {"needs", PosTag::kVerb}, {"need", PosTag::kVerb}, {"cost", PosTag::kVerb},
+    // Nouns.
+    {"cake", PosTag::kNoun}, {"cheese", PosTag::kNoun}, {"cheesecake", PosTag::kNoun},
+    {"cream", PosTag::kNoun}, {"ice", PosTag::kNoun}, {"chocolate", PosTag::kNoun},
+    {"pie", PosTag::kNoun}, {"peanuts", PosTag::kNoun}, {"store", PosTag::kNoun},
+    {"grocery", PosTag::kNoun}, {"cafe", PosTag::kNoun}, {"coffee", PosTag::kNoun},
+    {"espresso", PosTag::kNoun}, {"cappuccino", PosTag::kNoun},
+    {"cappuccinos", PosTag::kNoun}, {"macchiato", PosTag::kNoun},
+    {"macchiatos", PosTag::kNoun}, {"latte", PosTag::kNoun},
+    {"lattes", PosTag::kNoun}, {"barista", PosTag::kNoun},
+    {"baristas", PosTag::kNoun}, {"menu", PosTag::kNoun}, {"beans", PosTag::kNoun},
+    {"roaster", PosTag::kNoun}, {"roasters", PosTag::kNoun},
+    {"shop", PosTag::kNoun}, {"city", PosTag::kNoun}, {"cities", PosTag::kNoun},
+    {"country", PosTag::kNoun}, {"countries", PosTag::kNoun},
+    {"team", PosTag::kNoun}, {"teams", PosTag::kNoun}, {"game", PosTag::kNoun},
+    {"match", PosTag::kNoun}, {"stadium", PosTag::kNoun}, {"park", PosTag::kNoun},
+    {"arena", PosTag::kNoun}, {"center", PosTag::kNoun}, {"mall", PosTag::kNoun},
+    {"museum", PosTag::kNoun}, {"library", PosTag::kNoun}, {"airport", PosTag::kNoun},
+    {"street", PosTag::kNoun}, {"avenue", PosTag::kNoun}, {"type", PosTag::kNoun},
+    {"kind", PosTag::kNoun}, {"baking", PosTag::kNoun}, {"daughter", PosTag::kNoun},
+    {"son", PosTag::kNoun}, {"couple", PosTag::kNoun}, {"wife", PosTag::kNoun},
+    {"husband", PosTag::kNoun}, {"actor", PosTag::kNoun}, {"actress", PosTag::kNoun},
+    {"writer", PosTag::kNoun}, {"singer", PosTag::kNoun}, {"player", PosTag::kNoun},
+    {"moment", PosTag::kNoun}, {"day", PosTag::kNoun}, {"week", PosTag::kNoun},
+    {"month", PosTag::kNoun}, {"year", PosTag::kNoun}, {"years", PosTag::kNoun},
+    {"morning", PosTag::kNoun}, {"dinner", PosTag::kNoun}, {"lunch", PosTag::kNoun},
+    {"breakfast", PosTag::kNoun}, {"friend", PosTag::kNoun},
+    {"friends", PosTag::kNoun}, {"family", PosTag::kNoun}, {"dog", PosTag::kNoun},
+    {"cat", PosTag::kNoun}, {"job", PosTag::kNoun}, {"work", PosTag::kNoun},
+    {"home", PosTag::kNoun}, {"house", PosTag::kNoun}, {"school", PosTag::kNoun},
+    {"title", PosTag::kNoun}, {"name", PosTag::kNoun}, {"champion", PosTag::kNoun},
+    {"championship", PosTag::kNoun}, {"festival", PosTag::kNoun},
+    {"machine", PosTag::kNoun}, {"neighborhood", PosTag::kNoun},
+    {"district", PosTag::kNoun}, {"owner", PosTag::kNoun}, {"guest", PosTag::kNoun},
+    {"guests", PosTag::kNoun}, {"pastries", PosTag::kNoun}, {"pastry", PosTag::kNoun},
+    {"tea", PosTag::kNoun}, {"food", PosTag::kNoun}, {"foods", PosTag::kNoun},
+    // Adjectives.
+    {"delicious", PosTag::kAdj}, {"salty", PosTag::kAdj}, {"sweet", PosTag::kAdj},
+    {"great", PosTag::kAdj}, {"good", PosTag::kAdj}, {"best", PosTag::kAdj},
+    {"new", PosTag::kAdj}, {"old", PosTag::kAdj}, {"happy", PosTag::kAdj},
+    {"big", PosTag::kAdj}, {"small", PosTag::kAdj}, {"local", PosTag::kAdj},
+    {"famous", PosTag::kAdj}, {"asian", PosTag::kAdj}, {"european", PosTag::kAdj},
+    {"star", PosTag::kAdj}, {"fresh", PosTag::kAdj}, {"cozy", PosTag::kAdj},
+    {"tasty", PosTag::kAdj}, {"amazing", PosTag::kAdj}, {"excellent", PosTag::kAdj},
+    {"upcoming", PosTag::kAdj}, {"proud", PosTag::kAdj}, {"glad", PosTag::kAdj},
+    {"excited", PosTag::kAdj}, {"wonderful", PosTag::kAdj},
+    // Adverbs.
+    {"also", PosTag::kAdv}, {"very", PosTag::kAdv}, {"really", PosTag::kAdv},
+    {"recently", PosTag::kAdv}, {"today", PosTag::kAdv}, {"yesterday", PosTag::kAdv},
+    {"tomorrow", PosTag::kAdv}, {"never", PosTag::kAdv}, {"always", PosTag::kAdv},
+    {"often", PosTag::kAdv}, {"finally", PosTag::kAdv}, {"here", PosTag::kAdv},
+    {"there", PosTag::kAdv}, {"now", PosTag::kAdv}, {"then", PosTag::kAdv},
+    {"just", PosTag::kAdv}, {"only", PosTag::kAdv}, {"too", PosTag::kAdv},
+    {"again", PosTag::kAdv}, {"already", PosTag::kAdv},
+};
+
+constexpr std::string_view kAux[] = {
+    "was", "is", "are", "were", "be", "been", "being", "am",
+    "has", "have", "had", "do", "does", "did",
+    "will", "would", "can", "could", "may", "might", "should", "must",
+};
+
+constexpr std::string_view kCopula[] = {"is", "was", "are", "were", "be",
+                                        "been", "being", "am"};
+
+constexpr std::string_view kRelPron[] = {"which", "that", "who", "whom", "whose"};
+
+constexpr std::string_view kNegation[] = {"not", "n't", "never", "no"};
+
+constexpr std::string_view kMonths[] = {
+    "january", "february", "march", "april", "may", "june", "july", "august",
+    "september", "october", "november", "december",
+    "jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
+};
+
+}  // namespace
+
+Lexicon::Lexicon() {
+  for (const auto& e : kClosedClass) pos_.emplace(e.word, e.tag);
+  for (const auto& e : kOpenClass) pos_.emplace(e.word, e.tag);
+  for (auto w : kAux) aux_.insert(w);
+  for (auto w : kCopula) copula_.insert(w);
+  for (auto w : kRelPron) relpron_.insert(w);
+  for (auto w : kNegation) negation_.insert(w);
+  for (auto w : kMonths) months_.insert(w);
+}
+
+const Lexicon& Lexicon::Get() {
+  static const Lexicon* lexicon = new Lexicon();
+  return *lexicon;
+}
+
+bool Lexicon::LookupPos(std::string_view lower_word, PosTag* tag) const {
+  auto it = pos_.find(lower_word);
+  if (it == pos_.end()) return false;
+  *tag = it->second;
+  return true;
+}
+
+bool Lexicon::IsAuxiliary(std::string_view w) const { return aux_.count(w) > 0; }
+bool Lexicon::IsCopula(std::string_view w) const { return copula_.count(w) > 0; }
+bool Lexicon::IsRelativePronoun(std::string_view w) const {
+  return relpron_.count(w) > 0;
+}
+bool Lexicon::IsNegation(std::string_view w) const { return negation_.count(w) > 0; }
+bool Lexicon::IsMonth(std::string_view w) const { return months_.count(w) > 0; }
+
+bool Lexicon::IsFunctionWord(std::string_view w) const {
+  auto it = pos_.find(w);
+  if (it == pos_.end()) return false;
+  switch (it->second) {
+    case PosTag::kDet:
+    case PosTag::kPron:
+    case PosTag::kAdp:
+    case PosTag::kConj:
+    case PosTag::kPrt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace koko

@@ -1,0 +1,49 @@
+#ifndef KOKO_TEXT_LEXICON_H_
+#define KOKO_TEXT_LEXICON_H_
+
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/annotations.h"
+
+namespace koko {
+
+/// \brief Built-in English lexicon used by the POS tagger and parser.
+///
+/// Replaces the statistical models of spaCy/Google-NL with deterministic
+/// word lists: closed-class words (determiners, pronouns, prepositions,
+/// conjunctions, auxiliaries) have fixed tags; a list of common open-class
+/// words provides high-frequency coverage; everything else falls to the
+/// tagger's suffix/shape heuristics.
+class Lexicon {
+ public:
+  /// Singleton accessor (the tables are immutable).
+  static const Lexicon& Get();
+
+  /// Returns true and sets *tag when `lower_word` has a fixed tag.
+  bool LookupPos(std::string_view lower_word, PosTag* tag) const;
+
+  bool IsAuxiliary(std::string_view lower_word) const;   // was, is, has, will…
+  bool IsCopula(std::string_view lower_word) const;      // be-forms
+  bool IsRelativePronoun(std::string_view lower_word) const;  // which, that, who…
+  bool IsNegation(std::string_view lower_word) const;    // not, n't, never
+  bool IsFunctionWord(std::string_view lower_word) const;
+
+  /// Month names for DATE recognition ("december", "jan", ...).
+  bool IsMonth(std::string_view lower_word) const;
+
+ private:
+  Lexicon();
+
+  std::unordered_map<std::string_view, PosTag> pos_;
+  std::unordered_set<std::string_view> aux_;
+  std::unordered_set<std::string_view> copula_;
+  std::unordered_set<std::string_view> relpron_;
+  std::unordered_set<std::string_view> negation_;
+  std::unordered_set<std::string_view> months_;
+};
+
+}  // namespace koko
+
+#endif  // KOKO_TEXT_LEXICON_H_

@@ -1,0 +1,146 @@
+#include "text/pos_tagger.h"
+
+#include "text/lexicon.h"
+#include "util/string_util.h"
+
+namespace koko {
+
+namespace {
+
+bool IsPunctToken(const std::string& tok) {
+  for (char c : tok) {
+    if (IsAsciiAlnum(c)) return false;
+  }
+  return !tok.empty();
+}
+
+bool LooksNumeric(const std::string& tok) {
+  bool digit = false;
+  for (char c : tok) {
+    if (IsAsciiDigit(c)) {
+      digit = true;
+    } else if (c != '.' && c != ',' && c != '-' && c != '%' && c != '$') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+PosTag SuffixTag(const std::string& lower) {
+  if (EndsWith(lower, "ly")) return PosTag::kAdv;
+  if (EndsWith(lower, "ing") || EndsWith(lower, "ize") || EndsWith(lower, "ise"))
+    return PosTag::kVerb;
+  if (EndsWith(lower, "ed")) return PosTag::kVerb;
+  if (EndsWith(lower, "tion") || EndsWith(lower, "sion") || EndsWith(lower, "ness") ||
+      EndsWith(lower, "ment") || EndsWith(lower, "ity") || EndsWith(lower, "ship") ||
+      EndsWith(lower, "hood") || EndsWith(lower, "ism") || EndsWith(lower, "ery"))
+    return PosTag::kNoun;
+  if (EndsWith(lower, "ous") || EndsWith(lower, "ful") || EndsWith(lower, "ive") ||
+      EndsWith(lower, "able") || EndsWith(lower, "ible") || EndsWith(lower, "al") ||
+      EndsWith(lower, "ic") || EndsWith(lower, "ish"))
+    return PosTag::kAdj;
+  return PosTag::kNoun;  // nouns dominate unknown words
+}
+
+}  // namespace
+
+std::vector<PosTag> PosTagger::Tag(const std::vector<std::string>& tokens) {
+  const Lexicon& lex = Lexicon::Get();
+  const int n = static_cast<int>(tokens.size());
+  std::vector<PosTag> tags(n, PosTag::kX);
+  std::vector<std::string> lower(n);
+  for (int i = 0; i < n; ++i) lower[i] = ToLower(tokens[i]);
+
+  // Stage 1: lexicon, shape, suffix.
+  for (int i = 0; i < n; ++i) {
+    const std::string& tok = tokens[i];
+    if (IsPunctToken(tok)) {
+      tags[i] = PosTag::kPunct;
+      continue;
+    }
+    if (LooksNumeric(tok)) {
+      tags[i] = PosTag::kNum;
+      continue;
+    }
+    PosTag lex_tag;
+    if (lex.LookupPos(lower[i], &lex_tag)) {
+      tags[i] = lex_tag;
+      continue;
+    }
+    // Inflected forms of known verbs: "serves" -> "serve", "opened" ->
+    // "open", "pouring" -> "pour".
+    {
+      const std::string& w = lower[i];
+      PosTag stem_tag;
+      bool stem_verb = false;
+      if (w.size() > 2 && w.back() == 's' &&
+          lex.LookupPos(w.substr(0, w.size() - 1), &stem_tag)) {
+        stem_verb = stem_tag == PosTag::kVerb;
+      } else if (w.size() > 3 && EndsWith(w, "ed") &&
+                 (lex.LookupPos(w.substr(0, w.size() - 2), &stem_tag) ||
+                  lex.LookupPos(w.substr(0, w.size() - 1), &stem_tag))) {
+        stem_verb = stem_tag == PosTag::kVerb;
+      } else if (w.size() > 4 && EndsWith(w, "ing") &&
+                 lex.LookupPos(w.substr(0, w.size() - 3), &stem_tag)) {
+        stem_verb = stem_tag == PosTag::kVerb;
+      }
+      if (stem_verb) {
+        tags[i] = PosTag::kVerb;
+        continue;
+      }
+    }
+    // Capitalised tokens that are not sentence-initial are proper nouns.
+    if (IsCapitalized(tok) && i > 0) {
+      tags[i] = PosTag::kPropn;
+      continue;
+    }
+    // Sentence-initial capitalised unknown word: proper noun when the next
+    // token is capitalised too ("Cyd Charisse had ..."), else suffix rules.
+    if (IsCapitalized(tok) && i == 0) {
+      if (n > 1 && IsCapitalized(tokens[1]) && !IsPunctToken(tokens[1])) {
+        tags[i] = PosTag::kPropn;
+        continue;
+      }
+    }
+    tags[i] = SuffixTag(lower[i]);
+  }
+
+  // Stage 2: contextual fix-ups (Brill-style).
+  for (int i = 0; i < n; ++i) {
+    // DET + VERB -> DET + NOUN ("a drink", "the serves" never happens; noun
+    // readings dominate right after determiners).
+    if (i > 0 && tags[i] == PosTag::kVerb && tags[i - 1] == PosTag::kDet) {
+      // Unless an auxiliary intervening pattern like "the was" (rare) —
+      // keep the rewrite unconditional; generators never emit that.
+      tags[i] = PosTag::kNoun;
+    }
+    // "to" + VERB stays PRT + VERB; "to" + NOUN becomes ADP.
+    if (lower[i] == "to") {
+      if (i + 1 < n && tags[i + 1] == PosTag::kVerb) {
+        tags[i] = PosTag::kPrt;
+      } else {
+        tags[i] = PosTag::kAdp;
+      }
+    }
+    // Auxiliary + participle: "was born" — make sure the participle is VERB.
+    if (i > 0 && lex.IsAuxiliary(lower[i - 1]) && tags[i] == PosTag::kNoun &&
+        (EndsWith(lower[i], "ed") || EndsWith(lower[i], "en"))) {
+      tags[i] = PosTag::kVerb;
+    }
+    // ADJ directly before a verb that looked nominal: "star barista" is
+    // handled by DET rule; nothing to do here.
+    // "that" as relative pronoun after a noun: retag DET -> PRON.
+    if ((lower[i] == "that" || lower[i] == "which") && i > 0 &&
+        (tags[i - 1] == PosTag::kNoun || tags[i - 1] == PosTag::kPropn ||
+         tags[i - 1] == PosTag::kPunct)) {
+      if (i + 1 < n &&
+          (tags[i + 1] == PosTag::kVerb || tags[i + 1] == PosTag::kPron ||
+           lex.IsAuxiliary(lower[i + 1]))) {
+        tags[i] = PosTag::kPron;
+      }
+    }
+  }
+  return tags;
+}
+
+}  // namespace koko

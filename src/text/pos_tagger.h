@@ -1,0 +1,26 @@
+#ifndef KOKO_TEXT_POS_TAGGER_H_
+#define KOKO_TEXT_POS_TAGGER_H_
+
+#include <string>
+#include <vector>
+
+#include "text/annotations.h"
+
+namespace koko {
+
+/// \brief Deterministic POS tagger (lexicon + shape/suffix + context rules).
+///
+/// Stage 1 assigns each token a tag from the built-in lexicon, number/
+/// punctuation shapes, capitalisation (PROPN for capitalised non-initial
+/// tokens), or suffix heuristics (-ly -> ADV, -ing/-ed -> VERB, ...).
+/// Stage 2 applies a small set of Brill-style contextual fix-ups (e.g. a
+/// VERB directly after a determiner is retagged NOUN).
+class PosTagger {
+ public:
+  /// Tags a tokenised sentence; returns one tag per token.
+  static std::vector<PosTag> Tag(const std::vector<std::string>& tokens);
+};
+
+}  // namespace koko
+
+#endif  // KOKO_TEXT_POS_TAGGER_H_

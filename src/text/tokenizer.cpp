@@ -1,0 +1,141 @@
+#include "text/tokenizer.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace koko {
+
+namespace {
+
+bool IsEdgePunct(char c) {
+  switch (c) {
+    case '.':
+    case ',':
+    case ';':
+    case ':':
+    case '!':
+    case '?':
+    case '"':
+    case '\'':
+    case '(':
+    case ')':
+    case '[':
+    case ']':
+    case '{':
+    case '}':
+    case '<':
+    case '>':
+    case '`':
+      return true;
+    default:
+      return false;
+  }
+}
+
+const std::unordered_set<std::string>& Abbreviations() {
+  static const auto* abbr = new std::unordered_set<std::string>{
+      "mr", "mrs", "ms", "dr", "prof", "st", "ave", "jr", "sr",
+      "inc", "corp", "co", "ltd", "vs", "etc", "e.g", "i.e",
+      "a.m", "p.m", "u.s", "no",
+  };
+  return *abbr;
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  for (const std::string& raw : SplitWhitespace(text)) {
+    std::string_view word = raw;
+    // Peel leading punctuation.
+    std::vector<std::string> lead;
+    while (!word.empty() && IsEdgePunct(word.front()) &&
+           !(word.size() > 1 && word.front() == '\'' && IsAsciiAlpha(word[1]) &&
+             false)) {
+      lead.emplace_back(1, word.front());
+      word.remove_prefix(1);
+    }
+    // Peel trailing punctuation (kept in order).
+    std::vector<std::string> trail;
+    while (!word.empty() && IsEdgePunct(word.back())) {
+      // Keep "U.S." style internal periods: only peel a final '.' if the
+      // token has no other '.' inside (simple heuristic) or is long.
+      if (word.back() == '.' && word.find('.') != word.size() - 1) break;
+      trail.emplace_back(1, word.back());
+      word.remove_suffix(1);
+    }
+    for (auto& t : lead) tokens.push_back(std::move(t));
+    if (!word.empty()) {
+      // Contractions: n't and 's.
+      if (word.size() > 3 && EndsWith(ToLower(word), "n't")) {
+        tokens.emplace_back(word.substr(0, word.size() - 3));
+        tokens.emplace_back(word.substr(word.size() - 3));
+      } else if (word.size() > 2 && (EndsWith(word, "'s") || EndsWith(word, "'S"))) {
+        tokens.emplace_back(word.substr(0, word.size() - 2));
+        tokens.emplace_back(word.substr(word.size() - 2));
+      } else {
+        tokens.emplace_back(word);
+      }
+    }
+    for (auto it = trail.rbegin(); it != trail.rend(); ++it) {
+      tokens.push_back(std::move(*it));
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::string> SentenceSplitter::Split(std::string_view text) {
+  std::vector<std::string> sentences;
+  std::string current;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    current += c;
+    if (c != '.' && c != '!' && c != '?') continue;
+
+    // Look back: abbreviation guard for '.'.
+    if (c == '.') {
+      size_t end = current.size() - 1;
+      size_t start = end;
+      while (start > 0 && IsAsciiAlpha(current[start - 1])) --start;
+      std::string prev = ToLower(std::string_view(current).substr(start, end - start));
+      if (Abbreviations().count(prev) > 0) continue;
+      // Initials like "J." (single capital).
+      if (end - start == 1 && IsAsciiUpper(current[start])) continue;
+    }
+    // Look ahead: need whitespace then an upper-case letter/digit/quote, or EOT.
+    size_t j = i + 1;
+    // Allow closing quotes after the terminator.
+    while (j < text.size() && (text[j] == '"' || text[j] == '\'')) {
+      current += text[j];
+      ++j;
+    }
+    if (j >= text.size()) {
+      i = j - 1;
+      auto trimmed = Trim(current);
+      if (!trimmed.empty()) sentences.emplace_back(trimmed);
+      current.clear();
+      continue;
+    }
+    if (!IsAsciiSpace(text[j])) {
+      i = j - 1;
+      continue;
+    }
+    size_t k = j;
+    while (k < text.size() && IsAsciiSpace(text[k])) ++k;
+    if (k < text.size() && (IsAsciiUpper(text[k]) || IsAsciiDigit(text[k]) ||
+                            text[k] == '"' || text[k] == '\'')) {
+      auto trimmed = Trim(current);
+      if (!trimmed.empty()) sentences.emplace_back(trimmed);
+      current.clear();
+      i = k - 1;
+    } else {
+      i = j - 1;
+    }
+  }
+  auto trimmed = Trim(current);
+  if (!trimmed.empty()) sentences.emplace_back(trimmed);
+  return sentences;
+}
+
+}  // namespace koko

@@ -1,0 +1,33 @@
+#ifndef KOKO_TEXT_TOKENIZER_H_
+#define KOKO_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace koko {
+
+/// \brief Rule-based word tokenizer.
+///
+/// Splits on whitespace, then peels punctuation off token edges (commas,
+/// periods, quotes, brackets, ...) and splits the contractions "n't" and
+/// "'s". Internal hyphens and apostrophes are preserved ("pour-over").
+/// Deterministic and lossless enough for the paper's workloads.
+class Tokenizer {
+ public:
+  /// Tokenizes one sentence (or any text fragment) into surface tokens.
+  static std::vector<std::string> Tokenize(std::string_view text);
+};
+
+/// \brief Rule-based sentence splitter.
+///
+/// Splits on '.', '!', '?' when followed by whitespace and an upper-case
+/// letter (or end of text), with an abbreviation guard (Mr., Dr., St., ...).
+class SentenceSplitter {
+ public:
+  static std::vector<std::string> Split(std::string_view text);
+};
+
+}  // namespace koko
+
+#endif  // KOKO_TEXT_TOKENIZER_H_

@@ -1,0 +1,59 @@
+#ifndef KOKO_UTIL_INTERNER_H_
+#define KOKO_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace koko {
+
+/// Dense integer id for an interned string. kInvalidSymbol means "absent".
+using Symbol = uint32_t;
+inline constexpr Symbol kInvalidSymbol = static_cast<Symbol>(-1);
+
+/// \brief Bidirectional string <-> dense-id mapping.
+///
+/// Token texts, labels, and index keys are interned once so that postings
+/// and tries store 4-byte ids instead of strings.
+class StringPool {
+ public:
+  /// Returns the id for `text`, interning it if new.
+  Symbol Intern(std::string_view text) {
+    auto it = ids_.find(std::string(text));
+    if (it != ids_.end()) return it->second;
+    Symbol id = static_cast<Symbol>(strings_.size());
+    strings_.emplace_back(text);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `text` or kInvalidSymbol when not present.
+  Symbol Find(std::string_view text) const {
+    auto it = ids_.find(std::string(text));
+    return it == ids_.end() ? kInvalidSymbol : it->second;
+  }
+
+  const std::string& Lookup(Symbol id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+
+  /// Approximate heap footprint in bytes (for index-size accounting).
+  size_t MemoryUsage() const {
+    size_t total = strings_.capacity() * sizeof(std::string);
+    for (const auto& s : strings_) total += s.capacity();
+    // unordered_map overhead: buckets + nodes.
+    total += ids_.bucket_count() * sizeof(void*);
+    total += ids_.size() * (sizeof(void*) * 2 + sizeof(std::string) + sizeof(Symbol));
+    return total;
+  }
+
+ private:
+  std::unordered_map<std::string, Symbol> ids_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace koko
+
+#endif  // KOKO_UTIL_INTERNER_H_

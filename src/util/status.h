@@ -1,0 +1,132 @@
+#ifndef KOKO_UTIL_STATUS_H_
+#define KOKO_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace koko {
+
+/// Canonical error codes, loosely following the Arrow/absl conventions.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kIoError,
+  kParseError,
+};
+
+/// \brief Result of an operation that can fail.
+///
+/// A Status is either OK or carries a code and a human-readable message.
+/// Library code never throws across public API boundaries; it returns
+/// Status (or Result<T> for value-producing operations) instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Analogous to arrow::Result / absl::StatusOr. Accessing the value of a
+/// failed Result aborts (see KOKO_CHECK in logging.h); call ok() first or
+/// use KOKO_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace koko
+
+/// Propagates a non-OK Status to the caller.
+#define KOKO_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::koko::Status _koko_status = (expr);         \
+    if (!_koko_status.ok()) return _koko_status;  \
+  } while (0)
+
+#define KOKO_CONCAT_IMPL_(x, y) x##y
+#define KOKO_CONCAT_(x, y) KOKO_CONCAT_IMPL_(x, y)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on failure returns the error Status from the enclosing function.
+#define KOKO_ASSIGN_OR_RETURN(lhs, expr)                         \
+  auto KOKO_CONCAT_(_koko_result_, __LINE__) = (expr);           \
+  if (!KOKO_CONCAT_(_koko_result_, __LINE__).ok())               \
+    return KOKO_CONCAT_(_koko_result_, __LINE__).status();       \
+  lhs = std::move(KOKO_CONCAT_(_koko_result_, __LINE__)).value()
+
+#endif  // KOKO_UTIL_STATUS_H_

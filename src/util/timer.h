@@ -1,0 +1,72 @@
+#ifndef KOKO_UTIL_TIMER_H_
+#define KOKO_UTIL_TIMER_H_
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace koko {
+
+/// Monotonic wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates wall time per named phase.
+///
+/// The KOKO engine reports a Table-2-style breakdown (Normalize, DPLI,
+/// LoadArticle, GSP, extract, satisfying); each phase charges its elapsed
+/// time here via ScopedPhase.
+class PhaseStats {
+ public:
+  void Add(const std::string& phase, double seconds) { seconds_[phase] += seconds; }
+  double Get(const std::string& phase) const {
+    auto it = seconds_.find(phase);
+    return it == seconds_.end() ? 0.0 : it->second;
+  }
+  const std::map<std::string, double>& all() const { return seconds_; }
+  void Clear() { seconds_.clear(); }
+
+  double Total() const {
+    double t = 0;
+    for (const auto& [_, s] : seconds_) t += s;
+    return t;
+  }
+
+ private:
+  std::map<std::string, double> seconds_;
+};
+
+/// Charges the lifetime of the object to one phase of a PhaseStats.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseStats* stats, std::string phase)
+      : stats_(stats), phase_(std::move(phase)) {}
+  ~ScopedPhase() { stats_->Add(phase_, timer_.ElapsedSeconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseStats* stats_;
+  std::string phase_;
+  WallTimer timer_;
+};
+
+}  // namespace koko
+
+#endif  // KOKO_UTIL_TIMER_H_

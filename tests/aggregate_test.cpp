@@ -1,0 +1,180 @@
+#include "koko/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "nlp/pipeline.h"
+
+namespace koko {
+namespace {
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  AggregateTest() : aggregator_(&embeddings_, pipeline_.recognizer(), {}) {}
+
+  Document Doc(std::initializer_list<const char*> sentences) {
+    std::string text;
+    for (const char* s : sentences) {
+      text += s;
+      text += " ";
+    }
+    return pipeline_.AnnotateDocument({"t", text}, 0);
+  }
+
+  double Cond(const Document& doc, const std::string& value,
+              SatCondition::Kind kind, const std::string& text) {
+    SatCondition cond;
+    cond.kind = kind;
+    cond.var = "x";
+    cond.text = text;
+    return aggregator_.ConditionScore(doc, value, cond);
+  }
+
+  Pipeline pipeline_;
+  EmbeddingModel embeddings_;
+  Aggregator aggregator_;
+};
+
+TEST_F(AggregateTest, ContainsIsTokenLevel) {
+  Document doc = Doc({"Anything."});
+  // §4.4.1: "chocolate ice cream" contains "ice", mentions "choc" but does
+  // not contain "choc".
+  EXPECT_EQ(Cond(doc, "chocolate ice cream", SatCondition::Kind::kStrContains,
+                 "ice"),
+            1.0);
+  EXPECT_EQ(Cond(doc, "chocolate ice cream", SatCondition::Kind::kStrContains,
+                 "choc"),
+            0.0);
+  EXPECT_EQ(Cond(doc, "chocolate ice cream", SatCondition::Kind::kStrMentions,
+                 "choc"),
+            1.0);
+}
+
+TEST_F(AggregateTest, MatchesIsFullRegex) {
+  Document doc = Doc({"Anything."});
+  EXPECT_EQ(Cond(doc, "La Marzocco", SatCondition::Kind::kStrMatches,
+                 "[Ll]a Marzocco"),
+            1.0);
+  EXPECT_EQ(Cond(doc, "A La Marzocco machine", SatCondition::Kind::kStrMatches,
+                 "[Ll]a Marzocco"),
+            0.0);
+}
+
+TEST_F(AggregateTest, FollowedByAndPrecededBy) {
+  Document doc = Doc({"Brim House, a cafe in Portland, opened last month."});
+  EXPECT_EQ(
+      Cond(doc, "Brim House", SatCondition::Kind::kFollowedBy, ", a cafe"), 1.0);
+  EXPECT_EQ(Cond(doc, "Portland", SatCondition::Kind::kFollowedBy, ", a cafe"),
+            0.0);
+  EXPECT_EQ(Cond(doc, "cafe", SatCondition::Kind::kPrecededBy, ", a"), 1.0);
+}
+
+TEST_F(AggregateTest, NearScoresInverseDistance) {
+  Document doc = Doc({"Brim House serves great coffee."});
+  // distance("Brim House", "coffee") = 2 tokens (serves, great).
+  EXPECT_DOUBLE_EQ(
+      Cond(doc, "Brim House", SatCondition::Kind::kNear, "coffee"),
+      1.0 / 3.0);
+  // Adjacent mention scores 1.
+  Document doc2 = Doc({"Brim House coffee is nice."});
+  EXPECT_DOUBLE_EQ(Cond(doc2, "Brim House", SatCondition::Kind::kNear, "coffee"),
+                   1.0);
+  // Absent string scores 0.
+  EXPECT_EQ(Cond(doc, "Brim House", SatCondition::Kind::kNear, "tea"), 0.0);
+}
+
+TEST_F(AggregateTest, DescriptorMatchesParaphrase) {
+  // "sells espresso" is a paraphrase of "serves coffee" in the embedding
+  // clusters; the descriptor must catch it.
+  Document doc = Doc({"Brim House sells espresso every day."});
+  double score = Cond(doc, "Brim House", SatCondition::Kind::kDescriptorRight,
+                      "serves coffee");
+  EXPECT_GT(score, 0.5);
+  // The unrelated phrase scores zero.
+  EXPECT_EQ(Cond(doc, "Brim House", SatCondition::Kind::kDescriptorRight,
+                 "plays music"),
+            0.0);
+}
+
+TEST_F(AggregateTest, DescriptorRespectsSide) {
+  Document doc = Doc({"Brim House sells espresso."});
+  EXPECT_GT(Cond(doc, "Brim House", SatCondition::Kind::kDescriptorRight,
+                 "serves coffee"),
+            0.0);
+  // Left-side descriptor: the evidence is to the right -> no match.
+  EXPECT_EQ(Cond(doc, "Brim House", SatCondition::Kind::kDescriptorLeft,
+                 "serves coffee"),
+            0.0);
+}
+
+TEST_F(AggregateTest, DescriptorAggregatesOverSentences) {
+  Document one = Doc({"Brim House sells espresso."});
+  Document two = Doc({"Brim House sells espresso.",
+                      "Brim House pours espresso for regulars."});
+  SatCondition cond;
+  cond.kind = SatCondition::Kind::kDescriptorRight;
+  cond.text = "serves coffee";
+  double s1 = aggregator_.ConditionScore(one, "Brim House", cond);
+  double s2 = aggregator_.ConditionScore(two, "Brim House", cond);
+  EXPECT_GT(s2, s1);  // evidence accumulates across sentences
+}
+
+TEST_F(AggregateTest, WeightedSumAndThreshold) {
+  Document doc = Doc({"Brim House sells espresso."});
+  SatisfyingClause clause;
+  clause.var = "x";
+  SatCondition strong;
+  strong.kind = SatCondition::Kind::kStrContains;
+  strong.var = "x";
+  strong.text = "House";
+  strong.weight = 1.0;
+  SatCondition weak;
+  weak.kind = SatCondition::Kind::kDescriptorRight;
+  weak.var = "x";
+  weak.text = "serves coffee";
+  weak.weight = 0.5;
+  clause.conditions = {strong, weak};
+  double score = aggregator_.Score(doc, "Brim House", clause);
+  EXPECT_GT(score, 1.0);  // 1.0 + 0.5 * conf
+  EXPECT_LT(score, 1.6);
+}
+
+TEST_F(AggregateTest, DescriptorsDisabledAblation) {
+  Aggregator::Options options;
+  options.use_descriptors = false;
+  Aggregator no_desc(&embeddings_, pipeline_.recognizer(), options);
+  Document doc = Doc({"Brim House sells espresso."});
+  SatCondition cond;
+  cond.kind = SatCondition::Kind::kDescriptorRight;
+  cond.var = "x";
+  cond.text = "serves coffee";
+  EXPECT_EQ(no_desc.ConditionScore(doc, "Brim House", cond), 0.0);
+}
+
+TEST_F(AggregateTest, InDictUsesGazetteer) {
+  Document doc = Doc({"Anything."});
+  EXPECT_EQ(Cond(doc, "Portland", SatCondition::Kind::kInDict, "GPE"), 1.0);
+  EXPECT_EQ(Cond(doc, "Brim House", SatCondition::Kind::kInDict, "GPE"), 0.0);
+  EXPECT_EQ(Cond(doc, "Anna Mercer", SatCondition::Kind::kInDict, "Person"),
+            1.0);
+}
+
+TEST_F(AggregateTest, SimilarToUsesEmbeddings) {
+  Document doc = Doc({"Anything."});
+  double tokyo = Cond(doc, "Tokyo", SatCondition::Kind::kSimilarTo, "city");
+  double japan = Cond(doc, "Japan", SatCondition::Kind::kSimilarTo, "city");
+  EXPECT_GT(tokyo, 0.3);
+  EXPECT_LT(japan, 0.3);
+  EXPECT_EQ(Cond(doc, "city", SatCondition::Kind::kSimilarTo, "city"), 1.0);
+}
+
+TEST_F(AggregateTest, TokenOccurrencesHelper) {
+  Pipeline p;
+  Sentence s = p.AnnotateSentence("the cat and the dog and the cat");
+  auto occ = TokenOccurrences(s, {"the", "cat"});
+  EXPECT_EQ(occ, (std::vector<int>{0, 6}));
+  EXPECT_TRUE(TokenOccurrences(s, {"the", "bird"}).empty());
+  EXPECT_TRUE(TokenOccurrences(s, {}).empty());
+}
+
+}  // namespace
+}  // namespace koko

@@ -1,0 +1,196 @@
+#include "parser/dep_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/generators.h"
+#include "nlp/pipeline.h"
+#include "util/rng.h"
+
+namespace koko {
+namespace {
+
+Sentence Parse(const std::string& text) {
+  Pipeline pipeline;
+  return pipeline.AnnotateSentence(text);
+}
+
+DepLabel LabelOf(const Sentence& s, const std::string& word) {
+  for (const Token& t : s.tokens) {
+    if (t.text == word) return t.label;
+  }
+  ADD_FAILURE() << "token not found: " << word;
+  return DepLabel::kDep;
+}
+
+int IndexOf(const Sentence& s, const std::string& word) {
+  for (int i = 0; i < s.size(); ++i) {
+    if (s.tokens[i].text == word) return i;
+  }
+  return -1;
+}
+
+TEST(DepParserTest, FigureOneStructure) {
+  Sentence s = Parse(
+      "I ate a chocolate ice cream, which was delicious, and also ate a pie.");
+  ASSERT_EQ(s.size(), 17);
+  EXPECT_EQ(s.root, 1);  // first "ate"
+  EXPECT_EQ(s.tokens[0].label, DepLabel::kNsubj);
+  EXPECT_EQ(s.tokens[2].label, DepLabel::kDet);
+  EXPECT_EQ(s.tokens[3].label, DepLabel::kNn);
+  EXPECT_EQ(s.tokens[4].label, DepLabel::kNn);
+  EXPECT_EQ(s.tokens[5].label, DepLabel::kDobj);
+  EXPECT_EQ(s.tokens[5].head, 1);
+  EXPECT_EQ(s.tokens[7].label, DepLabel::kNsubj);   // which
+  EXPECT_EQ(s.tokens[8].label, DepLabel::kRcmod);   // was
+  EXPECT_EQ(s.tokens[8].head, 5);                   // attaches to cream
+  EXPECT_EQ(s.tokens[9].label, DepLabel::kAcomp);   // delicious
+  EXPECT_EQ(s.tokens[11].label, DepLabel::kCc);     // and
+  EXPECT_EQ(s.tokens[12].label, DepLabel::kAdvmod); // also
+  EXPECT_EQ(s.tokens[13].label, DepLabel::kConj);   // second ate
+  EXPECT_EQ(s.tokens[13].head, 1);                  // conjoined with root
+  EXPECT_EQ(s.tokens[15].label, DepLabel::kDobj);   // pie
+  EXPECT_EQ(s.tokens[15].head, 13);
+}
+
+TEST(DepParserTest, ExampleThreeOneStructure) {
+  Sentence s = Parse(
+      "Anna ate some delicious cheesecake that she bought at a grocery store.");
+  ASSERT_EQ(s.size(), 13);
+  EXPECT_EQ(LabelOf(s, "Anna"), DepLabel::kNsubj);
+  EXPECT_EQ(LabelOf(s, "ate"), DepLabel::kRoot);
+  EXPECT_EQ(LabelOf(s, "some"), DepLabel::kDet);
+  EXPECT_EQ(LabelOf(s, "delicious"), DepLabel::kAmod);
+  EXPECT_EQ(LabelOf(s, "cheesecake"), DepLabel::kDobj);
+  EXPECT_EQ(LabelOf(s, "that"), DepLabel::kDobj);  // she bought *that*
+  EXPECT_EQ(LabelOf(s, "she"), DepLabel::kNsubj);
+  EXPECT_EQ(LabelOf(s, "bought"), DepLabel::kRcmod);
+  EXPECT_EQ(LabelOf(s, "at"), DepLabel::kPrep);
+  EXPECT_EQ(LabelOf(s, "grocery"), DepLabel::kNn);
+  EXPECT_EQ(LabelOf(s, "store"), DepLabel::kPobj);
+  // Subtree extent of "cheesecake" covers the relative clause.
+  int cheesecake = IndexOf(s, "cheesecake");
+  EXPECT_EQ(s.subtree_left[cheesecake], 2);
+  EXPECT_GE(s.subtree_right[cheesecake], IndexOf(s, "store"));
+}
+
+TEST(DepParserTest, PrepositionAttachesToNoun) {
+  Sentence s = Parse("Cities in asian countries grew quickly.");
+  int in = IndexOf(s, "in");
+  EXPECT_EQ(s.tokens[in].label, DepLabel::kPrep);
+  EXPECT_EQ(s.tokens[in].head, IndexOf(s, "Cities"));
+  EXPECT_EQ(LabelOf(s, "countries"), DepLabel::kPobj);
+}
+
+TEST(DepParserTest, NpCoordination) {
+  Sentence s = Parse("She visited China and Japan.");
+  int china = IndexOf(s, "China");
+  int japan = IndexOf(s, "Japan");
+  EXPECT_EQ(s.tokens[japan].label, DepLabel::kConj);
+  EXPECT_EQ(s.tokens[japan].head, china);
+  EXPECT_EQ(LabelOf(s, "and"), DepLabel::kCc);
+}
+
+TEST(DepParserTest, CopulaWithAttr) {
+  Sentence s = Parse("Baking chocolate is a type of chocolate.");
+  EXPECT_EQ(LabelOf(s, "is"), DepLabel::kRoot);
+  EXPECT_EQ(LabelOf(s, "type"), DepLabel::kAttr);
+  int of = IndexOf(s, "of");
+  EXPECT_EQ(s.tokens[of].label, DepLabel::kPrep);
+}
+
+TEST(DepParserTest, AuxiliaryChain) {
+  Sentence s = Parse("Cyd Charisse had been called Sid for years.");
+  int called = IndexOf(s, "called");
+  EXPECT_EQ(s.tokens[called].label, DepLabel::kRoot);
+  EXPECT_EQ(LabelOf(s, "had"), DepLabel::kAux);
+  EXPECT_EQ(LabelOf(s, "been"), DepLabel::kAux);
+  int sid = IndexOf(s, "Sid");
+  EXPECT_EQ(s.tokens[sid].head, called);
+  EXPECT_EQ(s.tokens[sid].pos, PosTag::kPropn);
+}
+
+TEST(DepParserTest, VerblessSentenceGetsNounRoot) {
+  Sentence s = Parse("A wonderful day at the beach.");
+  EXPECT_GE(s.root, 0);
+  EXPECT_EQ(s.tokens[s.root].label, DepLabel::kRoot);
+}
+
+TEST(DepParserTest, SingleTokenSentence) {
+  Sentence s = Parse("Yes.");
+  EXPECT_GE(s.root, 0);
+  s.ComputeTreeInfo();
+  EXPECT_EQ(s.depth[s.root], 0);
+}
+
+// ---- Tree invariants over generated corpora (property sweep) ----
+
+struct InvariantCase {
+  const char* name;
+  int which;  // 0=happy, 1=wiki, 2=cafe, 3=tweets
+};
+
+class ParserInvariantTest : public ::testing::TestWithParam<InvariantCase> {};
+
+TEST_P(ParserInvariantTest, TreesAreWellFormed) {
+  Pipeline pipeline;
+  std::vector<RawDocument> docs;
+  switch (GetParam().which) {
+    case 0:
+      docs = GenerateHappyMoments({.num_moments = 150, .seed = 11});
+      break;
+    case 1:
+      docs = GenerateWikiArticles({.num_articles = 60, .seed = 12});
+      break;
+    case 2:
+      docs = GenerateCafeBlogs({.num_articles = 25, .long_articles = false,
+                                .seed = 13})
+                 .docs;
+      break;
+    default:
+      docs = GenerateTweets({.num_tweets = 150, .seed = 14}).docs;
+      break;
+  }
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  ASSERT_GT(corpus.NumSentences(), 0u);
+  for (uint32_t sid = 0; sid < corpus.NumSentences(); ++sid) {
+    const Sentence& s = corpus.sentence(sid);
+    // Exactly one root.
+    int roots = 0;
+    for (const Token& t : s.tokens) {
+      if (t.head == -1) ++roots;
+    }
+    EXPECT_EQ(roots, 1) << "sid=" << sid << " text: " << s.Text();
+    // Heads in range; acyclic (walking up terminates).
+    for (int i = 0; i < s.size(); ++i) {
+      ASSERT_LT(s.tokens[i].head, s.size());
+      int cur = i;
+      int steps = 0;
+      while (cur != -1 && steps <= s.size()) {
+        cur = s.tokens[cur].head;
+        ++steps;
+      }
+      EXPECT_LE(steps, s.size()) << "cycle at sid=" << sid;
+    }
+    // Subtree extents contain the token and nest children within parents.
+    for (int i = 0; i < s.size(); ++i) {
+      EXPECT_LE(s.subtree_left[i], i);
+      EXPECT_GE(s.subtree_right[i], i);
+      int h = s.tokens[i].head;
+      if (h >= 0) {
+        EXPECT_LE(s.subtree_left[h], s.subtree_left[i]);
+        EXPECT_GE(s.subtree_right[h], s.subtree_right[i]);
+        EXPECT_EQ(s.depth[i], s.depth[h] + 1);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpora, ParserInvariantTest,
+                         ::testing::Values(InvariantCase{"happy", 0},
+                                           InvariantCase{"wiki", 1},
+                                           InvariantCase{"cafe", 2},
+                                           InvariantCase{"tweets", 3}),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace koko

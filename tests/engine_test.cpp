@@ -1,0 +1,248 @@
+#include "koko/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/generators.h"
+#include "corpus/query_gen.h"
+#include "index/koko_index.h"
+#include "nlp/pipeline.h"
+
+namespace koko {
+namespace {
+
+struct World {
+  Pipeline pipeline;
+  AnnotatedCorpus corpus;
+  std::unique_ptr<KokoIndex> index;
+  EmbeddingModel embeddings;
+  std::unique_ptr<Engine> engine;
+
+  explicit World(std::initializer_list<RawDocument> docs)
+      : World(std::vector<RawDocument>(docs)) {}
+  explicit World(const std::vector<RawDocument>& docs) {
+    corpus = pipeline.AnnotateCorpus(docs);
+    index = KokoIndex::Build(corpus);
+    engine = std::make_unique<Engine>(&corpus, index.get(), &embeddings,
+                                      &const_cast<const Pipeline&>(pipeline)
+                                           .recognizer());
+  }
+};
+
+TEST(EngineTest, ExampleTwoOneBindings) {
+  World w({{"d",
+            "I ate a chocolate ice cream, which was delicious, and also ate a "
+            "pie. Anna ate some delicious cheesecake that she bought at a "
+            "grocery store."}});
+  auto result = w.engine->ExecuteText(R"(
+      extract e:Entity, d:Str from "input.txt" if (
+        /ROOT:{ a = //verb, b = a/dobj, c = b//"delicious", d = (b.subtree) }
+        (b) in (e)))");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0].values[0], "chocolate ice cream");
+  EXPECT_EQ(result->rows[0].values[1],
+            "a chocolate ice cream , which was delicious");
+  EXPECT_EQ(result->rows[1].values[0], "cheesecake");
+}
+
+TEST(EngineTest, EmptyWhenWordAbsent) {
+  World w({{"d", "I ate a pie."}});
+  auto result = w.engine->ExecuteText(R"(
+      extract d:Str from "t" if (
+        /ROOT:{ a = //verb, b = a/dobj, c = b//"delicious", d = (b.subtree) }))");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rows.empty());
+  EXPECT_EQ(result->candidate_sentences, 0u);  // DPLI short-circuits
+}
+
+TEST(EngineTest, HorizontalConditionWithElastics) {
+  World w({{"d", "Anna quietly ate a delicious pie."}});
+  auto result = w.engine->ExecuteText(R"(
+      extract x:Str from "t" if (
+        /ROOT:{ v = //verb, x = "Anna" + ^ + v + ^ + "pie" }))");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].values[0], "Anna quietly ate a delicious pie");
+}
+
+TEST(EngineTest, AdjacencyRequiredWithoutElastic) {
+  World w({{"d", "Anna quietly ate a pie."}});
+  // "Anna" + verb requires adjacency: "quietly" intervenes -> no match.
+  auto no = w.engine->ExecuteText(R"(
+      extract x:Str from "t" if ( /ROOT:{ v = //verb, x = "Anna" + v }))");
+  ASSERT_TRUE(no.ok());
+  EXPECT_TRUE(no->rows.empty());
+  // With an elastic the same pattern matches.
+  auto yes = w.engine->ExecuteText(R"(
+      extract x:Str from "t" if ( /ROOT:{ v = //verb, x = "Anna" + ^ + v }))");
+  ASSERT_TRUE(yes.ok());
+  EXPECT_EQ(yes->rows.size(), 1u);
+}
+
+TEST(EngineTest, ElasticBoundsRespected) {
+  World w({{"d", "Anna quickly and quietly ate a pie."}});
+  auto bounded = w.engine->ExecuteText(R"(
+      extract x:Str from "t" if (
+        /ROOT:{ v = //verb, x = "Anna" + ^[max=2] + v }))");
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_TRUE(bounded->rows.empty());  // gap is 3 tokens
+  auto wide = w.engine->ExecuteText(R"(
+      extract x:Str from "t" if (
+        /ROOT:{ v = //verb, x = "Anna" + ^[max=4] + v }))");
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide->rows.size(), 1u);
+}
+
+TEST(EngineTest, EqConstraint) {
+  World w({{"d", "Anna ate a pie."}});
+  auto result = w.engine->ExecuteText(R"(
+      extract x:Str from "t" if (
+        /ROOT:{ v = //verb, b = v/dobj, x = (b.subtree), y = "a" + "pie" }
+        (y) eq (x)))");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 1u);
+}
+
+TEST(EngineTest, ParentOfConstraintFromRelativePath) {
+  World w({{"d", "Anna ate a delicious pie."}});
+  // b = a/dobj derives (a parentOf b): head of the dobj must be that verb.
+  auto result = w.engine->ExecuteText(R"(
+      extract b:Str from "t" if ( /ROOT:{ a = //verb, b = a/dobj }))");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].values[0], "pie");
+}
+
+TEST(EngineTest, GspEqualsNogspOnSyntheticSpans) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 120, .seed = 33});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  EmbeddingModel embeddings;
+  Engine engine(&corpus, index.get(), &embeddings,
+                &const_cast<const Pipeline&>(pipeline).recognizer());
+  auto queries = GenerateSyntheticSpanBenchmark(
+      corpus, {.queries_per_setting = 6, .seed = 34});
+  ASSERT_FALSE(queries.empty());
+  for (const auto& bench : queries) {
+    EngineOptions gsp;
+    gsp.use_gsp = true;
+    gsp.max_rows = 50000;
+    EngineOptions nogsp;
+    nogsp.use_gsp = false;
+    nogsp.max_rows = 50000;
+    auto a = engine.Execute(bench.query, gsp);
+    auto b = engine.Execute(bench.query, nogsp);
+    ASSERT_TRUE(a.ok()) << bench.name;
+    ASSERT_TRUE(b.ok()) << bench.name;
+    std::set<std::pair<uint32_t, std::string>> rows_a, rows_b;
+    for (const auto& row : a->rows) rows_a.insert({row.sid, row.values[0]});
+    for (const auto& row : b->rows) rows_b.insert({row.sid, row.values[0]});
+    EXPECT_EQ(rows_a, rows_b) << bench.name;
+  }
+}
+
+TEST(EngineTest, IndexPruningMatchesFullScan) {
+  Pipeline pipeline;
+  auto docs = GenerateWikiArticles({.num_articles = 40, .seed = 35});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  EmbeddingModel embeddings;
+  Engine engine(&corpus, index.get(), &embeddings,
+                &const_cast<const Pipeline&>(pipeline).recognizer());
+  const char* query = R"(
+      extract b:Str from "t" if ( /ROOT:{ a = //verb, b = a/dobj }))";
+  EngineOptions with_index;
+  EngineOptions no_index;
+  no_index.use_index = false;
+  auto a = engine.ExecuteText(query, with_index);
+  auto b = engine.ExecuteText(query, no_index);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->rows.size(), b->rows.size());
+  EXPECT_LE(a->candidate_sentences, b->candidate_sentences);
+}
+
+TEST(EngineTest, SatisfyingThresholdFiltersRows) {
+  World w({{"d", "Cities in asian countries such as China and Japan."}});
+  auto low = w.engine->ExecuteText(R"(
+      extract a:GPE from "t" if ()
+      satisfying a (a SimilarTo "country" {1.0}) with threshold 0.3)");
+  ASSERT_TRUE(low.ok());
+  EXPECT_EQ(low->rows.size(), 2u);  // China, Japan
+  auto high = w.engine->ExecuteText(R"(
+      extract a:GPE from "t" if ()
+      satisfying a (a SimilarTo "country" {1.0}) with threshold 0.99)");
+  ASSERT_TRUE(high.ok());
+  EXPECT_TRUE(high->rows.empty());
+}
+
+TEST(EngineTest, ExcludingRemovesMatches) {
+  World w({{"d", "Anna visited the Brim Cafe in Portland."}});
+  auto all = w.engine->ExecuteText(R"(
+      extract x:Entity from "t" if ()
+      satisfying x (str(x) contains "Cafe" {1}) with threshold 0.5)");
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->rows.size(), 1u);
+  auto excluded = w.engine->ExecuteText(R"(
+      extract x:Entity from "t" if ()
+      satisfying x (str(x) contains "Cafe" {1}) with threshold 0.5
+      excluding (str(x) matches "Brim Cafe"))");
+  ASSERT_TRUE(excluded.ok());
+  EXPECT_TRUE(excluded->rows.empty());
+}
+
+TEST(EngineTest, PhaseStatsPopulated) {
+  World w({{"d", "Anna ate a delicious pie."}});
+  auto result = w.engine->ExecuteText(R"(
+      extract b:Str from "t" if ( /ROOT:{ a = //verb, b = a/dobj }))");
+  ASSERT_TRUE(result.ok());
+  const auto& phases = result->phases.all();
+  EXPECT_TRUE(phases.count("Normalize"));
+  EXPECT_TRUE(phases.count("DPLI"));
+  EXPECT_TRUE(phases.count("LoadArticle"));
+  EXPECT_TRUE(phases.count("extract"));
+}
+
+TEST(EngineTest, MaxRowsLimit) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 200, .seed = 36});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  EmbeddingModel embeddings;
+  Engine engine(&corpus, index.get(), &embeddings,
+                &const_cast<const Pipeline&>(pipeline).recognizer());
+  EngineOptions options;
+  options.max_rows = 5;
+  auto result = engine.ExecuteText(
+      "extract v:Str from \"t\" if ( /ROOT:{ v = //verb })", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->rows.size(), 5u);
+}
+
+TEST(EngineTest, DocumentStoreProducesSameRows) {
+  Pipeline pipeline;
+  auto docs = GenerateWikiArticles({.num_articles = 25, .seed = 37});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  DocumentStore store = DocumentStore::FromCorpus(corpus);
+  EmbeddingModel embeddings;
+  Engine engine(&corpus, index.get(), &embeddings,
+                &const_cast<const Pipeline&>(pipeline).recognizer());
+  const char* query =
+      "extract b:Str from \"t\" if ( /ROOT:{ a = //verb, b = a/dobj })";
+  auto direct = engine.ExecuteText(query);
+  engine.set_document_store(&store);
+  auto via_store = engine.ExecuteText(query);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_store.ok());
+  ASSERT_EQ(direct->rows.size(), via_store->rows.size());
+  for (size_t i = 0; i < direct->rows.size(); ++i) {
+    EXPECT_EQ(direct->rows[i].values, via_store->rows[i].values);
+  }
+}
+
+}  // namespace
+}  // namespace koko

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "corpus/generators.h"
+#include "extract/crf.h"
+#include "extract/ike.h"
+#include "extract/metrics.h"
+#include "extract/nell.h"
+#include "extract/odin.h"
+#include "nlp/pipeline.h"
+
+namespace koko {
+namespace {
+
+TEST(MetricsTest, NormalizeMention) {
+  EXPECT_EQ(NormalizeMention("  Brim   House "), "brim house");
+  EXPECT_EQ(NormalizeMention("CAFE"), "cafe");
+}
+
+TEST(MetricsTest, PerfectAndEmpty) {
+  PRF perfect = ScoreExtractionLists({"A", "B"}, {"a", "b"});
+  EXPECT_DOUBLE_EQ(perfect.f1, 1.0);
+  PRF none = ScoreExtractionLists({"A"}, {});
+  EXPECT_DOUBLE_EQ(none.recall, 0.0);
+  EXPECT_DOUBLE_EQ(none.f1, 0.0);
+}
+
+TEST(MetricsTest, PartialOverlap) {
+  PRF prf = ScoreExtractionLists({"a", "b", "c", "d"}, {"a", "b", "x"});
+  EXPECT_EQ(prf.tp, 2u);
+  EXPECT_EQ(prf.fp, 1u);
+  EXPECT_EQ(prf.fn, 2u);
+  EXPECT_NEAR(prf.precision, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(prf.recall, 0.5, 1e-9);
+}
+
+TEST(CrfTest, LearnsSimpleBracketTask) {
+  // Entities are always the token after "visit": learnable from context.
+  std::vector<CrfExtractor::LabeledSentence> data;
+  const char* fillers[] = {"alpha", "beta", "gamma", "delta", "epsilon"};
+  for (int i = 0; i < 40; ++i) {
+    CrfExtractor::LabeledSentence s;
+    s.tokens = {"we", "visit", fillers[i % 5], "today"};
+    s.bio = {0, 0, 1, 0};
+    data.push_back(s);
+    CrfExtractor::LabeledSentence neg;
+    neg.tokens = {"we", "like", fillers[(i + 1) % 5], "today"};
+    neg.bio = {0, 0, 0, 0};
+    data.push_back(neg);
+  }
+  CrfExtractor crf;
+  crf.Train(data);
+  auto spans = crf.ExtractSpans({"we", "visit", "zeta", "today"});
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (std::pair<int, int>{2, 2}));
+  EXPECT_TRUE(crf.ExtractSpans({"we", "like", "zeta", "today"}).empty());
+}
+
+TEST(CrfTest, BioDecodingNeverStartsWithI) {
+  CrfExtractor crf;
+  auto labels = crf.Predict({"a", "b", "c"});
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_NE(labels[0], 2);
+}
+
+TEST(CrfTest, MakeTrainingDataLabelsMentions) {
+  Pipeline pipeline;
+  Document doc =
+      pipeline.AnnotateDocument({"t", "We went to Brim House for coffee."}, 0);
+  auto data = CrfExtractor::MakeTrainingData({&doc}, {"Brim House"});
+  ASSERT_EQ(data.size(), 1u);
+  const auto& s = data[0];
+  int b_count = 0, i_count = 0;
+  for (size_t i = 0; i < s.tokens.size(); ++i) {
+    if (s.bio[i] == 1) {
+      ++b_count;
+      EXPECT_EQ(s.tokens[i], "Brim");
+    }
+    if (s.bio[i] == 2) {
+      ++i_count;
+      EXPECT_EQ(s.tokens[i], "House");
+    }
+  }
+  EXPECT_EQ(b_count, 1);
+  EXPECT_EQ(i_count, 1);
+}
+
+TEST(IkeTest, NounPhraseChunks) {
+  Pipeline pipeline;
+  Sentence s = pipeline.AnnotateSentence("The old barista poured a fresh latte.");
+  auto chunks = NounPhraseChunks(s);
+  ASSERT_GE(chunks.size(), 2u);
+  // First chunk: "old barista" (leading determiner dropped).
+  EXPECT_EQ(s.SpanText(chunks[0].first, chunks[0].second), "old barista");
+}
+
+TEST(IkeTest, LiteralThenCapture) {
+  Pipeline pipeline;
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(
+      {{"a", "We went to Brim House yesterday."},
+       {"b", "We walked to the station."}});
+  EmbeddingModel embeddings;
+  IkeExtractor ike(&embeddings);
+  auto result = ike.Run(corpus, "\"went to\" (NP)");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0], "Brim House");
+}
+
+TEST(IkeTest, SimilarityElementExpandsVerbs) {
+  Pipeline pipeline;
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(
+      {{"a", "Brim House sells espresso."}});  // "sells" ~ "serves"
+  EmbeddingModel embeddings;
+  IkeExtractor ike(&embeddings);
+  auto result = ike.Run(corpus, "(NP) (\"serves coffee\" ~ 8)");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0], "Brim House");
+  // But an intervening adjective defeats the rigid pattern.
+  AnnotatedCorpus corpus2 = pipeline.AnnotateCorpus(
+      {{"a", "Brim House sells delicious espresso."}});
+  auto result2 = ike.Run(corpus2, "(NP) (\"serves coffee\" ~ 8)");
+  ASSERT_TRUE(result2.ok());
+  EXPECT_TRUE(result2->empty());
+}
+
+TEST(IkeTest, MalformedPatternRejected) {
+  EmbeddingModel embeddings;
+  IkeExtractor ike(&embeddings);
+  AnnotatedCorpus empty;
+  EXPECT_FALSE(ike.Run(empty, "(NP").ok());
+  EXPECT_FALSE(ike.Run(empty, "").ok());
+}
+
+TEST(NellTest, BootstrapsFromSeeds) {
+  LabeledCorpus blogs =
+      GenerateCafeBlogs({.num_articles = 60, .long_articles = false, .seed = 91});
+  Pipeline pipeline;
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(blogs.docs);
+  std::vector<std::string> seeds(blogs.gold.begin(), blogs.gold.begin() + 10);
+  NellExtractor nell;
+  auto learned = nell.Bootstrap(corpus, seeds);
+  // Conservative: finds something, but far from everything.
+  EXPECT_LT(learned.size(), blogs.gold.size());
+  // Seeds are never returned as "learned".
+  for (const auto& seed : seeds) {
+    EXPECT_EQ(std::count(learned.begin(), learned.end(),
+                         NormalizeMention(seed)),
+              0);
+  }
+}
+
+TEST(OdinTest, SurfaceAndDependencyRules) {
+  Pipeline pipeline;
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(
+      {{"a", "Cyd Charisse had been called Sid for years."}});
+  OdinRule dep;
+  dep.name = "called-propn";
+  dep.kind = OdinRule::Kind::kDependency;
+  PathStep s1;
+  s1.axis = PathStep::Axis::kDescendant;
+  s1.constraint.word = "called";
+  PathStep s2;
+  s2.axis = PathStep::Axis::kChild;
+  s2.constraint.pos = PosTag::kPropn;
+  dep.path.steps = {s1, s2};
+  OdinRule surf;
+  surf.name = "before-called";
+  surf.kind = OdinRule::Kind::kSurface;
+  surf.trigger = {"called"};
+  surf.capture_left = false;
+  OdinExtractor odin;
+  OdinExtractor::RunStats stats;
+  auto mentions = odin.Run(corpus, {dep, surf}, &stats);
+  EXPECT_GE(stats.iterations, 2);  // ran to fixpoint
+  bool found_sid = false;
+  for (const auto& m : mentions) found_sid |= (m == "Sid");
+  EXPECT_TRUE(found_sid);
+}
+
+TEST(CorpusGenTest, Deterministic) {
+  auto a = GenerateCafeBlogs({.num_articles = 10, .long_articles = false,
+                              .seed = 5});
+  auto b = GenerateCafeBlogs({.num_articles = 10, .long_articles = false,
+                              .seed = 5});
+  ASSERT_EQ(a.docs.size(), b.docs.size());
+  for (size_t i = 0; i < a.docs.size(); ++i) {
+    EXPECT_EQ(a.docs[i].text, b.docs[i].text);
+  }
+  EXPECT_EQ(a.gold, b.gold);
+  auto c = GenerateCafeBlogs({.num_articles = 10, .long_articles = false,
+                              .seed = 6});
+  EXPECT_NE(a.docs[0].text, c.docs[0].text);
+}
+
+TEST(CorpusGenTest, GoldNamesAppearInText) {
+  auto blogs =
+      GenerateCafeBlogs({.num_articles = 20, .long_articles = true, .seed = 7});
+  for (size_t i = 0; i < blogs.docs.size(); ++i) {
+    EXPECT_NE(blogs.docs[i].text.find(blogs.gold[i]), std::string::npos)
+        << blogs.gold[i];
+  }
+}
+
+TEST(CorpusGenTest, TweetGoldConsistent) {
+  auto tweets = GenerateTweets({.num_tweets = 200, .seed = 8});
+  EXPECT_GT(tweets.gold_teams.size(), 0u);
+  EXPECT_GT(tweets.gold_facilities.size(), 0u);
+  std::string all;
+  for (const auto& d : tweets.docs) all += d.text + "\n";
+  for (const auto& team : tweets.gold_teams) {
+    EXPECT_NE(all.find(team), std::string::npos) << team;
+  }
+}
+
+TEST(CorpusGenTest, WikiSelectivities) {
+  auto docs = GenerateWikiArticles({.num_articles = 400, .seed = 9});
+  int with_born = 0, with_called = 0, with_chocolate = 0;
+  for (const auto& d : docs) {
+    if (d.text.find(" born ") != std::string::npos) ++with_born;
+    if (d.text.find(" called ") != std::string::npos) ++with_called;
+    if (d.text.find("chocolate") != std::string::npos) ++with_chocolate;
+  }
+  // The §6.3 selectivity bands: high / medium / low.
+  EXPECT_GT(with_born, 400 * 0.6);
+  EXPECT_GT(with_called, 400 * 0.04);
+  EXPECT_LT(with_called, 400 * 0.25);
+  EXPECT_LT(with_chocolate, 400 * 0.12);
+}
+
+}  // namespace
+}  // namespace koko

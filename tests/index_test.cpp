@@ -1,0 +1,319 @@
+#include "index/koko_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "corpus/generators.h"
+#include "index/path_lookup.h"
+#include "nlp/pipeline.h"
+
+namespace koko {
+namespace {
+
+// The two sentences of Example 3.1 (sid 0 and sid 1).
+AnnotatedCorpus PaperCorpus() {
+  Pipeline pipeline;
+  return pipeline.AnnotateCorpus(
+      {{"d0",
+        "I ate a chocolate ice cream, which was delicious, and also ate a "
+        "pie."},
+       {"d1",
+        "Anna ate some delicious cheesecake that she bought at a grocery "
+        "store."}});
+}
+
+PathQuery MakePath(std::initializer_list<std::pair<const char*, const char*>> steps) {
+  // Each step: {axis ("/" or "//"), label}; label resolution: dep > pos > word;
+  // "*" = wildcard.
+  PathQuery q;
+  for (const auto& [axis, label] : steps) {
+    PathStep step;
+    step.axis = std::string(axis) == "/" ? PathStep::Axis::kChild
+                                         : PathStep::Axis::kDescendant;
+    std::string name = label;
+    if (name != "*") {
+      DepLabel dep;
+      PosTag pos;
+      if (ParseDepLabel(name, &dep)) {
+        step.constraint.dep = dep;
+      } else if (ParsePosTag(name, &pos)) {
+        step.constraint.pos = pos;
+      } else {
+        step.constraint.word = name;
+      }
+    }
+    q.steps.push_back(std::move(step));
+  }
+  return q;
+}
+
+TEST(KokoIndexTest, WordIndexExampleThreeTwo) {
+  AnnotatedCorpus corpus = PaperCorpus();
+  auto index = KokoIndex::Build(corpus);
+  // "ate" occurs at (0,1), (0,13), (1,1); the paper's table lists the two
+  // root occurrences, our parser agrees on (1,1) root covering 0-12 depth 0.
+  PostingList ate = index->LookupWord("ate");
+  ASSERT_EQ(ate.size(), 3u);
+  EXPECT_EQ(ate[0].sid, 0u);
+  EXPECT_EQ(ate[0].tid, 1u);
+  EXPECT_EQ(ate[0].left, 0u);
+  EXPECT_EQ(ate[0].right, 16u);
+  EXPECT_EQ(ate[0].depth, 0u);
+  // (1,1): root of the second sentence spans 0-12 at depth 0 (Example 3.2).
+  EXPECT_EQ(ate[2].sid, 1u);
+  EXPECT_EQ(ate[2].tid, 1u);
+  EXPECT_EQ(ate[2].left, 0u);
+  EXPECT_EQ(ate[2].right, 12u);
+  EXPECT_EQ(ate[2].depth, 0u);
+
+  PostingList delicious = index->LookupWord("delicious");
+  ASSERT_EQ(delicious.size(), 2u);
+  // (1,3,3-3,2) per Example 3.2.
+  EXPECT_EQ(delicious[1].sid, 1u);
+  EXPECT_EQ(delicious[1].tid, 3u);
+  EXPECT_EQ(delicious[1].left, 3u);
+  EXPECT_EQ(delicious[1].right, 3u);
+  EXPECT_EQ(delicious[1].depth, 2u);
+
+  EXPECT_TRUE(index->LookupWord("zzz").empty());
+}
+
+TEST(KokoIndexTest, EntityIndexExampleThreeTwo) {
+  AnnotatedCorpus corpus = PaperCorpus();
+  auto index = KokoIndex::Build(corpus);
+  auto cheesecake = index->LookupEntityText("cheesecake");
+  ASSERT_EQ(cheesecake.size(), 1u);
+  EXPECT_EQ(cheesecake[0].sid, 1u);
+  EXPECT_EQ(cheesecake[0].left, 4u);
+  EXPECT_EQ(cheesecake[0].right, 4u);
+  auto grocery = index->LookupEntityText("grocery store");
+  ASSERT_EQ(grocery.size(), 1u);
+  EXPECT_EQ(grocery[0].left, 10u);
+  EXPECT_EQ(grocery[0].right, 11u);
+  auto icecream = index->LookupEntityText("chocolate ice cream");
+  ASSERT_EQ(icecream.size(), 1u);
+  EXPECT_EQ(icecream[0].sid, 0u);
+  EXPECT_EQ(icecream[0].left, 3u);
+  EXPECT_EQ(icecream[0].right, 5u);
+}
+
+TEST(KokoIndexTest, HierarchyMergesEqualSiblings) {
+  AnnotatedCorpus corpus = PaperCorpus();
+  auto index = KokoIndex::Build(corpus);
+  // Example 3.3: both nn nodes under dobj merge into /root/dobj/nn whose
+  // posting list holds "chocolate" and "ice".
+  PathQuery path = MakePath({{"/", "root"}, {"/", "dobj"}, {"/", "nn"}});
+  PostingList postings = index->LookupParseLabelPath(path);
+  ASSERT_EQ(postings.size(), 2u);
+  EXPECT_EQ(postings[0].tid, 3u);  // chocolate
+  EXPECT_EQ(postings[1].tid, 4u);  // ice
+}
+
+TEST(KokoIndexTest, HierarchyRootPath) {
+  AnnotatedCorpus corpus = PaperCorpus();
+  auto index = KokoIndex::Build(corpus);
+  PostingList roots = index->LookupParseLabelPath(MakePath({{"/", "root"}}));
+  ASSERT_EQ(roots.size(), 2u);  // both sentence roots share one trie node
+  EXPECT_EQ(roots[0].depth, 0u);
+  EXPECT_EQ(roots[1].depth, 0u);
+}
+
+TEST(KokoIndexTest, DescendantAxisAndWildcards) {
+  AnnotatedCorpus corpus = PaperCorpus();
+  auto index = KokoIndex::Build(corpus);
+  // //det finds determiners at any depth.
+  PostingList det = index->LookupParseLabelPath(MakePath({{"//", "det"}}));
+  EXPECT_GE(det.size(), 3u);
+  // /root/*/nn: wildcard middle step.
+  PostingList nn =
+      index->LookupParseLabelPath(MakePath({{"/", "root"}, {"/", "*"}, {"/", "nn"}}));
+  EXPECT_GE(nn.size(), 2u);
+  // Absent path -> empty.
+  EXPECT_TRUE(index
+                  ->LookupParseLabelPath(
+                      MakePath({{"/", "root"}, {"/", "root"}}))
+                  .empty());
+}
+
+TEST(KokoIndexTest, PosHierarchy) {
+  AnnotatedCorpus corpus = PaperCorpus();
+  auto index = KokoIndex::Build(corpus);
+  PostingList verbs = index->LookupPosPath(MakePath({{"//", "verb"}}));
+  EXPECT_GE(verbs.size(), 4u);  // ate, was, ate, ate, bought
+  for (const Quintuple& q : verbs) {
+    const Sentence& s = corpus.sentence(q.sid);
+    EXPECT_EQ(s.tokens[q.tid].pos, PosTag::kVerb);
+  }
+}
+
+TEST(KokoIndexTest, CompressionStats) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 400, .seed = 5});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  const auto& stats = index->stats();
+  EXPECT_EQ(stats.num_tokens, corpus.NumTokens());
+  // Merging must remove the overwhelming majority of tree nodes (the paper
+  // reports >99.7%; the corpus here is smaller and more templated).
+  EXPECT_GT(stats.PlCompression(), 0.95);
+  EXPECT_GT(stats.PosCompression(), 0.95);
+  EXPECT_LT(stats.pl_trie_nodes, stats.num_tokens / 20);
+}
+
+TEST(KokoIndexTest, HierarchyLookupMatchesBruteForce) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 200, .seed = 6});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  std::vector<PathQuery> paths = {
+      MakePath({{"/", "root"}, {"/", "dobj"}}),
+      MakePath({{"/", "root"}, {"/", "dobj"}, {"/", "amod"}}),
+      MakePath({{"//", "pobj"}}),
+      MakePath({{"/", "root"}, {"//", "det"}}),
+      MakePath({{"/", "root"}, {"/", "*"}, {"/", "nn"}}),
+  };
+  for (const PathQuery& path : paths) {
+    PostingList postings = index->LookupParseLabelPath(path);
+    std::set<std::pair<uint32_t, uint32_t>> got;
+    for (const Quintuple& q : postings) got.insert({q.sid, q.tid});
+    std::set<std::pair<uint32_t, uint32_t>> want;
+    for (uint32_t sid = 0; sid < corpus.NumSentences(); ++sid) {
+      for (int t : MatchPathInSentence(corpus.sentence(sid), path)) {
+        want.insert({sid, static_cast<uint32_t>(t)});
+      }
+    }
+    EXPECT_EQ(got, want) << path.ToString();
+  }
+}
+
+TEST(KokoIndexTest, ParentChildConditionFromQuintuples) {
+  AnnotatedCorpus corpus = PaperCorpus();
+  auto index = KokoIndex::Build(corpus);
+  // §3.1: tp is parent of tc iff same sid, containment, depth+1.
+  PostingList ate = index->LookupWord("ate");
+  PostingList cream = index->LookupWord("cream");
+  ASSERT_FALSE(ate.empty());
+  ASSERT_FALSE(cream.empty());
+  EXPECT_TRUE(IsParentOf(ate[0], cream[0]));
+  EXPECT_FALSE(IsParentOf(cream[0], ate[0]));
+  PostingList delicious = index->LookupWord("delicious");
+  EXPECT_TRUE(IsAncestorOf(cream[0], delicious[0]));
+  EXPECT_FALSE(IsParentOf(cream[0], delicious[0]));
+}
+
+TEST(KokoIndexTest, SaveLoadRoundTrip) {
+  AnnotatedCorpus corpus = PaperCorpus();
+  auto index = KokoIndex::Build(corpus);
+  std::string path = ::testing::TempDir() + "/koko_index_test.bin";
+  ASSERT_TRUE(index->Save(path).ok());
+  auto loaded = KokoIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->stats().num_tokens, index->stats().num_tokens);
+  EXPECT_EQ((*loaded)->stats().pl_trie_nodes, index->stats().pl_trie_nodes);
+  // Lookups agree after reload.
+  PathQuery p = MakePath({{"/", "root"}, {"/", "dobj"}, {"/", "nn"}});
+  EXPECT_EQ((*loaded)->LookupParseLabelPath(p), index->LookupParseLabelPath(p));
+  EXPECT_EQ((*loaded)->LookupWord("delicious"), index->LookupWord("delicious"));
+  EXPECT_EQ((*loaded)->AllEntities().size(), index->AllEntities().size());
+  std::remove(path.c_str());
+}
+
+TEST(PathLookupTest, DecompositionExampleFourTwo) {
+  // d = //verb[text="ate"]/dobj//"delicious" decomposes into
+  // PL //*/dobj//*, POS //verb/*//*, word //"ate"/*//"delicious".
+  PathQuery d;
+  {
+    PathStep s1;
+    s1.axis = PathStep::Axis::kDescendant;
+    s1.constraint.pos = PosTag::kVerb;
+    s1.constraint.word = "ate";
+    PathStep s2;
+    s2.axis = PathStep::Axis::kChild;
+    s2.constraint.dep = DepLabel::kDobj;
+    PathStep s3;
+    s3.axis = PathStep::Axis::kDescendant;
+    s3.constraint.word = "delicious";
+    d.steps = {s1, s2, s3};
+  }
+  PathQuery pl = ProjectParseLabelPath(d);
+  EXPECT_EQ(pl.ToString(), "//*/dobj//*");
+  PathQuery pos = ProjectPosPath(d);
+  EXPECT_EQ(pos.ToString(), "//*[@pos=\"verb\"]/*//*");
+  EXPECT_FALSE(IsAllWildcard(d));
+  EXPECT_TRUE(IsAllWildcard(ProjectPosPath(pl)));
+}
+
+TEST(PathLookupTest, JoinExampleFourFour) {
+  AnnotatedCorpus corpus = PaperCorpus();
+  auto index = KokoIndex::Build(corpus);
+  // //verb[text="ate"]/dobj//"delicious" — Example 4.4's join returns
+  // {(1,3,3-3,2), (0,9,9-9,3)} (the two "delicious" tokens).
+  PathQuery d;
+  {
+    PathStep s1;
+    s1.axis = PathStep::Axis::kDescendant;
+    s1.constraint.pos = PosTag::kVerb;
+    s1.constraint.word = "ate";
+    PathStep s2;
+    s2.axis = PathStep::Axis::kChild;
+    s2.constraint.dep = DepLabel::kDobj;
+    PathStep s3;
+    s3.axis = PathStep::Axis::kDescendant;
+    s3.constraint.word = "delicious";
+    d.steps = {s1, s2, s3};
+  }
+  PathLookupResult result = KokoPathLookup(*index, d);
+  EXPECT_FALSE(result.unconstrained);
+  EXPECT_TRUE(result.exact_last);
+  std::set<std::pair<uint32_t, uint32_t>> got;
+  for (const Quintuple& q : result.postings) got.insert({q.sid, q.tid});
+  EXPECT_EQ(got, (std::set<std::pair<uint32_t, uint32_t>>{{0, 9}, {1, 3}}));
+}
+
+TEST(PathLookupTest, CompletenessProperty) {
+  // DPLI candidates must be a superset of the true matches (§4.2.2).
+  Pipeline pipeline;
+  auto docs = GenerateWikiArticles({.num_articles = 80, .seed = 21});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  std::vector<PathQuery> paths = {
+      MakePath({{"//", "verb"}, {"/", "dobj"}}),
+      MakePath({{"//", "verb"}, {"/", "prep"}, {"/", "pobj"}}),
+      MakePath({{"/", "root"}, {"//", "born"}}),
+      MakePath({{"//", "nsubj"}}),
+  };
+  for (const PathQuery& path : paths) {
+    PathLookupResult result = KokoPathLookup(*index, path);
+    ASSERT_FALSE(result.unconstrained);
+    std::set<std::pair<uint32_t, uint32_t>> candidates;
+    for (const Quintuple& q : result.postings) candidates.insert({q.sid, q.tid});
+    for (uint32_t sid = 0; sid < corpus.NumSentences(); ++sid) {
+      for (int t : MatchPathInSentence(corpus.sentence(sid), path)) {
+        EXPECT_TRUE(candidates.count({sid, static_cast<uint32_t>(t)}) > 0)
+            << "missing true binding for " << path.ToString() << " at sid="
+            << sid << " tid=" << t;
+      }
+    }
+  }
+}
+
+TEST(PathLookupTest, AbsentPathShortCircuits) {
+  AnnotatedCorpus corpus = PaperCorpus();
+  auto index = KokoIndex::Build(corpus);
+  PathQuery q = MakePath({{"/", "root"}, {"/", "xcomp"}, {"/", "xcomp"}});
+  PathLookupResult result = KokoPathLookup(*index, q);
+  EXPECT_FALSE(result.unconstrained);
+  EXPECT_TRUE(result.postings.empty());
+}
+
+TEST(PathLookupTest, AllWildcardIsUnconstrained) {
+  AnnotatedCorpus corpus = PaperCorpus();
+  auto index = KokoIndex::Build(corpus);
+  PathQuery q = MakePath({{"//", "*"}});
+  EXPECT_TRUE(KokoPathLookup(*index, q).unconstrained);
+}
+
+}  // namespace
+}  // namespace koko

@@ -1,0 +1,137 @@
+#include "ner/entity_recognizer.h"
+
+#include <gtest/gtest.h>
+
+#include "nlp/pipeline.h"
+
+namespace koko {
+namespace {
+
+class NerTest : public ::testing::Test {
+ protected:
+  Sentence Annotate(const std::string& text) {
+    return pipeline_.AnnotateSentence(text);
+  }
+  const Entity* FindEntity(const Sentence& s, const std::string& text) {
+    for (const Entity& e : s.entities) {
+      if (s.SpanText(e.begin, e.end) == text) return &e;
+    }
+    return nullptr;
+  }
+  Pipeline pipeline_;
+};
+
+TEST_F(NerTest, GpeFromGazetteer) {
+  Sentence s = Annotate("She moved from Portland to Tokyo.");
+  const Entity* portland = FindEntity(s, "Portland");
+  ASSERT_NE(portland, nullptr);
+  EXPECT_EQ(portland->type, EntityType::kGpe);
+  const Entity* tokyo = FindEntity(s, "Tokyo");
+  ASSERT_NE(tokyo, nullptr);
+  EXPECT_EQ(tokyo->type, EntityType::kGpe);
+}
+
+TEST_F(NerTest, PersonFromFirstName) {
+  Sentence s = Annotate("Yesterday Anna Mercer arrived.");
+  const Entity* anna = FindEntity(s, "Anna Mercer");
+  ASSERT_NE(anna, nullptr);
+  EXPECT_EQ(anna->type, EntityType::kPerson);
+}
+
+TEST_F(NerTest, FacilityAndOrganizationKeywords) {
+  Sentence s = Annotate("They met at the Harbor Museum near Quill Labs.");
+  const Entity* museum = FindEntity(s, "Harbor Museum");
+  ASSERT_NE(museum, nullptr);
+  EXPECT_EQ(museum->type, EntityType::kFacility);
+  const Entity* labs = FindEntity(s, "Quill Labs");
+  ASSERT_NE(labs, nullptr);
+  EXPECT_EQ(labs->type, EntityType::kOrganization);
+}
+
+TEST_F(NerTest, TeamSuffix) {
+  Sentence s = Annotate("We cheered for Oakland United all night.");
+  const Entity* team = FindEntity(s, "Oakland United");
+  ASSERT_NE(team, nullptr);
+  EXPECT_EQ(team->type, EntityType::kTeam);
+}
+
+TEST_F(NerTest, DateExpressions) {
+  Sentence s = Annotate("She was married on 1 December 1900 in London.");
+  const Entity* date = FindEntity(s, "1 December 1900");
+  ASSERT_NE(date, nullptr);
+  EXPECT_EQ(date->type, EntityType::kDate);
+  Sentence s2 = Annotate("The house was built in 1911.");
+  const Entity* year = FindEntity(s2, "1911");
+  ASSERT_NE(year, nullptr);
+  EXPECT_EQ(year->type, EntityType::kDate);
+}
+
+TEST_F(NerTest, NonYearNumbersAreNotDates) {
+  Sentence s = Annotate("The bill came to 4250 dollars.");
+  EXPECT_EQ(FindEntity(s, "4250"), nullptr);
+}
+
+TEST_F(NerTest, CommonNounMentionsBecomeOtherEntities) {
+  // Example 3.2's entity index: "cheesecake", "grocery store",
+  // "chocolate ice cream".
+  Sentence s = Annotate(
+      "Anna ate some delicious cheesecake that she bought at a grocery store.");
+  const Entity* cheesecake = FindEntity(s, "cheesecake");
+  ASSERT_NE(cheesecake, nullptr);
+  EXPECT_EQ(cheesecake->type, EntityType::kOther);
+  const Entity* store = FindEntity(s, "grocery store");
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->type, EntityType::kOther);
+}
+
+TEST_F(NerTest, CapitalizedUnknownIsOther) {
+  Sentence s = Annotate("We visited Brelvan Lane this week.");
+  const Entity* cafe = FindEntity(s, "Brelvan Lane");
+  ASSERT_NE(cafe, nullptr);
+  EXPECT_EQ(cafe->type, EntityType::kOther);
+}
+
+TEST_F(NerTest, TokensCarryEntityBackrefs) {
+  Sentence s = Annotate("Anna Mercer visited Tokyo.");
+  for (const Entity& e : s.entities) {
+    for (int t = e.begin; t <= e.end; ++t) {
+      EXPECT_EQ(s.tokens[t].etype, e.type);
+      ASSERT_GE(s.tokens[t].entity_id, 0);
+      EXPECT_EQ(&s.entities[static_cast<size_t>(s.tokens[t].entity_id)], &e);
+    }
+  }
+  // Non-entity tokens point nowhere.
+  for (int t = 0; t < s.size(); ++t) {
+    if (s.tokens[t].entity_id == -1) {
+      EXPECT_EQ(s.tokens[t].etype, EntityType::kNone);
+    }
+  }
+}
+
+TEST_F(NerTest, EntitiesDoNotOverlap) {
+  Sentence s = Annotate(
+      "Anna Mercer ate delicious cheesecake at the Harbor Museum in Tokyo on "
+      "1 December 1900.");
+  std::vector<int> covered(static_cast<size_t>(s.size()), 0);
+  for (const Entity& e : s.entities) {
+    for (int t = e.begin; t <= e.end; ++t) covered[static_cast<size_t>(t)]++;
+  }
+  for (int c : covered) EXPECT_LE(c, 1);
+}
+
+TEST_F(NerTest, CustomGazetteer) {
+  EntityRecognizer recognizer;
+  recognizer.AddGazetteer(EntityType::kEvent, {"Coffee Festival"});
+  EXPECT_TRUE(recognizer.InGazetteer(EntityType::kEvent, "coffee festival"));
+  EXPECT_FALSE(recognizer.InGazetteer(EntityType::kEvent, "tea festival"));
+}
+
+TEST_F(NerTest, PersonGazetteerByFirstToken) {
+  EntityRecognizer recognizer;
+  EXPECT_TRUE(recognizer.InGazetteer(EntityType::kPerson, "anna"));
+  EXPECT_TRUE(recognizer.InGazetteer(EntityType::kPerson, "anna mercer"));
+  EXPECT_FALSE(recognizer.InGazetteer(EntityType::kPerson, "brelvan lane"));
+}
+
+}  // namespace
+}  // namespace koko

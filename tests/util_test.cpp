@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/hash.h"
+#include "util/interner.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace koko {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arg");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad arg");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Doubler(Result<int> in) {
+  KOKO_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_FALSE(Doubler(Status::Internal("boom")).ok());
+}
+
+TEST(StringUtilTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  hello   world \t x ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "world");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("HeLLo"), "hello");
+  EXPECT_EQ(Capitalize("cafe"), "Cafe");
+  EXPECT_TRUE(EqualsIgnoreCase("CAFE", "cafe"));
+  EXPECT_FALSE(EqualsIgnoreCase("cafe", "caff"));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\n"), "");
+}
+
+TEST(StringUtilTest, ContainsVariants) {
+  EXPECT_TRUE(Contains("chocolate ice cream", "ice"));
+  EXPECT_FALSE(Contains("chocolate", "Choc"));
+  EXPECT_TRUE(ContainsIgnoreCase("chocolate", "Choc"));
+  EXPECT_TRUE(ContainsIgnoreCase("abc", ""));
+}
+
+TEST(StringUtilTest, PrefixSuffix) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(StringUtilTest, DigitHelpers) {
+  EXPECT_TRUE(IsAllDigits("1900"));
+  EXPECT_FALSE(IsAllDigits("19a0"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_TRUE(IsCapitalized("Anna"));
+  EXPECT_FALSE(IsCapitalized("anna"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.456789, 2), "0.46");
+  EXPECT_EQ(FormatDouble(3.0, 1), "3.0");
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KB");
+}
+
+TEST(HashTest, Fnv1aDeterministicAndSpread) {
+  EXPECT_EQ(Fnv1a64("koko"), Fnv1a64("koko"));
+  EXPECT_NE(Fnv1a64("koko"), Fnv1a64("kok"));
+  EXPECT_NE(Fnv1a64("a", 1), Fnv1a64("a", 2));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    int64_t x = rng.UniformInt(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, FromStringDiffers) {
+  EXPECT_NE(Rng::FromString("a").Next(), Rng::FromString("b").Next());
+}
+
+TEST(InternerTest, InternIsStable) {
+  StringPool pool;
+  Symbol a = pool.Intern("hello");
+  Symbol b = pool.Intern("world");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.Intern("hello"), a);
+  EXPECT_EQ(pool.Lookup(a), "hello");
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(InternerTest, FindMissing) {
+  StringPool pool;
+  EXPECT_EQ(pool.Find("nope"), kInvalidSymbol);
+  pool.Intern("yes");
+  EXPECT_NE(pool.Find("yes"), kInvalidSymbol);
+}
+
+TEST(TimerTest, PhaseStatsAccumulate) {
+  PhaseStats stats;
+  stats.Add("a", 1.5);
+  stats.Add("a", 0.5);
+  stats.Add("b", 1.0);
+  EXPECT_DOUBLE_EQ(stats.Get("a"), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Total(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.Get("missing"), 0.0);
+}
+
+TEST(TimerTest, ScopedPhaseCharges) {
+  PhaseStats stats;
+  {
+    ScopedPhase phase(&stats, "x");
+    volatile int sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
+  }
+  EXPECT_GT(stats.Get("x"), 0.0);
+}
+
+TEST(TimerTest, WallTimerMonotone) {
+  WallTimer t;
+  double a = t.ElapsedSeconds();
+  double b = t.ElapsedSeconds();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace koko
