@@ -4,9 +4,13 @@
 // These back the DESIGN.md ablation notes rather than a specific figure.
 #include <benchmark/benchmark.h>
 
+#include <unordered_set>
+
 #include "corpus/generators.h"
 #include "index/koko_index.h"
 #include "index/path_lookup.h"
+#include "index/sid_ops.h"
+#include "koko/engine.h"
 #include "nlp/pipeline.h"
 #include "regex/regex.h"
 #include "storage/btree.h"
@@ -121,6 +125,151 @@ void BM_DecomposedPathLookup(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DecomposedPathLookup);
+
+// ---- DPLI intersection kernels ---------------------------------------------
+//
+// The candidate-pruning hot path: intersecting one small and one large
+// sentence-id list. `ratio` is |large| / |small| (the paper's skewed case —
+// a selective path or literal against a broad one). The hash-set baseline
+// reproduces the seed engine's per-query strategy: hash every sid, probe,
+// re-sort. The galloping kernel runs on the index's precomputed sorted
+// lists (built once, not per query).
+
+constexpr size_t kSmallListSize = 1000;
+
+std::pair<SidList, SidList> SkewedLists(size_t ratio) {
+  Rng rng(17);
+  std::vector<uint32_t> small, large;
+  const uint32_t universe =
+      static_cast<uint32_t>(kSmallListSize * ratio * 4);
+  for (size_t i = 0; i < kSmallListSize; ++i) {
+    small.push_back(static_cast<uint32_t>(rng.Next() % universe));
+  }
+  for (size_t i = 0; i < kSmallListSize * ratio; ++i) {
+    large.push_back(static_cast<uint32_t>(rng.Next() % universe));
+  }
+  return {SidList::FromUnsorted(std::move(small)),
+          SidList::FromUnsorted(std::move(large))};
+}
+
+void BM_SidIntersectHashSet(benchmark::State& state) {
+  auto [small, large] = SkewedLists(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::unordered_set<uint32_t> probe(large.begin(), large.end());
+    std::vector<uint32_t> out;
+    for (uint32_t sid : small) {
+      if (probe.count(sid) > 0) out.push_back(sid);
+    }
+    std::sort(out.begin(), out.end());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(small.size() + large.size()));
+}
+BENCHMARK(BM_SidIntersectHashSet)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_SidIntersectGalloping(benchmark::State& state) {
+  auto [small, large] = SkewedLists(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Intersect(small, large));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(small.size() + large.size()));
+}
+BENCHMARK(BM_SidIntersectGalloping)->Arg(1)->Arg(10)->Arg(100);
+
+// ---- DPLI phase: seed-style hash pruning vs the columnar engine path --------
+
+const char* kDpliQuery = R"(
+    extract e:Entity, d:Str from "moments" if (
+      /ROOT:{ a = //verb, b = a/dobj, c = b//"delicious", d = (b.subtree) }
+      (b) in (e)))";
+
+// The seed engine's DPLI block, verbatim strategy: materialise quintuples,
+// hash sids per atom, pairwise hash-intersect, final sort.
+void BM_DpliPhaseHashSetBaseline(benchmark::State& state) {
+  const KokoIndex& index = SharedIndex();
+  PathQuery path = DobjAmodPath();
+  for (auto _ : state) {
+    std::vector<std::unordered_set<uint32_t>> sets;
+    std::unordered_set<uint32_t> path_sids;
+    for (const Quintuple& q : KokoPathLookup(index, path).postings) {
+      path_sids.insert(q.sid);
+    }
+    sets.push_back(std::move(path_sids));
+    std::unordered_set<uint32_t> entity_sids;
+    for (const EntityPosting& e : index.AllEntities()) entity_sids.insert(e.sid);
+    sets.push_back(std::move(entity_sids));
+    std::unordered_set<uint32_t> word_sids;
+    for (const Quintuple& q : index.LookupWord("delicious")) {
+      word_sids.insert(q.sid);
+    }
+    sets.push_back(std::move(word_sids));
+    std::unordered_set<uint32_t> current = std::move(sets[0]);
+    for (size_t i = 1; i < sets.size(); ++i) {
+      std::unordered_set<uint32_t> merged;
+      for (uint32_t sid : current) {
+        if (sets[i].count(sid) > 0) merged.insert(sid);
+      }
+      current = std::move(merged);
+    }
+    std::vector<uint32_t> candidates(current.begin(), current.end());
+    std::sort(candidates.begin(), candidates.end());
+    benchmark::DoNotOptimize(candidates);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DpliPhaseHashSetBaseline);
+
+// The same pruning via the columnar path the engine now uses.
+void BM_DpliPhaseGalloping(benchmark::State& state) {
+  const KokoIndex& index = SharedIndex();
+  PathQuery path = DobjAmodPath();
+  for (auto _ : state) {
+    SidList path_sids = KokoPathSidLookup(index, path).sids;
+    const SidList* words = index.WordSids("delicious");
+    SidList empty;
+    std::vector<uint32_t> candidates =
+        IntersectAll({&path_sids, &index.AllEntitySids(),
+                      words != nullptr ? words : &empty})
+            .TakeIds();
+    benchmark::DoNotOptimize(candidates);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DpliPhaseGalloping);
+
+// Whole-query phase breakdown with the production engine: emits the DPLI /
+// extract wall times as counters so BENCH_*.json snapshots track them.
+void BM_DpliPhaseEndToEnd(benchmark::State& state) {
+  const AnnotatedCorpus& corpus = SharedCorpus();
+  const KokoIndex& index = SharedIndex();
+  Pipeline pipeline;
+  EmbeddingModel embeddings;
+  Engine engine(&corpus, &index, &embeddings,
+                &const_cast<const Pipeline&>(pipeline).recognizer());
+  EngineOptions options;
+  double dpli_seconds = 0;
+  double extract_seconds = 0;
+  size_t queries = 0;
+  for (auto _ : state) {
+    auto result = engine.ExecuteText(kDpliQuery, options);
+    benchmark::DoNotOptimize(result);
+    if (result.ok()) {
+      dpli_seconds += result->phases.Get("DPLI");
+      extract_seconds += result->phases.Get("extract");
+      ++queries;
+    }
+  }
+  if (queries > 0) {
+    state.counters["dpli_us"] =
+        benchmark::Counter(dpli_seconds * 1e6 / static_cast<double>(queries));
+    state.counters["extract_us"] = benchmark::Counter(
+        extract_seconds * 1e6 / static_cast<double>(queries));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DpliPhaseEndToEnd);
 
 void BM_RegexPartialMatch(benchmark::State& state) {
   auto re = Regex::Compile("[0-9]+ [0-9A-Z a-z]+ [Ss]t.?");

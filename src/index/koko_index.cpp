@@ -117,6 +117,7 @@ size_t KokoIndex::Trie::MemoryUsage() const {
   for (const auto& n : nodes) {
     bytes += n.children.capacity() * sizeof(std::pair<Symbol, uint32_t>);
     bytes += n.rows.capacity() * sizeof(uint32_t);
+    bytes += n.sids.MemoryUsage();
   }
   bytes += labels.MemoryUsage();
   return bytes;
@@ -200,6 +201,7 @@ std::unique_ptr<KokoIndex> KokoIndex::Build(const AnnotatedCorpus& corpus) {
   index->ExportClosureTable(pl, "PL");
   index->ExportClosureTable(pos, "POS");
   index->RebuildEntityCache();
+  index->RebuildSidCaches();
 
   index->stats_.pl_trie_nodes = pl.nodes.size() - 1;
   index->stats_.pos_trie_nodes = pos.nodes.size() - 1;
@@ -245,6 +247,38 @@ void KokoIndex::RebuildEntityCache() {
   }
 }
 
+void KokoIndex::RebuildSidCaches() {
+  // Per-word sid lists. W rows are appended sentence by sentence, so the
+  // sid stream seen by each word is non-decreasing and Append() suffices.
+  word_sids_.clear();
+  for (uint32_t row = 0; row < w_->NumRows(); ++row) {
+    word_sids_[w_->GetString(row, kWWord)].Append(
+        static_cast<uint32_t>(w_->GetInt(row, kWSid)));
+  }
+
+  // Per-trie-node sid lists: project each node's W-row list (row ids are
+  // ascending, hence sid-sorted) onto the sid column once.
+  for (Trie* trie : {&pl_trie_, &pos_trie_}) {
+    for (TrieNode& node : trie->nodes) {
+      node.sids = SidList();
+      for (uint32_t row : node.rows) {
+        node.sids.Append(static_cast<uint32_t>(w_->GetInt(row, kWSid)));
+      }
+    }
+  }
+
+  // Per-type entity buckets + sid lists. all_entities_ is in E-row order,
+  // which is sid-sorted.
+  for (auto& bucket : entities_by_type_) bucket.clear();
+  for (auto& sids : entity_sids_by_type_) sids = SidList();
+  all_entity_sids_ = SidList();
+  for (const EntityPosting& p : all_entities_) {
+    entities_by_type_[static_cast<size_t>(p.type)].push_back(p);
+    entity_sids_by_type_[static_cast<size_t>(p.type)].Append(p.sid);
+    all_entity_sids_.Append(p.sid);
+  }
+}
+
 // ---- Lookups ------------------------------------------------------------------
 
 Quintuple KokoIndex::RowToQuintuple(uint32_t row) const {
@@ -276,12 +310,14 @@ std::vector<EntityPosting> KokoIndex::LookupEntityText(std::string_view text) co
   return out;
 }
 
-std::vector<EntityPosting> KokoIndex::EntitiesOfType(EntityType type) const {
-  std::vector<EntityPosting> out;
-  for (const EntityPosting& p : all_entities_) {
-    if (p.type == type) out.push_back(p);
-  }
-  return out;
+const SidList* KokoIndex::WordSids(std::string_view token) const {
+  auto it = word_sids_.find(std::string(token));
+  return it == word_sids_.end() ? nullptr : &it->second;
+}
+
+size_t KokoIndex::CountWordSids(std::string_view token) const {
+  const SidList* sids = WordSids(token);
+  return sids == nullptr ? 0 : sids->CountSids();
 }
 
 PostingList KokoIndex::LookupParseLabelPath(const PathQuery& path) const {
@@ -304,6 +340,22 @@ PostingList KokoIndex::LookupPosPath(const PathQuery& path) const {
   return out;
 }
 
+SidList KokoIndex::PlPathSids(const PathQuery& path) const {
+  std::vector<uint32_t> nodes = pl_trie_.Match(path, /*use_pos=*/false);
+  std::vector<const SidList*> lists;
+  lists.reserve(nodes.size());
+  for (uint32_t node : nodes) lists.push_back(&pl_trie_.nodes[node].sids);
+  return UnionAll(std::move(lists));
+}
+
+SidList KokoIndex::PosPathSids(const PathQuery& path) const {
+  std::vector<uint32_t> nodes = pos_trie_.Match(path, /*use_pos=*/true);
+  std::vector<const SidList*> lists;
+  lists.reserve(nodes.size());
+  for (uint32_t node : nodes) lists.push_back(&pos_trie_.nodes[node].sids);
+  return UnionAll(std::move(lists));
+}
+
 size_t KokoIndex::CountPlPathNodes(const PathQuery& path) const {
   return pl_trie_.Match(path, /*use_pos=*/false).size();
 }
@@ -313,8 +365,18 @@ size_t KokoIndex::CountPosPathNodes(const PathQuery& path) const {
 }
 
 size_t KokoIndex::MemoryUsage() const {
-  return catalog_.MemoryUsage() + pl_trie_.MemoryUsage() + pos_trie_.MemoryUsage() +
-         all_entities_.capacity() * sizeof(EntityPosting);
+  size_t bytes = catalog_.MemoryUsage() + pl_trie_.MemoryUsage() +
+                 pos_trie_.MemoryUsage() +
+                 all_entities_.capacity() * sizeof(EntityPosting);
+  for (const auto& [word, sids] : word_sids_) {
+    bytes += word.capacity() + sids.MemoryUsage() + sizeof(SidList);
+  }
+  for (const auto& bucket : entities_by_type_) {
+    bytes += bucket.capacity() * sizeof(EntityPosting);
+  }
+  for (const auto& sids : entity_sids_by_type_) bytes += sids.MemoryUsage();
+  bytes += all_entity_sids_.MemoryUsage();
+  return bytes;
 }
 
 // ---- Persistence ----------------------------------------------------------------
@@ -382,6 +444,7 @@ Result<std::unique_ptr<KokoIndex>> KokoIndex::Load(const std::string& path) {
   KOKO_RETURN_IF_ERROR(
       index->RebuildTrieFromClosure("POS", &index->pos_trie_, kWPosid));
   index->RebuildEntityCache();
+  index->RebuildSidCaches();
   index->stats_.num_tokens = index->w_->NumRows();
   index->stats_.num_entities = index->e_->NumRows();
   index->stats_.pl_trie_nodes = index->pl_trie_.nodes.size() - 1;

@@ -1,13 +1,16 @@
 #ifndef KOKO_INDEX_KOKO_INDEX_H_
 #define KOKO_INDEX_KOKO_INDEX_H_
 
+#include <array>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "index/path.h"
 #include "index/posting.h"
+#include "index/sid_ops.h"
 #include "storage/table.h"
 #include "text/document.h"
 #include "util/interner.h"
@@ -71,8 +74,40 @@ class KokoIndex {
   /// as an entity with no further restriction.
   const std::vector<EntityPosting>& AllEntities() const { return all_entities_; }
 
-  /// Entity postings of one type.
-  std::vector<EntityPosting> EntitiesOfType(EntityType type) const;
+  /// Entity postings of one type, served from per-type buckets precomputed
+  /// at Build/Load time (no scan, no copy).
+  const std::vector<EntityPosting>& EntitiesOfType(EntityType type) const {
+    return entities_by_type_[static_cast<size_t>(type)];
+  }
+
+  // ---- Columnar sid projections (DPLI's working set) ----------------------
+  //
+  // Sorted, deduplicated sentence-id lists precomputed at Build/Load time:
+  // one per word, per entity type, and per hierarchy-trie node. DPLI's
+  // candidate pruning intersects these directly instead of materialising
+  // Quintuple postings and projecting out sids per query.
+
+  /// Sid list of a surface token; nullptr when the word is absent.
+  const SidList* WordSids(std::string_view token) const;
+
+  /// Number of sentences containing `token` without materialising anything.
+  size_t CountWordSids(std::string_view token) const;
+
+  /// Sids of all sentences with at least one entity (any type).
+  const SidList& AllEntitySids() const { return all_entity_sids_; }
+
+  /// Sids of all sentences with at least one entity of `type`.
+  const SidList& EntityTypeSids(EntityType type) const {
+    return entity_sids_by_type_[static_cast<size_t>(type)];
+  }
+
+  /// Union of the per-node sid lists of all PL-trie nodes matched by
+  /// `path` — the sid projection of LookupParseLabelPath without building
+  /// its posting list.
+  SidList PlPathSids(const PathQuery& path) const;
+
+  /// Same over the POS trie.
+  SidList PosPathSids(const PathQuery& path) const;
 
   // ---- Hierarchy-index lookups --------------------------------------------
 
@@ -110,6 +145,7 @@ class KokoIndex {
     uint32_t depth = 0;
     std::vector<std::pair<Symbol, uint32_t>> children;  // sorted by label
     std::vector<uint32_t> rows;                         // row ids into W
+    SidList sids;  // sorted unique sids of `rows` (columnar projection)
   };
   struct Trie {
     std::vector<TrieNode> nodes;  // nodes[0] = dummy root above all trees
@@ -131,6 +167,9 @@ class KokoIndex {
   Status RebuildTrieFromClosure(const std::string& table_name, Trie* trie,
                                 int w_node_col);
   void RebuildEntityCache();
+  /// Fills the columnar sid caches (word/entity-type/trie-node lists) from
+  /// the W and E tables; called at the end of Build and Load.
+  void RebuildSidCaches();
 
   Catalog catalog_;
   Table* w_ = nullptr;  // W(word, x, y, u, v, d, plid, posid)
@@ -138,6 +177,10 @@ class KokoIndex {
   Trie pl_trie_;
   Trie pos_trie_;
   std::vector<EntityPosting> all_entities_;
+  std::array<std::vector<EntityPosting>, kNumEntityTypes> entities_by_type_;
+  std::unordered_map<std::string, SidList> word_sids_;
+  std::array<SidList, kNumEntityTypes> entity_sids_by_type_;
+  SidList all_entity_sids_;
   Stats stats_;
 };
 

@@ -200,4 +200,41 @@ PathLookupResult KokoPathLookup(const KokoIndex& index, const PathQuery& path) {
   return result;
 }
 
+PathSidLookupResult KokoPathSidLookup(const KokoIndex& index,
+                                      const PathQuery& path) {
+  PathSidLookupResult result;
+  if (path.empty()) {
+    result.unconstrained = true;
+    return result;
+  }
+  // Mirror KokoPathLookup's decomposition to pick the cheapest plan that
+  // yields the identical sid set.
+  bool has_pl = false;
+  bool has_pos = false;
+  bool has_word = false;
+  for (const PathStep& step : path.steps) {
+    if (step.constraint.dep) has_pl = true;
+    if (step.constraint.pos) has_pos = true;
+    if (step.constraint.word) has_word = true;
+  }
+  if (!has_pl && !has_pos && !has_word) {
+    result.unconstrained = true;
+    return result;
+  }
+  if (has_pl && !has_pos && !has_word) {
+    result.sids = index.PlPathSids(ProjectParseLabelPath(path));
+    return result;
+  }
+  if (has_pos && !has_pl && !has_word) {
+    result.sids = index.PosPathSids(ProjectPosPath(path));
+    return result;
+  }
+  // Cross-index joins (or word-path depth filters) operate on quintuples;
+  // run the full lookup and project its sid-sorted postings linearly.
+  PathLookupResult full = KokoPathLookup(index, path);
+  result.unconstrained = full.unconstrained;
+  result.sids = SidList::FromSorted(SidsOfPostings(full.postings));
+  return result;
+}
+
 }  // namespace koko

@@ -4,6 +4,7 @@
 #include "index/koko_index.h"
 #include "index/path.h"
 #include "index/posting.h"
+#include "index/sid_ops.h"
 
 namespace koko {
 
@@ -31,6 +32,24 @@ struct PathLookupResult {
 /// between consecutive words (Example 4.4), and the three results are
 /// joined on token identity / ancestorship exactly as §4.2.2 describes.
 PathLookupResult KokoPathLookup(const KokoIndex& index, const PathQuery& path);
+
+/// Sid projection of a decomposed-path lookup — what DPLI (Algorithm 1)
+/// consumes for sentence pruning.
+struct PathSidLookupResult {
+  bool unconstrained = false;
+  SidList sids;
+};
+
+/// \brief Columnar variant of KokoPathLookup for candidate pruning.
+///
+/// Produces exactly the sorted set `{q.sid : q in KokoPathLookup(path)}`
+/// without materialising the quintuples when a single index constrains the
+/// path: a PL-only (or POS-only) path resolves to the union of the matched
+/// trie nodes' precomputed sid lists. Paths needing cross-index joins fall
+/// back to the quintuple-level lookup and project its (sid-sorted) result
+/// with one linear dedup scan.
+PathSidLookupResult KokoPathSidLookup(const KokoIndex& index,
+                                      const PathQuery& path);
 
 /// Extracts the parse-label / POS-tag projection of `path` (non-matching
 /// constraints become wildcards). Returns an empty optional when the

@@ -60,6 +60,17 @@ struct EntityPosting {
 
 using PostingList = std::vector<Quintuple>;
 
+/// Projects a (sid, tid)-sorted posting list onto its sid column. The input
+/// order makes this a single linear dedup scan — no hashing, no re-sort.
+inline std::vector<uint32_t> SidsOfPostings(const PostingList& postings) {
+  std::vector<uint32_t> sids;
+  sids.reserve(postings.size());
+  for (const Quintuple& q : postings) {
+    if (sids.empty() || sids.back() != q.sid) sids.push_back(q.sid);
+  }
+  return sids;
+}
+
 }  // namespace koko
 
 #endif  // KOKO_INDEX_POSTING_H_

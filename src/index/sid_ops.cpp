@@ -1,0 +1,198 @@
+#include "index/sid_ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace koko {
+
+SidList SidList::FromSorted(std::vector<uint32_t> ids) {
+  assert(std::is_sorted(ids.begin(), ids.end()));
+  SidList out;
+  out.ids_ = std::move(ids);
+  out.ids_.erase(std::unique(out.ids_.begin(), out.ids_.end()), out.ids_.end());
+  return out;
+}
+
+SidList SidList::FromUnsorted(std::vector<uint32_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  return FromSorted(std::move(ids));
+}
+
+bool SidList::Contains(uint32_t sid) const {
+  return std::binary_search(ids_.begin(), ids_.end(), sid);
+}
+
+size_t GallopTo(const uint32_t* xs, size_t n, size_t lo, uint32_t key) {
+  if (lo >= n || xs[lo] >= key) return lo;
+  // Exponential probe: bracket the first element >= key in
+  // (lo + step/2, lo + step].
+  size_t step = 1;
+  size_t prev = lo;
+  size_t cur = lo + 1;
+  while (cur < n && xs[cur] < key) {
+    prev = cur;
+    step <<= 1;
+    cur = lo + step;
+  }
+  if (cur > n) cur = n;
+  // Binary search in (prev, cur].
+  return static_cast<size_t>(
+      std::lower_bound(xs + prev + 1, xs + cur, key) - xs);
+}
+
+namespace {
+
+// Linear two-pointer intersection for comparable sizes.
+void IntersectMerge(const SidList& a, const SidList& b,
+                    std::vector<uint32_t>* out) {
+  size_t i = 0, j = 0;
+  const size_t na = a.size(), nb = b.size();
+  while (i < na && j < nb) {
+    uint32_t x = a[i], y = b[j];
+    if (x < y) {
+      ++i;
+    } else if (y < x) {
+      ++j;
+    } else {
+      out->push_back(x);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+// Galloping intersection: walk the small list, gallop in the large one.
+void IntersectGallop(const SidList& small, const SidList& large,
+                     std::vector<uint32_t>* out) {
+  size_t j = 0;
+  const uint32_t* xs = large.data();
+  const size_t n = large.size();
+  for (size_t i = 0; i < small.size(); ++i) {
+    uint32_t key = small[i];
+    j = GallopTo(xs, n, j, key);
+    if (j == n) return;
+    if (xs[j] == key) {
+      out->push_back(key);
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+SidList Intersect(const SidList& a, const SidList& b) {
+  const SidList& small = a.size() <= b.size() ? a : b;
+  const SidList& large = a.size() <= b.size() ? b : a;
+  std::vector<uint32_t> out;
+  if (small.empty()) return SidList();
+  out.reserve(small.size());
+  if (large.size() / small.size() >= kGallopSkewRatio) {
+    IntersectGallop(small, large, &out);
+  } else {
+    IntersectMerge(small, large, &out);
+  }
+  return SidList::FromSorted(std::move(out));
+}
+
+SidList IntersectAll(std::vector<const SidList*> lists) {
+  if (lists.empty()) return SidList();
+  std::sort(lists.begin(), lists.end(),
+            [](const SidList* x, const SidList* y) {
+              return x->size() < y->size();
+            });
+  SidList current = *lists[0];
+  for (size_t i = 1; i < lists.size() && !current.empty(); ++i) {
+    current = Intersect(current, *lists[i]);
+  }
+  return current;
+}
+
+SidList Union(const SidList& a, const SidList& b) {
+  std::vector<uint32_t> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return SidList::FromSorted(std::move(out));
+}
+
+SidList UnionAll(std::vector<const SidList*> lists) {
+  if (lists.empty()) return SidList();
+  if (lists.size() == 1) return *lists[0];
+  if (lists.size() == 2) return Union(*lists[0], *lists[1]);
+  // K-way ordered merge over a min-heap of list cursors: O(N log k), each
+  // element touched once. Append() drops the duplicate heads.
+  using Cursor = std::pair<uint32_t, size_t>;  // (current value, list index)
+  std::priority_queue<Cursor, std::vector<Cursor>, std::greater<Cursor>> heap;
+  std::vector<size_t> pos(lists.size(), 0);
+  for (size_t i = 0; i < lists.size(); ++i) {
+    if (!lists[i]->empty()) heap.push({(*lists[i])[0], i});
+  }
+  SidList out;
+  while (!heap.empty()) {
+    auto [value, i] = heap.top();
+    heap.pop();
+    out.Append(value);
+    if (++pos[i] < lists[i]->size()) heap.push({(*lists[i])[pos[i]], i});
+  }
+  return out;
+}
+
+SidList Difference(const SidList& a, const SidList& b) {
+  std::vector<uint32_t> out;
+  out.reserve(a.size());
+  if (b.size() / std::max<size_t>(a.size(), 1) >= kGallopSkewRatio) {
+    size_t j = 0;
+    const uint32_t* xs = b.data();
+    for (size_t i = 0; i < a.size(); ++i) {
+      uint32_t key = a[i];
+      j = GallopTo(xs, b.size(), j, key);
+      if (j == b.size() || xs[j] != key) out.push_back(key);
+    }
+  } else {
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  }
+  return SidList::FromSorted(std::move(out));
+}
+
+std::vector<uint8_t> EncodeDeltas(const SidList& list) {
+  std::vector<uint8_t> out;
+  out.reserve(list.size());
+  uint32_t prev = 0;
+  bool first = true;
+  for (uint32_t sid : list) {
+    uint32_t value = first ? sid : sid - prev;
+    first = false;
+    prev = sid;
+    while (value >= 0x80) {
+      out.push_back(static_cast<uint8_t>(value | 0x80));
+      value >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(value));
+  }
+  return out;
+}
+
+SidList DecodeDeltas(const std::vector<uint8_t>& bytes) {
+  std::vector<uint32_t> ids;
+  uint32_t prev = 0;
+  bool first = true;
+  uint32_t value = 0;
+  int shift = 0;
+  for (uint8_t byte : bytes) {
+    value |= static_cast<uint32_t>(byte & 0x7f) << shift;
+    if (byte & 0x80) {
+      shift += 7;
+      continue;
+    }
+    uint32_t sid = first ? value : prev + value;
+    first = false;
+    prev = sid;
+    ids.push_back(sid);
+    value = 0;
+    shift = 0;
+  }
+  return SidList::FromSorted(std::move(ids));
+}
+
+}  // namespace koko

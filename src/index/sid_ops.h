@@ -1,0 +1,109 @@
+#ifndef KOKO_INDEX_SID_OPS_H_
+#define KOKO_INDEX_SID_OPS_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace koko {
+
+/// \brief A sorted, deduplicated list of sentence ids.
+///
+/// The columnar projection of a posting list onto its `sid` column: the unit
+/// DPLI (Algorithm 1) actually operates on. Ids are stored ascending and
+/// unique, which makes the layout delta-friendly (gaps are small
+/// non-negative integers, see EncodeDeltas/DecodeDeltas) and lets set
+/// operations run as ordered merges instead of hash probes.
+class SidList {
+ public:
+  SidList() = default;
+
+  /// Takes ownership of an already sorted, already deduplicated vector.
+  static SidList FromSorted(std::vector<uint32_t> ids);
+
+  /// Sorts and deduplicates `ids` (any order, duplicates allowed).
+  static SidList FromUnsorted(std::vector<uint32_t> ids);
+
+  /// Build-time append of a non-decreasing id stream; duplicates of the
+  /// current tail are dropped in O(1). Ids below the tail are rejected via
+  /// assert in debug builds (the caller must feed sorted data).
+  void Append(uint32_t sid) {
+    if (!ids_.empty()) {
+      assert(sid >= ids_.back());
+      if (ids_.back() == sid) return;
+    }
+    ids_.push_back(sid);
+  }
+
+  /// Number of sids — the `CountSids()` fast path: cardinality without
+  /// materialising any posting.
+  size_t CountSids() const { return ids_.size(); }
+
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  uint32_t operator[](size_t i) const { return ids_[i]; }
+  const uint32_t* data() const { return ids_.data(); }
+  std::vector<uint32_t>::const_iterator begin() const { return ids_.begin(); }
+  std::vector<uint32_t>::const_iterator end() const { return ids_.end(); }
+
+  const std::vector<uint32_t>& ids() const { return ids_; }
+  /// Moves the id vector out (the list becomes empty).
+  std::vector<uint32_t> TakeIds() { return std::move(ids_); }
+
+  bool Contains(uint32_t sid) const;
+
+  size_t MemoryUsage() const { return ids_.capacity() * sizeof(uint32_t); }
+
+  friend bool operator==(const SidList& a, const SidList& b) {
+    return a.ids_ == b.ids_;
+  }
+
+ private:
+  std::vector<uint32_t> ids_;
+};
+
+// ---- Galloping primitives ---------------------------------------------------
+
+/// First index in [lo, n) with xs[idx] >= key, found by exponential probing
+/// from `lo` followed by binary search within the bracketed range. O(log d)
+/// where d is the distance advanced — the primitive behind skewed-list
+/// intersection (Bentley & Yao / SVS "galloping" advance).
+size_t GallopTo(const uint32_t* xs, size_t n, size_t lo, uint32_t key);
+
+// ---- Set operations ---------------------------------------------------------
+
+/// Ordered intersection. Adaptive: linear two-pointer merge when the sizes
+/// are comparable, galloping advance in the larger list when skewed
+/// (|large| / |small| >= kGallopSkewRatio).
+SidList Intersect(const SidList& a, const SidList& b);
+
+/// Size ratio above which Intersect switches from linear merge to galloping.
+inline constexpr size_t kGallopSkewRatio = 8;
+
+/// Multi-way intersection, smallest list first so every later pass runs
+/// against an already-minimal candidate set. Empty input vector -> empty
+/// list. Short-circuits to empty as soon as any pass drains.
+SidList IntersectAll(std::vector<const SidList*> lists);
+
+/// Ordered union of two lists.
+SidList Union(const SidList& a, const SidList& b);
+
+/// Multi-way union (k-way ordered heap merge, O(N log k)).
+SidList UnionAll(std::vector<const SidList*> lists);
+
+/// Ordered difference a \ b (elements of `a` not in `b`), galloping through
+/// `b` when it is much larger.
+SidList Difference(const SidList& a, const SidList& b);
+
+// ---- Delta layout helpers ---------------------------------------------------
+
+/// Varint(delta) encoding of a sorted sid list — the on-disk/compressed
+/// layout future posting-block work builds on. First id is stored as-is,
+/// subsequent ids as gaps; every value is LEB128 varint encoded.
+std::vector<uint8_t> EncodeDeltas(const SidList& list);
+SidList DecodeDeltas(const std::vector<uint8_t>& bytes);
+
+}  // namespace koko
+
+#endif  // KOKO_INDEX_SID_OPS_H_

@@ -1,19 +1,45 @@
 #include "koko/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <deque>
 #include <map>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "index/path_lookup.h"
+#include "index/sid_ops.h"
 #include "koko/parser.h"
 #include "regex/regex.h"
+#include "util/hash.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace koko {
 
 namespace {
+
+// Exact hash for a row's value vector (the per-sentence dedup key).
+struct ValuesHash {
+  size_t operator()(const std::vector<std::string>& values) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const std::string& v : values) {
+      h = HashCombine(h, Fnv1a64(v));
+      h = HashCombine(h, v.size());
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// Hash for the aggregate score-cache key (doc, clause index, value).
+struct ScoreKeyHash {
+  size_t operator()(const std::tuple<uint32_t, size_t, std::string>& key) const {
+    uint64_t h = Mix64((static_cast<uint64_t>(std::get<0>(key)) << 32) ^
+                       static_cast<uint64_t>(std::get<1>(key)));
+    return static_cast<size_t>(HashCombine(h, Fnv1a64(std::get<2>(key))));
+  }
+};
 
 // A variable binding within one sentence: the token span [begin, end]
 // (end < begin encodes an empty span) plus the tree node for node variables.
@@ -562,51 +588,49 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
   for (const auto& cond : cq.excluding) track(cond.var);
 
   // ---- DPLI: prune to candidate sentences (Algorithm 1) ----
+  //
+  // Columnar: every prunable atom contributes one sorted sid list — served
+  // from the index's precomputed projections wherever possible — and the
+  // lists are intersected smallest-first with a galloping ordered merge.
+  // See the DPLI phase contract in engine.h.
   std::vector<uint32_t> candidates;
   {
     ScopedPhase phase(&result.phases, "DPLI");
     bool pruned = false;
     bool empty_answer = false;
-    std::vector<std::unordered_set<uint32_t>> sets;
+    std::deque<SidList> owned;  // stable storage for per-query lists
+    std::vector<const SidList*> sets;
     if (options.use_index) {
       for (int dom : cq.DominantPathVars()) {
-        PathLookupResult lookup =
-            KokoPathLookup(*index_, cq.vars[static_cast<size_t>(dom)].abs_path);
+        PathSidLookupResult lookup = KokoPathSidLookup(
+            *index_, cq.vars[static_cast<size_t>(dom)].abs_path);
         if (lookup.unconstrained) continue;
-        std::unordered_set<uint32_t> sids;
-        for (const Quintuple& q : lookup.postings) sids.insert(q.sid);
-        if (sids.empty()) empty_answer = true;
-        sets.push_back(std::move(sids));
+        if (lookup.sids.empty()) empty_answer = true;
+        owned.push_back(std::move(lookup.sids));
+        sets.push_back(&owned.back());
         pruned = true;
       }
       for (const CompiledVar& v : cq.vars) {
         if (v.kind == CompiledVar::Kind::kEntity) {
-          std::unordered_set<uint32_t> sids;
-          for (const EntityPosting& e : index_->AllEntities()) {
-            if (!v.etype || e.type == *v.etype) sids.insert(e.sid);
-          }
-          sets.push_back(std::move(sids));
+          sets.push_back(v.etype ? &index_->EntityTypeSids(*v.etype)
+                                 : &index_->AllEntitySids());
           pruned = true;
         } else if (v.kind == CompiledVar::Kind::kLiteral) {
-          std::unordered_set<uint32_t> sids;
-          bool first = true;
+          // A literal prunes to sentences containing all of its words:
+          // intersect the precomputed per-word lists, smallest first.
+          std::vector<const SidList*> word_lists;
+          bool word_absent = false;
           for (const std::string& word : v.literal) {
-            std::unordered_set<uint32_t> word_sids;
-            for (const Quintuple& q : index_->LookupWord(word)) {
-              word_sids.insert(q.sid);
+            const SidList* sids = index_->WordSids(word);
+            if (sids == nullptr) {
+              word_absent = true;
+              break;
             }
-            if (first) {
-              sids = std::move(word_sids);
-              first = false;
-            } else {
-              std::unordered_set<uint32_t> merged;
-              for (uint32_t sid : sids) {
-                if (word_sids.count(sid) > 0) merged.insert(sid);
-              }
-              sids = std::move(merged);
-            }
+            word_lists.push_back(sids);
           }
-          sets.push_back(std::move(sids));
+          owned.push_back(word_absent ? SidList()
+                                      : IntersectAll(std::move(word_lists)));
+          sets.push_back(&owned.back());
           pruned = true;
         }
       }
@@ -619,17 +643,7 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
       candidates.resize(corpus_->NumSentences());
       for (uint32_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
     } else {
-      // Intersect all sets.
-      std::unordered_set<uint32_t> current = std::move(sets[0]);
-      for (size_t i = 1; i < sets.size(); ++i) {
-        std::unordered_set<uint32_t> merged;
-        for (uint32_t sid : current) {
-          if (sets[i].count(sid) > 0) merged.insert(sid);
-        }
-        current = std::move(merged);
-      }
-      candidates.assign(current.begin(), current.end());
-      std::sort(candidates.begin(), candidates.end());
+      candidates = IntersectAll(std::move(sets)).TakeIds();
     }
   }
   result.candidate_sentences = candidates.size();
@@ -655,23 +669,89 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
   std::vector<PendingRow> pending;
   {
     ScopedPhase phase(&result.phases, "extract");
-    for (uint32_t sid : candidates) {
+
+    // Evaluates one candidate sentence, appending its (deduplicated) rows
+    // to *out until out holds `budget` rows. Returns false when the budget
+    // was hit. Safe to call concurrently with distinct `phases`/`out`.
+    auto evaluate = [&](uint32_t sid, size_t budget, PhaseStats* phases,
+                        std::vector<PendingRow>* out) {
       const SentenceRef& ref = corpus_->refs[sid];
       const Sentence& s = loaded.at(ref.doc).sentences[ref.sent];
-      std::set<std::vector<std::string>> seen;  // dedup per sentence
-      SentenceEvaluator evaluator(cq, s, options, &result.phases);
-      bool keep_going =
-          evaluator.Run([&](const std::vector<Binding>& assignment) {
-            std::vector<std::string> values;
-            values.reserve(tracked.size());
-            for (int var : tracked) {
-              values.push_back(BindingText(s, assignment[static_cast<size_t>(var)]));
-            }
-            if (!seen.insert(values).second) return true;
-            pending.push_back({ref.doc, sid, std::move(values)});
-            return pending.size() < options.max_rows;
-          });
-      if (!keep_going) break;
+      std::unordered_set<std::vector<std::string>, ValuesHash> seen;
+      SentenceEvaluator evaluator(cq, s, options, phases);
+      return evaluator.Run([&](const std::vector<Binding>& assignment) {
+        std::vector<std::string> values;
+        values.reserve(tracked.size());
+        for (int var : tracked) {
+          values.push_back(BindingText(s, assignment[static_cast<size_t>(var)]));
+        }
+        if (!seen.insert(values).second) return true;
+        out->push_back({ref.doc, sid, std::move(values)});
+        return out->size() < budget;
+      });
+    };
+
+    const size_t num_workers = std::min(options.num_threads, candidates.size());
+    if (num_workers <= 1) {
+      // Sequential: rows accumulate directly into `pending`, so the budget
+      // check spans sentences and stops the scan exactly at max_rows.
+      for (uint32_t sid : candidates) {
+        if (!evaluate(sid, options.max_rows, &result.phases, &pending)) break;
+      }
+    } else {
+      // Parallel: workers draw candidates from an atomic cursor (ascending,
+      // no stealing) and append each sentence's rows — capped at max_rows,
+      // the most any sentence can contribute — to their own buffer.
+      struct WorkerOutput {
+        std::vector<std::pair<size_t, std::vector<PendingRow>>> per_candidate;
+        PhaseStats phases;
+      };
+      std::vector<WorkerOutput> outputs(num_workers);
+      std::atomic<size_t> cursor{0};
+      ThreadPool pool(num_workers);
+      pool.Dispatch([&](size_t w) {
+        WorkerOutput& out = outputs[w];
+        for (;;) {
+          size_t idx = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (idx >= candidates.size()) return;
+          std::vector<PendingRow> rows;
+          evaluate(candidates[idx], options.max_rows, &out.phases, &rows);
+          if (!rows.empty()) out.per_candidate.push_back({idx, std::move(rows)});
+        }
+      });
+      // Deterministic sid-ordered merge: each worker drew ascending
+      // candidate indices, so its buffer is sorted; k-way merge by index
+      // and re-apply the global cap where the sequential scan would stop.
+      std::vector<size_t> heads(num_workers, 0);
+      bool full = false;
+      while (!full) {
+        size_t best_w = num_workers;
+        size_t best_idx = std::numeric_limits<size_t>::max();
+        for (size_t w = 0; w < num_workers; ++w) {
+          if (heads[w] < outputs[w].per_candidate.size() &&
+              outputs[w].per_candidate[heads[w]].first < best_idx) {
+            best_idx = outputs[w].per_candidate[heads[w]].first;
+            best_w = w;
+          }
+        }
+        if (best_w == num_workers) break;
+        for (PendingRow& row :
+             outputs[best_w].per_candidate[heads[best_w]].second) {
+          pending.push_back(std::move(row));
+          // Push-then-check mirrors the sequential emit exactly (a
+          // max_rows of 0 still admits the first row).
+          if (pending.size() >= options.max_rows) {
+            full = true;
+            break;
+          }
+        }
+        ++heads[best_w];
+      }
+      for (const WorkerOutput& out : outputs) {
+        for (const auto& [name, seconds] : out.phases.all()) {
+          result.phases.Add(name, seconds);
+        }
+      }
     }
   }
 
@@ -684,7 +764,9 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
     for (const auto& set : ontology_sets_) aggregator.AddOntologySet(set);
 
     // Score cache: (doc, clause index, value) -> score.
-    std::map<std::tuple<uint32_t, size_t, std::string>, double> cache;
+    std::unordered_map<std::tuple<uint32_t, size_t, std::string>, double,
+                       ScoreKeyHash>
+        cache;
     auto score_of = [&](uint32_t doc, size_t clause_idx,
                         const std::string& value) {
       auto key = std::make_tuple(doc, clause_idx, value);

@@ -49,6 +49,14 @@ struct EngineOptions {
   bool use_descriptors = true;
   /// Safety valve for adversarial queries.
   size_t max_rows = std::numeric_limits<size_t>::max();
+  /// Workers for the per-sentence extract phase. 1 (the default) runs the
+  /// sequential evaluator unchanged; N > 1 fans candidate sentences out to
+  /// a fixed thread pool. Results are **byte-identical** for every N: each
+  /// worker appends rows for the sentences it drew (in draw order) into its
+  /// own buffer, buffers are merged back in ascending-sid order, and
+  /// `max_rows` truncation is applied to the merged stream exactly where
+  /// the sequential evaluator would have stopped.
+  size_t num_threads = 1;
 };
 
 /// \brief The KOKO query evaluation engine (Figure 2).
@@ -57,6 +65,21 @@ struct EngineOptions {
 /// Paths & Lookup Indices (Algorithm 1), Generate Skip Plan + extract
 /// (Algorithm 2 per relevant sentence), and Aggregate (satisfying /
 /// excluding clauses over whole documents).
+///
+/// **DPLI phase contract.** Candidate pruning is columnar: every prunable
+/// atom of the compiled query — each dominant node-variable path, each
+/// entity variable, each literal — contributes one sorted, deduplicated
+/// sentence-id list (`SidList`), served from the index's precomputed
+/// per-word / per-entity-type / per-trie-node projections where possible
+/// (`KokoPathSidLookup`, `KokoIndex::WordSids`, `KokoIndex::EntityTypeSids`).
+/// The lists are intersected smallest-first with a galloping ordered merge
+/// (`IntersectAll`); the result is the candidate set, already in ascending
+/// sid order. The candidate set is *complete* (a superset of all answer
+/// sentences — pruning never loses answers) but may be unsound (§4.2.2);
+/// the extract phase re-validates every candidate. An unconstrained query
+/// (no prunable atom, or `use_index = false`) degrades to all sentences.
+/// An atom whose list is empty proves the answer empty and short-circuits
+/// the query.
 class Engine {
  public:
   /// All pointers are borrowed and must outlive the engine.

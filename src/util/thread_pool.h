@@ -1,0 +1,95 @@
+#ifndef KOKO_UTIL_THREAD_POOL_H_
+#define KOKO_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace koko {
+
+/// \brief Fixed-size thread pool for fork/join parallel sections.
+///
+/// Deliberately work-stealing-free: callers distribute work themselves
+/// (typically via an atomic cursor over a pre-ordered task list), which
+/// keeps per-worker output buffers append-only and merges deterministic.
+/// Workers park on a condition variable between dispatches, so one pool can
+/// serve many parallel sections without re-spawning threads.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads (at least 1).
+  explicit ThreadPool(size_t num_workers)
+      : num_workers_(num_workers == 0 ? 1 : num_workers) {
+    workers_.reserve(num_workers_);
+    for (size_t w = 0; w < num_workers_; ++w) {
+      workers_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return num_workers_; }
+
+  /// Runs `fn(worker_id)` once on every worker concurrently; blocks the
+  /// calling thread until all workers have returned. `fn` must be safe to
+  /// invoke from `num_workers()` threads at once.
+  void Dispatch(const std::function<void(size_t)>& fn) {
+    std::unique_lock<std::mutex> lock(mu_);
+    fn_ = &fn;
+    remaining_ = num_workers_;
+    ++generation_;
+    wake_.notify_all();
+    done_.wait(lock, [this] { return remaining_ == 0; });
+    fn_ = nullptr;
+  }
+
+ private:
+  void WorkerLoop(size_t worker_id) {
+    uint64_t seen_generation = 0;
+    for (;;) {
+      const std::function<void(size_t)>* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [this, seen_generation] {
+          return shutdown_ || generation_ != seen_generation;
+        });
+        if (shutdown_) return;
+        seen_generation = generation_;
+        fn = fn_;
+      }
+      (*fn)(worker_id);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--remaining_ == 0) done_.notify_all();
+      }
+    }
+  }
+
+  const size_t num_workers_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(size_t)>* fn_ = nullptr;
+  uint64_t generation_ = 0;
+  size_t remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace koko
+
+#endif  // KOKO_UTIL_THREAD_POOL_H_

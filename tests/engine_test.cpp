@@ -244,5 +244,94 @@ TEST(EngineTest, DocumentStoreProducesSameRows) {
   }
 }
 
+// Asserts that every field of every row (and the row order) is identical.
+void ExpectIdenticalResults(const QueryResult& a, const QueryResult& b,
+                            const std::string& context) {
+  ASSERT_EQ(a.rows.size(), b.rows.size()) << context;
+  EXPECT_EQ(a.candidate_sentences, b.candidate_sentences) << context;
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].doc, b.rows[i].doc) << context << " row " << i;
+    EXPECT_EQ(a.rows[i].sid, b.rows[i].sid) << context << " row " << i;
+    EXPECT_EQ(a.rows[i].values, b.rows[i].values) << context << " row " << i;
+    EXPECT_EQ(a.rows[i].scores, b.rows[i].scores) << context << " row " << i;
+  }
+}
+
+TEST(EngineTest, ParallelExtractionIsDeterministic) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 150, .seed = 41});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  EmbeddingModel embeddings;
+  Engine engine(&corpus, index.get(), &embeddings,
+                &const_cast<const Pipeline&>(pipeline).recognizer());
+  auto queries = GenerateSyntheticSpanBenchmark(
+      corpus, {.queries_per_setting = 4, .seed = 42});
+  ASSERT_FALSE(queries.empty());
+  for (const auto& bench : queries) {
+    EngineOptions serial;
+    serial.max_rows = 50000;
+    serial.num_threads = 1;
+    EngineOptions parallel = serial;
+    parallel.num_threads = 4;
+    auto a = engine.Execute(bench.query, serial);
+    auto b = engine.Execute(bench.query, parallel);
+    ASSERT_TRUE(a.ok()) << bench.name;
+    ASSERT_TRUE(b.ok()) << bench.name;
+    ExpectIdenticalResults(*a, *b, bench.name);
+  }
+}
+
+TEST(EngineTest, ParallelMaxRowsTruncationIsDeterministic) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 200, .seed = 43});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  EmbeddingModel embeddings;
+  Engine engine(&corpus, index.get(), &embeddings,
+                &const_cast<const Pipeline&>(pipeline).recognizer());
+  const char* query =
+      "extract b:Str from \"t\" if ( /ROOT:{ a = //verb, b = a/dobj })";
+  // A cap small enough to land mid-corpus (and mid-sentence for some value):
+  // serial stops scanning early, parallel must truncate to the same prefix.
+  for (size_t cap : {0u, 1u, 7u, 23u, 50u}) {
+    EngineOptions serial;
+    serial.max_rows = cap;
+    EngineOptions parallel = serial;
+    parallel.num_threads = 4;
+    auto a = engine.ExecuteText(query, serial);
+    auto b = engine.ExecuteText(query, parallel);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    // The emit protocol is push-then-check, so a cap of 0 still admits the
+    // first row; every cap >= 1 is exact.
+    EXPECT_LE(a->rows.size(), std::max<size_t>(cap, 1));
+    ExpectIdenticalResults(*a, *b, "cap=" + std::to_string(cap));
+  }
+}
+
+TEST(EngineTest, ParallelSatisfyingQueryIsDeterministic) {
+  // Satisfying/excluding clauses ride on the extract rows; the whole
+  // pipeline must stay byte-identical under parallel extraction.
+  Pipeline pipeline;
+  auto docs = GenerateWikiArticles({.num_articles = 30, .seed = 44});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  EmbeddingModel embeddings;
+  Engine engine(&corpus, index.get(), &embeddings,
+                &const_cast<const Pipeline&>(pipeline).recognizer());
+  const char* query = R"(
+      extract x:Entity from "t" if ()
+      satisfying x (str(x) contains "a" {1}) with threshold 0.5)";
+  EngineOptions serial;
+  EngineOptions parallel;
+  parallel.num_threads = 4;
+  auto a = engine.ExecuteText(query, serial);
+  auto b = engine.ExecuteText(query, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectIdenticalResults(*a, *b, "satisfying");
+}
+
 }  // namespace
 }  // namespace koko

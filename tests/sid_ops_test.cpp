@@ -1,0 +1,190 @@
+#include "index/sid_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace koko {
+namespace {
+
+SidList Make(std::vector<uint32_t> ids) {
+  return SidList::FromUnsorted(std::move(ids));
+}
+
+std::vector<uint32_t> ReferenceIntersect(const SidList& a, const SidList& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+SidList RandomList(Rng* rng, size_t count, uint32_t universe) {
+  std::vector<uint32_t> ids;
+  ids.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ids.push_back(static_cast<uint32_t>(rng->Next() % universe));
+  }
+  return SidList::FromUnsorted(std::move(ids));
+}
+
+TEST(SidListTest, FromUnsortedSortsAndDedups) {
+  SidList list = Make({5, 1, 3, 1, 5, 5, 2});
+  EXPECT_EQ(list.ids(), (std::vector<uint32_t>{1, 2, 3, 5}));
+  EXPECT_EQ(list.CountSids(), 4u);
+}
+
+TEST(SidListTest, AppendDropsRepeatsOfTail) {
+  SidList list;
+  for (uint32_t sid : {1u, 1u, 2u, 2u, 2u, 7u}) list.Append(sid);
+  EXPECT_EQ(list.ids(), (std::vector<uint32_t>{1, 2, 7}));
+}
+
+TEST(SidListTest, Contains) {
+  SidList list = Make({2, 4, 8});
+  EXPECT_TRUE(list.Contains(4));
+  EXPECT_FALSE(list.Contains(5));
+  EXPECT_FALSE(SidList().Contains(0));
+}
+
+TEST(GallopToTest, Boundaries) {
+  std::vector<uint32_t> xs = {2, 4, 6, 8, 10, 12, 14, 16};
+  const size_t n = xs.size();
+  EXPECT_EQ(GallopTo(xs.data(), n, 0, 1), 0u);    // before first
+  EXPECT_EQ(GallopTo(xs.data(), n, 0, 2), 0u);    // exact first
+  EXPECT_EQ(GallopTo(xs.data(), n, 0, 3), 1u);    // between
+  EXPECT_EQ(GallopTo(xs.data(), n, 0, 16), 7u);   // exact last
+  EXPECT_EQ(GallopTo(xs.data(), n, 0, 17), 8u);   // past last
+  EXPECT_EQ(GallopTo(xs.data(), n, 3, 8), 3u);    // lo already at answer
+  EXPECT_EQ(GallopTo(xs.data(), n, 3, 6), 3u);    // key behind lo -> lo
+  EXPECT_EQ(GallopTo(xs.data(), n, 8, 1), 8u);    // lo == n
+  EXPECT_EQ(GallopTo(xs.data(), 0, 0, 5), 0u);    // empty array
+}
+
+TEST(GallopToTest, MatchesLowerBoundExhaustively) {
+  // Every (lo, key) pair over a list with runs and gaps.
+  std::vector<uint32_t> xs = {0, 1, 1 + 2, 7, 9, 100, 101, 102, 4000};
+  for (size_t lo = 0; lo <= xs.size(); ++lo) {
+    for (uint32_t key = 0; key <= 4002; ++key) {
+      size_t expected = static_cast<size_t>(
+          std::lower_bound(xs.begin() + static_cast<long>(lo), xs.end(), key) -
+          xs.begin());
+      ASSERT_EQ(GallopTo(xs.data(), xs.size(), lo, key), expected)
+          << "lo=" << lo << " key=" << key;
+    }
+  }
+}
+
+TEST(IntersectTest, EmptyLists) {
+  EXPECT_TRUE(Intersect(SidList(), SidList()).empty());
+  EXPECT_TRUE(Intersect(SidList(), Make({1, 2, 3})).empty());
+  EXPECT_TRUE(Intersect(Make({1, 2, 3}), SidList()).empty());
+}
+
+TEST(IntersectTest, Disjoint) {
+  EXPECT_TRUE(Intersect(Make({1, 3, 5}), Make({2, 4, 6})).empty());
+}
+
+TEST(IntersectTest, Subset) {
+  SidList small = Make({10, 30});
+  SidList large = Make({0, 10, 20, 30, 40});
+  EXPECT_EQ(Intersect(small, large).ids(), (std::vector<uint32_t>{10, 30}));
+  EXPECT_EQ(Intersect(large, small).ids(), (std::vector<uint32_t>{10, 30}));
+}
+
+TEST(IntersectTest, Identical) {
+  SidList list = Make({1, 2, 3, 4});
+  EXPECT_EQ(Intersect(list, list).ids(), list.ids());
+}
+
+TEST(IntersectTest, SkewedSizesTakeGallopPath) {
+  // |large| / |small| far beyond kGallopSkewRatio: exercises the galloping
+  // advance, including multi-step probes past long runs.
+  std::vector<uint32_t> big;
+  for (uint32_t i = 0; i < 10000; ++i) big.push_back(i * 3);
+  SidList large = SidList::FromSorted(big);
+  SidList small = Make({0, 3, 4, 29997, 29999, 50000});
+  EXPECT_EQ(Intersect(small, large).ids(),
+            (std::vector<uint32_t>{0, 3, 29997}));
+  EXPECT_EQ(Intersect(large, small).ids(),
+            (std::vector<uint32_t>{0, 3, 29997}));
+}
+
+TEST(IntersectTest, RandomizedAgainstReference) {
+  Rng rng(99);
+  for (int round = 0; round < 200; ++round) {
+    // Vary skew from 1:1 to ~1:200 so both merge strategies are hit.
+    size_t na = 1 + rng.Next() % 50;
+    size_t nb = 1 + rng.Next() % 2000;
+    SidList a = RandomList(&rng, na, 300);
+    SidList b = RandomList(&rng, nb, 3000);
+    EXPECT_EQ(Intersect(a, b).ids(), ReferenceIntersect(a, b));
+    EXPECT_EQ(Intersect(b, a).ids(), ReferenceIntersect(a, b));
+  }
+}
+
+TEST(IntersectAllTest, SmallestFirstOrderIndependent) {
+  SidList a = Make({1, 2, 3, 4, 5, 6, 7, 8});
+  SidList b = Make({2, 4, 6, 8});
+  SidList c = Make({4, 8, 12});
+  std::vector<uint32_t> expected = {4, 8};
+  EXPECT_EQ(IntersectAll({&a, &b, &c}).ids(), expected);
+  EXPECT_EQ(IntersectAll({&c, &a, &b}).ids(), expected);
+  EXPECT_EQ(IntersectAll({&b, &c, &a}).ids(), expected);
+}
+
+TEST(IntersectAllTest, EdgeCases) {
+  SidList a = Make({1, 2});
+  EXPECT_TRUE(IntersectAll({}).empty());
+  EXPECT_EQ(IntersectAll({&a}).ids(), a.ids());
+  SidList empty;
+  EXPECT_TRUE(IntersectAll({&a, &empty}).empty());
+}
+
+TEST(UnionTest, MergesAndDedups) {
+  EXPECT_EQ(Union(Make({1, 3, 5}), Make({1, 2, 5, 9})).ids(),
+            (std::vector<uint32_t>{1, 2, 3, 5, 9}));
+  EXPECT_EQ(Union(SidList(), Make({7})).ids(), (std::vector<uint32_t>{7}));
+}
+
+TEST(UnionAllTest, ManyLists) {
+  SidList a = Make({1});
+  SidList b = Make({5, 6});
+  SidList c = Make({1, 9});
+  EXPECT_EQ(UnionAll({&a, &b, &c}).ids(), (std::vector<uint32_t>{1, 5, 6, 9}));
+  EXPECT_TRUE(UnionAll({}).empty());
+  EXPECT_EQ(UnionAll({&b}).ids(), b.ids());
+}
+
+TEST(DifferenceTest, BasicAndSkewed) {
+  EXPECT_EQ(Difference(Make({1, 2, 3, 4}), Make({2, 4})).ids(),
+            (std::vector<uint32_t>{1, 3}));
+  EXPECT_EQ(Difference(Make({1, 2}), SidList()).ids(),
+            (std::vector<uint32_t>{1, 2}));
+  EXPECT_TRUE(Difference(SidList(), Make({1})).empty());
+  // Skewed: subtract a large list (gallop path).
+  std::vector<uint32_t> big;
+  for (uint32_t i = 0; i < 1000; ++i) big.push_back(i * 2);
+  EXPECT_EQ(Difference(Make({3, 4, 1998, 1999}), SidList::FromSorted(big)).ids(),
+            (std::vector<uint32_t>{3, 1999}));
+}
+
+TEST(DeltaCodecTest, RoundTrip) {
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    SidList list = RandomList(&rng, rng.Next() % 500, 1u << 20);
+    SidList decoded = DecodeDeltas(EncodeDeltas(list));
+    EXPECT_EQ(decoded.ids(), list.ids());
+  }
+  EXPECT_TRUE(DecodeDeltas(EncodeDeltas(SidList())).empty());
+  // Dense lists encode to ~1 byte per sid.
+  std::vector<uint32_t> dense;
+  for (uint32_t i = 1000000; i < 1001000; ++i) dense.push_back(i);
+  SidList dense_list = SidList::FromSorted(dense);
+  EXPECT_LE(EncodeDeltas(dense_list).size(), 999u + 5u);
+}
+
+}  // namespace
+}  // namespace koko
