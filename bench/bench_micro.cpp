@@ -6,6 +6,7 @@
 
 #include <unordered_set>
 
+#include "bench_util.h"
 #include "corpus/generators.h"
 #include "index/koko_index.h"
 #include "index/path_lookup.h"
@@ -106,8 +107,9 @@ void BM_WordIndexLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_WordIndexLookup);
 
-void BM_DecomposedPathLookup(benchmark::State& state) {
-  const KokoIndex& index = SharedIndex();
+// A cross-index path (POS + parse-label + word): the shape that cannot be
+// answered from a single hierarchy trie and falls back to quintuple joins.
+PathQuery CrossIndexPath() {
   PathQuery path;
   PathStep s1;
   s1.axis = PathStep::Axis::kDescendant;
@@ -119,12 +121,50 @@ void BM_DecomposedPathLookup(benchmark::State& state) {
   s3.axis = PathStep::Axis::kDescendant;
   s3.constraint.word = "delicious";
   path.steps = {s1, s2, s3};
+  return path;
+}
+
+void BM_DecomposedPathLookup(benchmark::State& state) {
+  const KokoIndex& index = SharedIndex();
+  PathQuery path = CrossIndexPath();
   for (auto _ : state) {
     benchmark::DoNotOptimize(KokoPathLookup(index, path));
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DecomposedPathLookup);
+
+// ---- Sid projection of a cross-index path -----------------------------------
+//
+// DPLI only needs the *sids* of a path's matches. The old fallback
+// materialised the full quintuple join and projected it; the semi-join
+// kernel intersects the per-index sid projections (PL path sids, POS path
+// sids, per-word sid lists) first and uses the intersection to prune every
+// posting list before the joins.
+
+// Old fallback, verbatim: full quintuple join, then project the sids.
+void BM_PathSidFallbackQuintuple(benchmark::State& state) {
+  const KokoIndex& index = SharedIndex();
+  PathQuery path = CrossIndexPath();
+  for (auto _ : state) {
+    PathLookupResult full = KokoPathLookup(index, path);
+    benchmark::DoNotOptimize(
+        SidList::FromSorted(SidsOfPostings(full.postings)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PathSidFallbackQuintuple);
+
+// New fallback: sid-level semi-join before any quintuple materialises.
+void BM_PathSidSemiJoin(benchmark::State& state) {
+  const KokoIndex& index = SharedIndex();
+  PathQuery path = CrossIndexPath();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KokoPathSidLookup(index, path));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PathSidSemiJoin);
 
 // ---- DPLI intersection kernels ---------------------------------------------
 //
@@ -295,4 +335,50 @@ BENCHMARK(BM_AnnotateSentence);
 }  // namespace
 }  // namespace koko
 
-BENCHMARK_MAIN();
+namespace {
+
+// Forwards to the normal console output while capturing every finished run
+// (time per iteration + user counters) into the shared JsonEmitter, so the
+// binary leaves a BENCH_micro.json snapshot behind for trend tracking.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(koko::bench::JsonEmitter* emitter)
+      : emitter_(emitter) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      std::vector<std::pair<std::string, double>> values;
+      values.emplace_back("real_s_per_iter", run.real_accumulated_time / iters);
+      values.emplace_back("cpu_s_per_iter", run.cpu_accumulated_time / iters);
+      values.emplace_back("iterations", iters);
+      for (const auto& [name, counter] : run.counters) {
+        values.emplace_back(name, counter.value);
+      }
+      emitter_->AddEntry(run.benchmark_name(), std::move(values));
+    }
+  }
+
+ private:
+  koko::bench::JsonEmitter* emitter_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  koko::bench::JsonEmitter emitter("micro");
+  JsonCapturingReporter reporter(&emitter);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  emitter.SetMeta("corpus_sentences",
+                  static_cast<double>(koko::SharedCorpus().NumSentences()));
+  if (!emitter.WriteFile()) {
+    std::fprintf(stderr, "failed to write BENCH_micro.json\n");
+  }
+  benchmark::Shutdown();
+  return 0;
+}

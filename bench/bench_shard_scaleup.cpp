@@ -1,0 +1,130 @@
+// Shard scale-up: the Table 2 story past one core. Fixed corpus, growing
+// shard count K — measures (a) ShardedKokoIndex build time (shards build in
+// parallel on the thread pool: speedup should approach min(K, cores); the
+// acceptance bar is > 1.5x at K=4 on the 4000-article corpus on multi-core
+// hardware) and (b) per-phase query time with shard-parallel DPLI +
+// parallel extraction at num_threads = num_shards = K.
+//
+// argv[1] optionally overrides the article count (default 4000) for quick
+// local runs. Emits BENCH_shard_scaleup.json.
+#include "bench_util.h"
+
+#include <cstdlib>
+#include <thread>
+
+#include "index/sharded_index.h"
+#include "storage/doc_store.h"
+
+using namespace koko;
+
+namespace {
+
+// Two of the §6.3 example queries (see bench_table2_scaleup): one
+// path-selective, one span-heavy.
+const char* kChocolateQuery = R"(
+extract c:Entity from wiki.article if (
+  /ROOT:{
+    v = //verb,
+    o = v//pobj[text="chocolate"],
+    s = v/nsubj
+  } (s) in (c))
+satisfying v
+  (v SimilarTo "is" {1})
+with threshold 0.9
+)";
+
+const char* kTitleQuery = R"(
+extract a:Person, b:Str from wiki.article if (
+  /ROOT:{
+    v = //"called",
+    p = v/propn,
+    b = p.subtree,
+    c = a + ^ + v + ^ + b
+  })
+)";
+
+// Returns false on query failure so main can fail the (CI) run.
+bool RunQuery(const char* name, const char* query_text,
+              const AnnotatedCorpus& corpus, const ShardedKokoIndex& index,
+              const DocumentStore& store, const Pipeline& pipeline,
+              const EmbeddingModel& embeddings, size_t k,
+              bench::JsonEmitter* emitter) {
+  Engine engine(&corpus, &index, &embeddings, &pipeline.recognizer());
+  engine.set_document_store(&store);
+  EngineOptions options;
+  options.max_rows = 500000;
+  options.num_threads = k;
+  options.num_shards = k;
+  auto result = engine.ExecuteText(query_text, options);
+  if (!result.ok()) {
+    std::printf("  %s FAILED: %s\n", name, result.status().ToString().c_str());
+    return false;
+  }
+  const PhaseStats& p = result->phases;
+  std::printf(
+      "  %-12s K=%zu total=%7.3fs | DPLI=%.4f Load=%.4f extract=%.4f | "
+      "rows=%zu\n",
+      name, k, p.Total(), p.Get("DPLI"), p.Get("LoadArticle"),
+      p.Get("extract"), result->rows.size());
+  emitter->AddEntry(std::string(name) + "/K=" + std::to_string(k),
+                    {{"shards", static_cast<double>(k)},
+                     {"total_s", p.Total()},
+                     {"dpli_s", p.Get("DPLI")},
+                     {"load_article_s", p.Get("LoadArticle")},
+                     {"extract_s", p.Get("extract")},
+                     {"satisfying_s", p.Get("satisfying")},
+                     {"rows", static_cast<double>(result->rows.size())}});
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t articles =
+      argc > 1 ? static_cast<size_t>(std::strtoul(argv[1], nullptr, 10)) : 4000;
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("Shard scale-up: parallel index build + shard-parallel query "
+              "phases (%zu articles, %u hardware threads)\n\n",
+              articles, cores);
+
+  Pipeline pipeline;
+  auto docs = GenerateWikiArticles(
+      {.num_articles = static_cast<int>(articles), .seed = 901});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  DocumentStore store = DocumentStore::FromCorpus(corpus);
+  EmbeddingModel embeddings;
+
+  bench::JsonEmitter emitter("shard_scaleup");
+  emitter.SetMeta("articles", static_cast<double>(articles));
+  emitter.SetMeta("sentences", static_cast<double>(corpus.NumSentences()));
+  emitter.SetMeta("hardware_threads", static_cast<double>(cores));
+
+  bool ok = true;
+  double base_build_s = 0;
+  for (size_t k : {1u, 2u, 4u, 8u}) {
+    ShardedKokoIndex::Options build_options;
+    build_options.num_shards = k;
+    build_options.build_threads = k;
+    auto index = ShardedKokoIndex::Build(corpus, build_options);
+    const double build_s = index->stats().build_seconds;
+    if (k == 1) base_build_s = build_s;
+    const double speedup = build_s > 0 ? base_build_s / build_s : 0;
+    std::printf("-- K=%zu: build=%.3fs (speedup %.2fx vs K=1)%s --\n", k,
+                build_s, speedup,
+                k == 4 && speedup > 1.5 ? "  [>1.5x target met]" : "");
+    emitter.AddEntry("build/K=" + std::to_string(k),
+                     {{"shards", static_cast<double>(k)},
+                      {"build_s", build_s},
+                      {"speedup_vs_1", speedup}});
+    ok &= RunQuery("Chocolate", kChocolateQuery, corpus, *index, store,
+                   pipeline, embeddings, k, &emitter);
+    ok &= RunQuery("Title", kTitleQuery, corpus, *index, store, pipeline,
+                   embeddings, k, &emitter);
+    std::printf("\n");
+  }
+  if (!emitter.WriteFile()) {
+    std::fprintf(stderr, "failed to write BENCH_shard_scaleup.json\n");
+    return 1;
+  }
+  return ok ? 0 : 1;
+}

@@ -51,7 +51,8 @@ with threshold 0.9
 void RunQuery(const char* name, const char* query_text,
               const AnnotatedCorpus& corpus, const KokoIndex& index,
               const DocumentStore& store, const Pipeline& pipeline,
-              const EmbeddingModel& embeddings) {
+              const EmbeddingModel& embeddings, size_t articles,
+              bench::JsonEmitter* emitter) {
   Engine engine(&corpus, &index, &embeddings, &pipeline.recognizer());
   engine.set_document_store(&store);
   EngineOptions options;
@@ -73,6 +74,18 @@ void RunQuery(const char* name, const char* query_text,
       docs_with_rows.size(), corpus.NumDocs(),
       100.0 * static_cast<double>(docs_with_rows.size()) /
           static_cast<double>(corpus.NumDocs()));
+  emitter->AddEntry(
+      std::string(name) + "/" + std::to_string(articles),
+      {{"articles", static_cast<double>(articles)},
+       {"sentences", static_cast<double>(corpus.NumSentences())},
+       {"total_s", total},
+       {"normalize_s", p.Get("Normalize")},
+       {"dpli_s", p.Get("DPLI")},
+       {"load_article_s", p.Get("LoadArticle")},
+       {"gsp_s", p.Get("GSP")},
+       {"extract_s", p.Get("extract")},
+       {"satisfying_s", p.Get("satisfying")},
+       {"rows", static_cast<double>(result->rows.size())}});
 }
 
 }  // namespace
@@ -86,6 +99,8 @@ int main() {
   auto all_docs = GenerateWikiArticles({.num_articles = 4000, .seed = 901});
   AnnotatedCorpus full = pipeline.AnnotateCorpus(all_docs);
   EmbeddingModel embeddings;
+  bench::JsonEmitter emitter("table2_scaleup");
+  emitter.SetMeta("max_articles", 4000);
 
   for (size_t articles : {500u, 1000u, 2000u, 4000u}) {
     AnnotatedCorpus corpus;
@@ -97,11 +112,15 @@ int main() {
     std::printf("-- %zu articles (%zu sentences) --\n", articles,
                 corpus.NumSentences());
     RunQuery("Chocolate", kChocolateQuery, corpus, *index, store, pipeline,
-             embeddings);
-    RunQuery("Title", kTitleQuery, corpus, *index, store, pipeline, embeddings);
+             embeddings, articles, &emitter);
+    RunQuery("Title", kTitleQuery, corpus, *index, store, pipeline, embeddings,
+             articles, &emitter);
     RunQuery("DateOfBirth", kDateOfBirthQuery, corpus, *index, store, pipeline,
-             embeddings);
+             embeddings, articles, &emitter);
     std::printf("\n");
+  }
+  if (!emitter.WriteFile()) {
+    std::fprintf(stderr, "failed to write BENCH_table2_scaleup.json\n");
   }
   return 0;
 }

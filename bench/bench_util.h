@@ -5,9 +5,12 @@
 // regenerates one table/figure of the paper and prints (a) the paper's
 // reported shape and (b) our measured numbers.
 
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "corpus/generators.h"
@@ -19,6 +22,83 @@
 
 namespace koko {
 namespace bench {
+
+/// \brief Machine-readable bench output: one `BENCH_<name>.json` per bench
+/// binary, so the perf trajectory is trackable across PRs (CI uploads the
+/// files as artifacts).
+///
+/// Schema:
+///   { "bench": "<name>",
+///     "meta":    { "<key>": <number>, ... },
+///     "entries": [ { "name": "<entry>", "values": { "<k>": <number> } } ] }
+///
+/// Entry/key names are expected to be identifier-like; values print with
+/// enough digits to round-trip doubles.
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void SetMeta(const std::string& key, double value) {
+    meta_.emplace_back(key, value);
+  }
+
+  void AddEntry(const std::string& name,
+                std::vector<std::pair<std::string, double>> values) {
+    entries_.push_back({name, std::move(values)});
+  }
+
+  /// Writes the JSON file; default path is BENCH_<name>.json in the
+  /// working directory. Returns false on I/O failure.
+  bool WriteFile(const std::string& path = "") const {
+    std::string target = path.empty() ? "BENCH_" + bench_name_ + ".json" : path;
+    std::ofstream out(target);
+    if (!out) return false;
+    out << "{\n  \"bench\": \"" << bench_name_ << "\",\n  \"meta\": {";
+    for (size_t i = 0; i < meta_.size(); ++i) {
+      out << (i == 0 ? "" : ",") << "\n    \"" << meta_[i].first
+          << "\": " << Number(meta_[i].second);
+    }
+    out << (meta_.empty() ? "" : "\n  ") << "},\n  \"entries\": [";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out << (i == 0 ? "" : ",") << "\n    {\"name\": \"" << e.name
+          << "\", \"values\": {";
+      for (size_t j = 0; j < e.values.size(); ++j) {
+        out << (j == 0 ? "" : ", ") << "\"" << e.values[j].first
+            << "\": " << Number(e.values[j].second);
+      }
+      out << "}}";
+    }
+    out << (entries_.empty() ? "" : "\n  ") << "]\n}\n";
+    return out.good();
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::vector<std::pair<std::string, double>> values;
+  };
+
+  static std::string Number(double v) {
+    // JSON has no NaN/Inf; emit 0 rather than an invalid token. The range
+    // check precedes the cast (casting out-of-range doubles is UB).
+    if (!std::isfinite(v)) return "0";
+    char buf[64];
+    // %.17g round-trips doubles; integral values print without exponent.
+    if (v > -1e15 && v < 1e15 &&
+        v == static_cast<double>(static_cast<long long>(v))) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    return buf;
+  }
+
+  std::string bench_name_;
+  std::vector<std::pair<std::string, double>> meta_;
+  std::vector<Entry> entries_;
+};
 
 /// The Appendix-A cafe query (adapted to this repository's generators and
 /// NER conventions), parameterised by threshold.

@@ -1,6 +1,8 @@
 #include "index/koko_index.h"
 
 #include <algorithm>
+#include <fstream>
+#include <utility>
 
 #include "util/logging.h"
 #include "util/timer.h"
@@ -126,6 +128,12 @@ size_t KokoIndex::Trie::MemoryUsage() const {
 // ---- Build -------------------------------------------------------------------
 
 std::unique_ptr<KokoIndex> KokoIndex::Build(const AnnotatedCorpus& corpus) {
+  return Build(corpus, 0, static_cast<uint32_t>(corpus.NumSentences()));
+}
+
+std::unique_ptr<KokoIndex> KokoIndex::Build(const AnnotatedCorpus& corpus,
+                                            uint32_t sid_begin,
+                                            uint32_t sid_end) {
   WallTimer timer;
   auto index = std::unique_ptr<KokoIndex>(new KokoIndex());
 
@@ -148,7 +156,7 @@ std::unique_ptr<KokoIndex> KokoIndex::Build(const AnnotatedCorpus& corpus) {
   Trie& pl = index->pl_trie_;
   Trie& pos = index->pos_trie_;
 
-  for (uint32_t sid = 0; sid < corpus.NumSentences(); ++sid) {
+  for (uint32_t sid = sid_begin; sid < sid_end; ++sid) {
     const Sentence& s = corpus.sentence(sid);
     const int n = s.size();
     if (n == 0) continue;
@@ -267,6 +275,10 @@ void KokoIndex::RebuildSidCaches() {
     }
   }
 
+  RebuildEntitySidCaches();
+}
+
+void KokoIndex::RebuildEntitySidCaches() {
   // Per-type entity buckets + sid lists. all_entities_ is in E-row order,
   // which is sid-sorted.
   for (auto& bucket : entities_by_type_) bucket.clear();
@@ -291,12 +303,19 @@ Quintuple KokoIndex::RowToQuintuple(uint32_t row) const {
   return q;
 }
 
-PostingList KokoIndex::LookupWord(std::string_view token) const {
+PostingList KokoIndex::LookupWord(std::string_view token,
+                                  const SidList* sid_filter) const {
   auto rows = w_->IndexLookup("w_word", {std::string(token)});
   KOKO_CHECK(rows.ok());
   PostingList out;
   out.reserve(rows->size());
-  for (uint32_t row : *rows) out.push_back(RowToQuintuple(row));
+  for (uint32_t row : *rows) {
+    if (sid_filter != nullptr &&
+        !sid_filter->Contains(static_cast<uint32_t>(w_->GetInt(row, kWSid)))) {
+      continue;
+    }
+    out.push_back(RowToQuintuple(row));
+  }
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -320,22 +339,41 @@ size_t KokoIndex::CountWordSids(std::string_view token) const {
   return sids == nullptr ? 0 : sids->CountSids();
 }
 
-PostingList KokoIndex::LookupParseLabelPath(const PathQuery& path) const {
-  std::vector<uint32_t> nodes = pl_trie_.Match(path, /*use_pos=*/false);
-  PostingList out;
+// A node's rows are ascending (hence sid-sorted), so the semi-join filter
+// advances with one galloping cursor per node rather than a binary search
+// per row; rows outside the filter never materialise a quintuple.
+void KokoIndex::AppendTrieRows(const Trie& trie,
+                               const std::vector<uint32_t>& nodes,
+                               const SidList* sid_filter,
+                               PostingList* out) const {
   for (uint32_t node : nodes) {
-    for (uint32_t row : pl_trie_.nodes[node].rows) out.push_back(RowToQuintuple(row));
+    size_t cursor = 0;
+    for (uint32_t row : trie.nodes[node].rows) {
+      if (sid_filter != nullptr) {
+        uint32_t sid = static_cast<uint32_t>(w_->GetInt(row, kWSid));
+        cursor = GallopTo(sid_filter->data(), sid_filter->size(), cursor, sid);
+        if (cursor == sid_filter->size()) break;  // rows are sid-sorted
+        if ((*sid_filter)[cursor] != sid) continue;
+      }
+      out->push_back(RowToQuintuple(row));
+    }
   }
+}
+
+PostingList KokoIndex::LookupParseLabelPath(const PathQuery& path,
+                                            const SidList* sid_filter) const {
+  PostingList out;
+  AppendTrieRows(pl_trie_, pl_trie_.Match(path, /*use_pos=*/false), sid_filter,
+                 &out);
   std::sort(out.begin(), out.end());
   return out;
 }
 
-PostingList KokoIndex::LookupPosPath(const PathQuery& path) const {
-  std::vector<uint32_t> nodes = pos_trie_.Match(path, /*use_pos=*/true);
+PostingList KokoIndex::LookupPosPath(const PathQuery& path,
+                                     const SidList* sid_filter) const {
   PostingList out;
-  for (uint32_t node : nodes) {
-    for (uint32_t row : pos_trie_.nodes[node].rows) out.push_back(RowToQuintuple(row));
-  }
+  AppendTrieRows(pos_trie_, pos_trie_.Match(path, /*use_pos=*/true), sid_filter,
+                 &out);
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -380,9 +418,64 @@ size_t KokoIndex::MemoryUsage() const {
 }
 
 // ---- Persistence ----------------------------------------------------------------
+//
+// File layout (version 2):
+//   u32 magic "KIDX" | u32 version | catalog (tables W, E, PL, POS) |
+//   word sid lists   | PL-trie node sid lists | POS-trie node sid lists
+// Every sid list is stored as (u32 count, varint-delta byte vector); the
+// delta form is strictly smaller than the raw u32 layout for any non-empty
+// list (gaps between sorted unique sids fit in 1-2 varint bytes almost
+// always). Legacy catalog-only images (magic "KOKO") still load, paying a
+// full RebuildSidCaches.
+
+namespace {
+constexpr uint32_t kIndexMagic = 0x4b494458;  // "KIDX"
+constexpr uint32_t kIndexVersion = 2;
+
+void WriteSidList(BinaryWriter* writer, const SidList& list) {
+  writer->WriteU32(static_cast<uint32_t>(list.size()));
+  writer->WriteVector(EncodeDeltas(list));
+}
+
+Result<SidList> ReadSidList(BinaryReader* reader) {
+  KOKO_ASSIGN_OR_RETURN(uint32_t count, reader->ReadU32());
+  KOKO_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, reader->ReadVector<uint8_t>());
+  SidList list = DecodeDeltas(bytes);
+  if (list.size() != count) {
+    return Status::ParseError("sid list delta stream decoded to wrong length");
+  }
+  return list;
+}
+}  // namespace
+
+Status KokoIndex::Save(BinaryWriter* writer) const {
+  writer->WriteU32(kIndexMagic);
+  writer->WriteU32(kIndexVersion);
+  KOKO_RETURN_IF_ERROR(catalog_.Save(writer));
+  // Word sid lists, in sorted word order for deterministic images.
+  std::vector<const std::pair<const std::string, SidList>*> words;
+  words.reserve(word_sids_.size());
+  for (const auto& entry : word_sids_) words.push_back(&entry);
+  std::sort(words.begin(), words.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  writer->WriteU32(static_cast<uint32_t>(words.size()));
+  for (const auto* entry : words) {
+    writer->WriteString(entry->first);
+    WriteSidList(writer, entry->second);
+  }
+  for (const Trie* trie : {&pl_trie_, &pos_trie_}) {
+    writer->WriteU32(static_cast<uint32_t>(trie->nodes.size()));
+    for (const TrieNode& node : trie->nodes) WriteSidList(writer, node.sids);
+  }
+  if (!writer->ok()) return Status::IoError("index write failure");
+  return Status::OK();
+}
 
 Status KokoIndex::Save(const std::string& path) const {
-  return catalog_.SaveToFile(path);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  BinaryWriter writer(&out);
+  return Save(&writer);
 }
 
 Status KokoIndex::RebuildTrieFromClosure(const std::string& table_name, Trie* trie,
@@ -431,24 +524,69 @@ Status KokoIndex::RebuildTrieFromClosure(const std::string& table_name, Trie* tr
   return Status::OK();
 }
 
-Result<std::unique_ptr<KokoIndex>> KokoIndex::Load(const std::string& path) {
-  auto index = std::unique_ptr<KokoIndex>(new KokoIndex());
-  KOKO_RETURN_IF_ERROR(index->catalog_.LoadFromFile(path));
-  index->w_ = index->catalog_.GetTable("W");
-  index->e_ = index->catalog_.GetTable("E");
-  if (index->w_ == nullptr || index->e_ == nullptr) {
+Status KokoIndex::InitFromCatalog() {
+  w_ = catalog_.GetTable("W");
+  e_ = catalog_.GetTable("E");
+  if (w_ == nullptr || e_ == nullptr) {
     return Status::ParseError("catalog missing W/E tables");
   }
-  KOKO_RETURN_IF_ERROR(
-      index->RebuildTrieFromClosure("PL", &index->pl_trie_, kWPlid));
-  KOKO_RETURN_IF_ERROR(
-      index->RebuildTrieFromClosure("POS", &index->pos_trie_, kWPosid));
-  index->RebuildEntityCache();
+  KOKO_RETURN_IF_ERROR(RebuildTrieFromClosure("PL", &pl_trie_, kWPlid));
+  KOKO_RETURN_IF_ERROR(RebuildTrieFromClosure("POS", &pos_trie_, kWPosid));
+  RebuildEntityCache();
+  stats_.num_tokens = w_->NumRows();
+  stats_.num_entities = e_->NumRows();
+  stats_.pl_trie_nodes = pl_trie_.nodes.size() - 1;
+  stats_.pos_trie_nodes = pos_trie_.nodes.size() - 1;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<KokoIndex>> KokoIndex::Load(BinaryReader* reader) {
+  KOKO_ASSIGN_OR_RETURN(uint32_t magic, reader->ReadU32());
+  if (magic != kIndexMagic) return Status::ParseError("bad index magic");
+  KOKO_ASSIGN_OR_RETURN(uint32_t version, reader->ReadU32());
+  if (version != kIndexVersion) {
+    return Status::ParseError("unsupported index version " +
+                              std::to_string(version));
+  }
+  auto index = std::unique_ptr<KokoIndex>(new KokoIndex());
+  KOKO_RETURN_IF_ERROR(index->catalog_.Load(reader));
+  KOKO_RETURN_IF_ERROR(index->InitFromCatalog());
+  // Restore the delta-encoded sid caches instead of re-projecting W.
+  KOKO_ASSIGN_OR_RETURN(uint32_t num_words, reader->ReadU32());
+  index->word_sids_.clear();
+  index->word_sids_.reserve(num_words);
+  for (uint32_t i = 0; i < num_words; ++i) {
+    KOKO_ASSIGN_OR_RETURN(std::string word, reader->ReadString());
+    KOKO_ASSIGN_OR_RETURN(SidList sids, ReadSidList(reader));
+    index->word_sids_.emplace(std::move(word), std::move(sids));
+  }
+  for (Trie* trie : {&index->pl_trie_, &index->pos_trie_}) {
+    KOKO_ASSIGN_OR_RETURN(uint32_t num_nodes, reader->ReadU32());
+    if (num_nodes != trie->nodes.size()) {
+      return Status::ParseError("trie sid-cache section has wrong node count");
+    }
+    for (TrieNode& node : trie->nodes) {
+      KOKO_ASSIGN_OR_RETURN(node.sids, ReadSidList(reader));
+    }
+  }
+  index->RebuildEntitySidCaches();
+  index->sid_caches_from_disk_ = true;
+  return index;
+}
+
+Result<std::unique_ptr<KokoIndex>> KokoIndex::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  BinaryReader reader(&in);
+  KOKO_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  in.clear();
+  in.seekg(0);
+  if (magic == kIndexMagic) return Load(&reader);
+  // Legacy catalog-only image: rebuild every sid cache from the tables.
+  auto index = std::unique_ptr<KokoIndex>(new KokoIndex());
+  KOKO_RETURN_IF_ERROR(index->catalog_.Load(&reader));
+  KOKO_RETURN_IF_ERROR(index->InitFromCatalog());
   index->RebuildSidCaches();
-  index->stats_.num_tokens = index->w_->NumRows();
-  index->stats_.num_entities = index->e_->NumRows();
-  index->stats_.pl_trie_nodes = index->pl_trie_.nodes.size() - 1;
-  index->stats_.pos_trie_nodes = index->pos_trie_.nodes.size() - 1;
   return index;
 }
 

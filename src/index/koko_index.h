@@ -62,10 +62,24 @@ class KokoIndex {
   /// Builds all four indices over an annotated corpus.
   static std::unique_ptr<KokoIndex> Build(const AnnotatedCorpus& corpus);
 
+  /// Builds the indices over the contiguous global sid range
+  /// [sid_begin, sid_end) only — the unit of work of one ShardedKokoIndex
+  /// shard. All stored sids stay *global*, so shard lookups return ids
+  /// directly comparable (and mergeable by concatenation) with other
+  /// shards'. Build(corpus) is Build(corpus, 0, NumSentences()).
+  static std::unique_ptr<KokoIndex> Build(const AnnotatedCorpus& corpus,
+                                          uint32_t sid_begin, uint32_t sid_end);
+
   // ---- Inverted-index lookups --------------------------------------------
 
   /// Posting list of a surface token (exact match), §3.1 word index.
-  PostingList LookupWord(std::string_view token) const;
+  /// `sid_filter`, when non-null, drops rows whose sid is not in it
+  /// *before* materialising quintuples (the semi-join push-down used by
+  /// KokoPathLookup's cross-index fallback).
+  PostingList LookupWord(std::string_view token) const {
+    return LookupWord(token, nullptr);
+  }
+  PostingList LookupWord(std::string_view token, const SidList* sid_filter) const;
 
   /// Entity postings whose surface text equals `text` exactly.
   std::vector<EntityPosting> LookupEntityText(std::string_view text) const;
@@ -113,11 +127,21 @@ class KokoIndex {
 
   /// Union of posting lists of all PL-trie nodes matched by `path`, whose
   /// constraints must only use parse labels or wildcards (the output of
-  /// DPLI's path decomposition).
-  PostingList LookupParseLabelPath(const PathQuery& path) const;
+  /// DPLI's path decomposition). The `sid_filter` overloads skip rows
+  /// outside the filter before quintuple materialisation and the final
+  /// sort.
+  PostingList LookupParseLabelPath(const PathQuery& path) const {
+    return LookupParseLabelPath(path, nullptr);
+  }
+  PostingList LookupParseLabelPath(const PathQuery& path,
+                                   const SidList* sid_filter) const;
 
   /// Same over the POS trie (POS-tag constraints or wildcards).
-  PostingList LookupPosPath(const PathQuery& path) const;
+  PostingList LookupPosPath(const PathQuery& path) const {
+    return LookupPosPath(path, nullptr);
+  }
+  PostingList LookupPosPath(const PathQuery& path,
+                            const SidList* sid_filter) const;
 
   /// Number of trie nodes matched (no posting materialisation); lets DPLI
   /// detect "path absent from index" cheaply.
@@ -134,8 +158,20 @@ class KokoIndex {
   /// Storage-level view (tables W, E, PL, POS) for tests and tooling.
   const Catalog& catalog() const { return catalog_; }
 
+  /// Persists the index: the relational catalog followed by the columnar
+  /// sid caches (per-word and per-trie-node SidLists) stored varint-delta
+  /// encoded (EncodeDeltas), so Load restores them directly instead of
+  /// re-projecting the W table.
   Status Save(const std::string& path) const;
   static Result<std::unique_ptr<KokoIndex>> Load(const std::string& path);
+
+  /// Stream-based variants (one shard's section of a ShardedKokoIndex file).
+  Status Save(BinaryWriter* writer) const;
+  static Result<std::unique_ptr<KokoIndex>> Load(BinaryReader* reader);
+
+  /// True when the last Load restored the word/trie sid caches from their
+  /// delta-encoded on-disk form (rather than rebuilding from the tables).
+  bool sid_caches_from_disk() const { return sid_caches_from_disk_; }
 
  private:
   // Merged dependency-tree trie (one per label type).
@@ -163,13 +199,24 @@ class KokoIndex {
   KokoIndex() = default;
 
   Quintuple RowToQuintuple(uint32_t row) const;
+  /// Materialises the matched trie nodes' rows into `out` (unsorted),
+  /// skipping rows whose sid is outside `sid_filter` (when non-null)
+  /// before any quintuple is built.
+  void AppendTrieRows(const Trie& trie, const std::vector<uint32_t>& nodes,
+                      const SidList* sid_filter, PostingList* out) const;
   void ExportClosureTable(const Trie& trie, const std::string& table_name);
   Status RebuildTrieFromClosure(const std::string& table_name, Trie* trie,
                                 int w_node_col);
+  /// Post-catalog-load setup shared by both image formats: resolve W/E,
+  /// rebuild tries from the closure tables, entity cache, stats.
+  Status InitFromCatalog();
   void RebuildEntityCache();
   /// Fills the columnar sid caches (word/entity-type/trie-node lists) from
-  /// the W and E tables; called at the end of Build and Load.
+  /// the W and E tables; called at the end of Build and legacy Load.
   void RebuildSidCaches();
+  /// The entity-side subset of RebuildSidCaches (per-type buckets + sid
+  /// lists from all_entities_); cheap, so always recomputed on Load.
+  void RebuildEntitySidCaches();
 
   Catalog catalog_;
   Table* w_ = nullptr;  // W(word, x, y, u, v, d, plid, posid)
@@ -182,6 +229,7 @@ class KokoIndex {
   std::array<SidList, kNumEntityTypes> entity_sids_by_type_;
   SidList all_entity_sids_;
   Stats stats_;
+  bool sid_caches_from_disk_ = false;
 };
 
 }  // namespace koko

@@ -106,7 +106,8 @@ bool IsAllWildcard(const PathQuery& path) {
   return true;
 }
 
-PathLookupResult KokoPathLookup(const KokoIndex& index, const PathQuery& path) {
+PathLookupResult KokoPathLookup(const KokoIndex& index, const PathQuery& path,
+                                const SidList* sid_filter) {
   PathLookupResult result;
   if (path.empty()) {
     result.unconstrained = true;
@@ -133,12 +134,12 @@ PathLookupResult KokoPathLookup(const KokoIndex& index, const PathQuery& path) {
   bool have_p = false;
   PostingList p;
   if (has_pl) {
-    p = index.LookupParseLabelPath(ProjectParseLabelPath(path));
+    p = index.LookupParseLabelPath(ProjectParseLabelPath(path), sid_filter);
     have_p = true;
     if (p.empty()) return result;  // path absent -> empty answer (§4.2.2)
   }
   if (has_pos) {
-    PostingList p2 = index.LookupPosPath(ProjectPosPath(path));
+    PostingList p2 = index.LookupPosPath(ProjectPosPath(path), sid_filter);
     if (p2.empty()) return result;
     p = have_p ? JoinSameToken(p, p2) : std::move(p2);
     have_p = true;
@@ -150,8 +151,8 @@ PathLookupResult KokoPathLookup(const KokoIndex& index, const PathQuery& path) {
   PostingList q;
   int prev_word_step = -1;
   for (int step : word_steps) {
-    PostingList postings =
-        index.LookupWord(*path.steps[static_cast<size_t>(step)].constraint.word);
+    PostingList postings = index.LookupWord(
+        *path.steps[static_cast<size_t>(step)].constraint.word, sid_filter);
     if (postings.empty()) return result;
     // First word: depth constraint relative to the (virtual) root.
     if (!have_q) {
@@ -229,9 +230,31 @@ PathSidLookupResult KokoPathSidLookup(const KokoIndex& index,
     result.sids = index.PosPathSids(ProjectPosPath(path));
     return result;
   }
-  // Cross-index joins (or word-path depth filters) operate on quintuples;
-  // run the full lookup and project its sid-sorted postings linearly.
-  PathLookupResult full = KokoPathLookup(index, path);
+  // Cross-index joins (or word-path depth filters) operate on quintuples.
+  // Sid-level semi-join first: the answer's sids lie in the intersection
+  // of every consulted index's sid projection (PL path, POS path, each
+  // word's list), which is cheap to compute from the precomputed lists.
+  // An empty intersection proves the answer empty with no quintuple ever
+  // materialised; otherwise it becomes the sid filter that prunes every
+  // posting list before the §4.2.2 joins.
+  std::vector<SidList> owned;
+  std::vector<const SidList*> projections;
+  if (has_pl) {
+    owned.push_back(index.PlPathSids(ProjectParseLabelPath(path)));
+  }
+  if (has_pos) {
+    owned.push_back(index.PosPathSids(ProjectPosPath(path)));
+  }
+  for (const PathStep& step : path.steps) {
+    if (!step.constraint.word) continue;
+    const SidList* word_sids = index.WordSids(*step.constraint.word);
+    if (word_sids == nullptr) return result;  // word absent -> empty answer
+    projections.push_back(word_sids);
+  }
+  for (const SidList& list : owned) projections.push_back(&list);
+  SidList semi = IntersectAll(std::move(projections));
+  if (semi.empty()) return result;
+  PathLookupResult full = KokoPathLookup(index, path, &semi);
   result.unconstrained = full.unconstrained;
   result.sids = SidList::FromSorted(SidsOfPostings(full.postings));
   return result;

@@ -31,7 +31,13 @@ struct PathLookupResult {
 /// ancestor-descendant joins whose depth deltas are derived from the axes
 /// between consecutive words (Example 4.4), and the three results are
 /// joined on token identity / ancestorship exactly as §4.2.2 describes.
-PathLookupResult KokoPathLookup(const KokoIndex& index, const PathQuery& path);
+///
+/// `sid_filter`, when non-null, must be a superset of the answer's sids
+/// (e.g. the semi-join of the per-index sid projections); every fetched
+/// posting list is restricted to it before joining, which shrinks the
+/// quintuple joins without changing the final result.
+PathLookupResult KokoPathLookup(const KokoIndex& index, const PathQuery& path,
+                                const SidList* sid_filter = nullptr);
 
 /// Sid projection of a decomposed-path lookup — what DPLI (Algorithm 1)
 /// consumes for sentence pruning.

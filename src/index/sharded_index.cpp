@@ -1,0 +1,277 @@
+#include "index/sharded_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+
+#include "storage/serde.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace koko {
+
+namespace {
+
+constexpr uint32_t kShardedMagic = 0x4b534844;  // "KSHD"
+constexpr uint32_t kShardedVersion = 1;
+
+std::vector<ShardedKokoIndex::ShardRange> MakeRanges(
+    const ShardedKokoIndex::Options& options, uint32_t num_sentences) {
+  std::vector<ShardedKokoIndex::ShardRange> ranges;
+  if (!options.boundaries.empty()) {
+    KOKO_CHECK(options.boundaries.size() >= 2);
+    KOKO_CHECK(options.boundaries.front() == 0);
+    KOKO_CHECK(options.boundaries.back() == num_sentences);
+    for (size_t i = 0; i + 1 < options.boundaries.size(); ++i) {
+      KOKO_CHECK(options.boundaries[i] <= options.boundaries[i + 1]);
+      ranges.push_back({options.boundaries[i], options.boundaries[i + 1]});
+    }
+    return ranges;
+  }
+  const size_t k = std::max<size_t>(options.num_shards, 1);
+  for (size_t i = 0; i < k; ++i) {
+    ranges.push_back(
+        {static_cast<uint32_t>(i * num_sentences / k),
+         static_cast<uint32_t>((i + 1) * num_sentences / k)});
+  }
+  return ranges;
+}
+
+}  // namespace
+
+std::unique_ptr<ShardedKokoIndex> ShardedKokoIndex::Build(
+    const AnnotatedCorpus& corpus, const Options& options) {
+  WallTimer timer;
+  auto index = std::unique_ptr<ShardedKokoIndex>(new ShardedKokoIndex());
+  index->ranges_ =
+      MakeRanges(options, static_cast<uint32_t>(corpus.NumSentences()));
+  const size_t k = index->ranges_.size();
+  index->shards_.resize(k);
+
+  const size_t workers = std::min(
+      options.build_threads == 0 ? k : options.build_threads, k);
+  if (workers <= 1) {
+    for (size_t i = 0; i < k; ++i) {
+      index->shards_[i] = KokoIndex::Build(corpus, index->ranges_[i].begin,
+                                           index->ranges_[i].end);
+    }
+  } else {
+    // Shards are independent: workers draw shard ids from an atomic cursor
+    // and build into their own slot, so the result is identical to the
+    // sequential build regardless of scheduling.
+    std::atomic<size_t> cursor{0};
+    ThreadPool pool(workers);
+    pool.Dispatch([&](size_t) {
+      for (;;) {
+        size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= k) return;
+        index->shards_[i] = KokoIndex::Build(corpus, index->ranges_[i].begin,
+                                             index->ranges_[i].end);
+      }
+    });
+  }
+  index->build_seconds_ = timer.ElapsedSeconds();
+  return index;
+}
+
+// ---- Aggregated lookups ------------------------------------------------------
+
+PostingList ShardedKokoIndex::LookupWord(std::string_view token) const {
+  PostingList out;
+  for (const auto& shard : shards_) {
+    PostingList part = shard->LookupWord(token);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+std::vector<EntityPosting> ShardedKokoIndex::LookupEntityText(
+    std::string_view text) const {
+  std::vector<EntityPosting> out;
+  for (const auto& shard : shards_) {
+    std::vector<EntityPosting> part = shard->LookupEntityText(text);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+std::vector<EntityPosting> ShardedKokoIndex::AllEntities() const {
+  std::vector<EntityPosting> out;
+  for (const auto& shard : shards_) {
+    const auto& part = shard->AllEntities();
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+std::vector<EntityPosting> ShardedKokoIndex::EntitiesOfType(
+    EntityType type) const {
+  std::vector<EntityPosting> out;
+  for (const auto& shard : shards_) {
+    const auto& part = shard->EntitiesOfType(type);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+namespace {
+
+// Concatenates per-shard sid lists (disjoint ascending ranges) in order.
+// The materialising variant takes per-shard lists by value (for lookups
+// that compute them); the pointer variant reads precomputed lists in
+// place (nullptr = shard has none), copying each element exactly once.
+template <typename PerShard>
+SidList ConcatSids(size_t num_shards, const PerShard& per_shard) {
+  std::vector<uint32_t> ids;
+  for (size_t i = 0; i < num_shards; ++i) {
+    const SidList part = per_shard(i);
+    ids.insert(ids.end(), part.begin(), part.end());
+  }
+  return SidList::FromSorted(std::move(ids));
+}
+
+template <typename PerShard>
+SidList ConcatSidPtrs(size_t num_shards, const PerShard& per_shard) {
+  std::vector<uint32_t> ids;
+  for (size_t i = 0; i < num_shards; ++i) {
+    const SidList* part = per_shard(i);
+    if (part != nullptr) ids.insert(ids.end(), part->begin(), part->end());
+  }
+  return SidList::FromSorted(std::move(ids));
+}
+
+}  // namespace
+
+SidList ShardedKokoIndex::WordSids(std::string_view token) const {
+  return ConcatSidPtrs(shards_.size(),
+                       [&](size_t i) { return shards_[i]->WordSids(token); });
+}
+
+size_t ShardedKokoIndex::CountWordSids(std::string_view token) const {
+  size_t n = 0;
+  for (const auto& shard : shards_) n += shard->CountWordSids(token);
+  return n;
+}
+
+SidList ShardedKokoIndex::AllEntitySids() const {
+  return ConcatSidPtrs(shards_.size(),
+                       [&](size_t i) { return &shards_[i]->AllEntitySids(); });
+}
+
+SidList ShardedKokoIndex::EntityTypeSids(EntityType type) const {
+  return ConcatSidPtrs(
+      shards_.size(), [&](size_t i) { return &shards_[i]->EntityTypeSids(type); });
+}
+
+SidList ShardedKokoIndex::PlPathSids(const PathQuery& path) const {
+  return ConcatSids(shards_.size(),
+                    [&](size_t i) { return shards_[i]->PlPathSids(path); });
+}
+
+SidList ShardedKokoIndex::PosPathSids(const PathQuery& path) const {
+  return ConcatSids(shards_.size(),
+                    [&](size_t i) { return shards_[i]->PosPathSids(path); });
+}
+
+PostingList ShardedKokoIndex::LookupParseLabelPath(const PathQuery& path) const {
+  PostingList out;
+  for (const auto& shard : shards_) {
+    PostingList part = shard->LookupParseLabelPath(path);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+PostingList ShardedKokoIndex::LookupPosPath(const PathQuery& path) const {
+  PostingList out;
+  for (const auto& shard : shards_) {
+    PostingList part = shard->LookupPosPath(path);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+size_t ShardedKokoIndex::CountPlPathNodes(const PathQuery& path) const {
+  size_t n = 0;
+  for (const auto& shard : shards_) n += shard->CountPlPathNodes(path);
+  return n;
+}
+
+size_t ShardedKokoIndex::CountPosPathNodes(const PathQuery& path) const {
+  size_t n = 0;
+  for (const auto& shard : shards_) n += shard->CountPosPathNodes(path);
+  return n;
+}
+
+// ---- Introspection / persistence ---------------------------------------------
+
+KokoIndex::Stats ShardedKokoIndex::stats() const {
+  KokoIndex::Stats total;
+  for (const auto& shard : shards_) {
+    const KokoIndex::Stats& s = shard->stats();
+    total.num_sentences += s.num_sentences;
+    total.num_tokens += s.num_tokens;
+    total.num_entities += s.num_entities;
+    total.pl_trie_nodes += s.pl_trie_nodes;
+    total.pos_trie_nodes += s.pos_trie_nodes;
+  }
+  total.build_seconds = build_seconds_;
+  return total;
+}
+
+size_t ShardedKokoIndex::MemoryUsage() const {
+  size_t bytes = ranges_.capacity() * sizeof(ShardRange);
+  for (const auto& shard : shards_) bytes += shard->MemoryUsage();
+  return bytes;
+}
+
+Status ShardedKokoIndex::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  BinaryWriter writer(&out);
+  writer.WriteU32(kShardedMagic);
+  writer.WriteU32(kShardedVersion);
+  writer.WriteU32(static_cast<uint32_t>(shards_.size()));
+  for (const ShardRange& range : ranges_) {
+    writer.WriteU32(range.begin);
+    writer.WriteU32(range.end);
+  }
+  for (const auto& shard : shards_) {
+    KOKO_RETURN_IF_ERROR(shard->Save(&writer));
+  }
+  if (!writer.ok()) return Status::IoError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ShardedKokoIndex>> ShardedKokoIndex::Load(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  BinaryReader reader(&in);
+  KOKO_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kShardedMagic) return Status::ParseError("bad shard manifest magic");
+  KOKO_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kShardedVersion) {
+    return Status::ParseError("unsupported shard manifest version " +
+                              std::to_string(version));
+  }
+  KOKO_ASSIGN_OR_RETURN(uint32_t k, reader.ReadU32());
+  auto index = std::unique_ptr<ShardedKokoIndex>(new ShardedKokoIndex());
+  for (uint32_t i = 0; i < k; ++i) {
+    KOKO_ASSIGN_OR_RETURN(uint32_t begin, reader.ReadU32());
+    KOKO_ASSIGN_OR_RETURN(uint32_t end, reader.ReadU32());
+    if (begin > end || (i > 0 && begin != index->ranges_.back().end)) {
+      return Status::ParseError("shard manifest ranges not contiguous");
+    }
+    index->ranges_.push_back({begin, end});
+  }
+  for (uint32_t i = 0; i < k; ++i) {
+    KOKO_ASSIGN_OR_RETURN(std::unique_ptr<KokoIndex> shard,
+                          KokoIndex::Load(&reader));
+    index->shards_.push_back(std::move(shard));
+  }
+  return index;
+}
+
+}  // namespace koko

@@ -1,0 +1,105 @@
+#ifndef KOKO_INDEX_SHARDED_INDEX_H_
+#define KOKO_INDEX_SHARDED_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/koko_index.h"
+
+namespace koko {
+
+/// \brief K independent KokoIndex shards over contiguous sid ranges.
+///
+/// The corpus's global sentence numbering is partitioned into K contiguous
+/// ranges; shard i is a complete KokoIndex built over [begin_i, end_i) whose
+/// stored sids stay *global*. Because the ranges are disjoint and ascending,
+/// every aggregated lookup is a plain concatenation of per-shard results —
+/// no re-sorting, no id translation — and any per-shard sid computation
+/// (DPLI intersections in particular) composes back losslessly:
+/// intersection distributes over a partition by sid range, so
+/// ∩_atoms L_atom = ⊔_shards ∩_atoms L_atom|shard.
+///
+/// Shards build in parallel on a ThreadPool and execute queries
+/// independently (see Engine's shard-parallel DPLI), which is the paper's
+/// Table 2 scale-up story pushed past one core: build time and the
+/// per-query DPLI phase scale with min(K, hardware threads).
+class ShardedKokoIndex {
+ public:
+  struct Options {
+    /// Number of contiguous sid-range shards (>= 1). Sentences are split
+    /// evenly: shard i covers [i*N/K, (i+1)*N/K).
+    size_t num_shards = 1;
+    /// Workers for the parallel shard build; 0 = one per shard.
+    size_t build_threads = 0;
+    /// Explicit shard boundaries (ascending global sids, starting at 0 and
+    /// ending at NumSentences()). Overrides num_shards when non-empty —
+    /// lets callers align shards to document groups or test uneven splits.
+    std::vector<uint32_t> boundaries;
+  };
+
+  struct ShardRange {
+    uint32_t begin = 0;  // inclusive
+    uint32_t end = 0;    // exclusive
+  };
+
+  static std::unique_ptr<ShardedKokoIndex> Build(const AnnotatedCorpus& corpus,
+                                                 const Options& options);
+  static std::unique_ptr<ShardedKokoIndex> Build(const AnnotatedCorpus& corpus,
+                                                 size_t num_shards) {
+    Options options;
+    options.num_shards = num_shards;
+    return Build(corpus, options);
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  const KokoIndex& shard(size_t i) const { return *shards_[i]; }
+  const ShardRange& shard_range(size_t i) const { return ranges_[i]; }
+
+  // ---- Aggregated lookup surface (mirrors KokoIndex) -----------------------
+  //
+  // Per-shard results are sorted by sid within their range and ranges are
+  // ascending, so concatenation in shard order preserves global ordering
+  // and equals the monolithic index's answer element for element.
+
+  PostingList LookupWord(std::string_view token) const;
+  std::vector<EntityPosting> LookupEntityText(std::string_view text) const;
+  std::vector<EntityPosting> AllEntities() const;
+  std::vector<EntityPosting> EntitiesOfType(EntityType type) const;
+
+  SidList WordSids(std::string_view token) const;
+  size_t CountWordSids(std::string_view token) const;
+  SidList AllEntitySids() const;
+  SidList EntityTypeSids(EntityType type) const;
+  SidList PlPathSids(const PathQuery& path) const;
+  SidList PosPathSids(const PathQuery& path) const;
+
+  PostingList LookupParseLabelPath(const PathQuery& path) const;
+  PostingList LookupPosPath(const PathQuery& path) const;
+  size_t CountPlPathNodes(const PathQuery& path) const;
+  size_t CountPosPathNodes(const PathQuery& path) const;
+
+  // ---- Introspection / persistence ----------------------------------------
+
+  /// Field-wise sum over shards; build_seconds is the wall time of the
+  /// whole (parallel) build, not the sum of per-shard times.
+  KokoIndex::Stats stats() const;
+  size_t MemoryUsage() const;
+
+  /// One file: shard manifest (count + sid ranges) followed by each
+  /// shard's full KokoIndex image (delta-compressed sid caches included).
+  Status Save(const std::string& path) const;
+  static Result<std::unique_ptr<ShardedKokoIndex>> Load(const std::string& path);
+
+ private:
+  ShardedKokoIndex() = default;
+
+  std::vector<std::unique_ptr<KokoIndex>> shards_;
+  std::vector<ShardRange> ranges_;
+  double build_seconds_ = 0;
+};
+
+}  // namespace koko
+
+#endif  // KOKO_INDEX_SHARDED_INDEX_H_

@@ -535,6 +535,57 @@ class SentenceEvaluator {
   std::vector<char> skipped_;
 };
 
+// ---- DPLI candidate collection ---------------------------------------------
+
+// Candidate sids of one (shard) index: every prunable atom of the compiled
+// query contributes one sorted sid list, intersected smallest-first.
+// `pruned` is a property of the query alone (which atoms can consult an
+// index), so it is identical across shards of one corpus; when false the
+// caller degrades to the full sid range. An atom whose list is empty proves
+// the (shard's) answer empty, short-circuiting with an empty list.
+struct CandidateResult {
+  bool pruned = false;
+  SidList sids;
+};
+
+CandidateResult CollectCandidates(const KokoIndex& index,
+                                  const CompiledQuery& cq) {
+  CandidateResult result;
+  std::deque<SidList> owned;  // stable storage for per-query lists
+  std::vector<const SidList*> sets;
+  for (int dom : cq.DominantPathVars()) {
+    PathSidLookupResult lookup =
+        KokoPathSidLookup(index, cq.vars[static_cast<size_t>(dom)].abs_path);
+    if (lookup.unconstrained) continue;
+    result.pruned = true;
+    if (lookup.sids.empty()) return result;
+    owned.push_back(std::move(lookup.sids));
+    sets.push_back(&owned.back());
+  }
+  for (const CompiledVar& v : cq.vars) {
+    if (v.kind == CompiledVar::Kind::kEntity) {
+      sets.push_back(v.etype ? &index.EntityTypeSids(*v.etype)
+                             : &index.AllEntitySids());
+      result.pruned = true;
+    } else if (v.kind == CompiledVar::Kind::kLiteral) {
+      // A literal prunes to sentences containing all of its words:
+      // intersect the precomputed per-word lists, smallest first.
+      result.pruned = true;
+      std::vector<const SidList*> word_lists;
+      for (const std::string& word : v.literal) {
+        const SidList* sids = index.WordSids(word);
+        if (sids == nullptr) return result;  // word absent from this index
+        word_lists.push_back(sids);
+      }
+      owned.push_back(IntersectAll(std::move(word_lists)));
+      if (owned.back().empty()) return result;
+      sets.push_back(&owned.back());
+    }
+  }
+  if (result.pruned) result.sids = IntersectAll(std::move(sets));
+  return result;
+}
+
 }  // namespace
 
 // ---- Engine ------------------------------------------------------------------
@@ -543,6 +594,14 @@ Engine::Engine(const AnnotatedCorpus* corpus, const KokoIndex* index,
                const EmbeddingModel* embeddings, const EntityRecognizer* recognizer)
     : corpus_(corpus),
       index_(index),
+      embeddings_(embeddings),
+      recognizer_(recognizer) {}
+
+Engine::Engine(const AnnotatedCorpus* corpus, const ShardedKokoIndex* sharded,
+               const EmbeddingModel* embeddings, const EntityRecognizer* recognizer)
+    : corpus_(corpus),
+      index_(nullptr),
+      sharded_(sharded),
       embeddings_(embeddings),
       recognizer_(recognizer) {}
 
@@ -587,6 +646,16 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
   for (const auto& clause : cq.satisfying) track(clause.var);
   for (const auto& cond : cq.excluding) track(cond.var);
 
+  // One pool serves every parallel section of this query (shard-parallel
+  // DPLI and the extract fan-out), created lazily on first use so serial
+  // queries never spawn threads. Sections that need fewer workers than the
+  // pool holds just let the extras drain their cursor immediately.
+  std::unique_ptr<ThreadPool> pool;
+  auto shared_pool = [&]() -> ThreadPool& {
+    if (pool == nullptr) pool = std::make_unique<ThreadPool>(options.num_threads);
+    return *pool;
+  };
+
   // ---- DPLI: prune to candidate sentences (Algorithm 1) ----
   //
   // Columnar: every prunable atom contributes one sorted sid list — served
@@ -596,54 +665,59 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
   std::vector<uint32_t> candidates;
   {
     ScopedPhase phase(&result.phases, "DPLI");
-    bool pruned = false;
-    bool empty_answer = false;
-    std::deque<SidList> owned;  // stable storage for per-query lists
-    std::vector<const SidList*> sets;
-    if (options.use_index) {
-      for (int dom : cq.DominantPathVars()) {
-        PathSidLookupResult lookup = KokoPathSidLookup(
-            *index_, cq.vars[static_cast<size_t>(dom)].abs_path);
-        if (lookup.unconstrained) continue;
-        if (lookup.sids.empty()) empty_answer = true;
-        owned.push_back(std::move(lookup.sids));
-        sets.push_back(&owned.back());
-        pruned = true;
-      }
-      for (const CompiledVar& v : cq.vars) {
-        if (v.kind == CompiledVar::Kind::kEntity) {
-          sets.push_back(v.etype ? &index_->EntityTypeSids(*v.etype)
-                                 : &index_->AllEntitySids());
-          pruned = true;
-        } else if (v.kind == CompiledVar::Kind::kLiteral) {
-          // A literal prunes to sentences containing all of its words:
-          // intersect the precomputed per-word lists, smallest first.
-          std::vector<const SidList*> word_lists;
-          bool word_absent = false;
-          for (const std::string& word : v.literal) {
-            const SidList* sids = index_->WordSids(word);
-            if (sids == nullptr) {
-              word_absent = true;
-              break;
-            }
-            word_lists.push_back(sids);
-          }
-          owned.push_back(word_absent ? SidList()
-                                      : IntersectAll(std::move(word_lists)));
-          sets.push_back(&owned.back());
-          pruned = true;
-        }
-      }
-    }
-    if (empty_answer) {
-      result.candidate_sentences = 0;
-      return result;
-    }
-    if (!pruned) {
+    if (!options.use_index) {
       candidates.resize(corpus_->NumSentences());
       for (uint32_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
+    } else if (sharded_ == nullptr) {
+      CandidateResult collected = CollectCandidates(*index_, cq);
+      if (collected.pruned) {
+        candidates = collected.sids.TakeIds();
+      } else {
+        candidates.resize(corpus_->NumSentences());
+        for (uint32_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
+      }
     } else {
-      candidates = IntersectAll(std::move(sets)).TakeIds();
+      // Shard-parallel DPLI: the K shards are split into `groups`
+      // contiguous groups; each group task intersects its shards' local
+      // sid lists independently on the thread pool. Because shards
+      // partition the corpus by contiguous sid range, intersection
+      // distributes over the partition, and concatenating per-shard
+      // candidate lists in shard order reproduces the monolithic
+      // candidate stream exactly — for every (num_shards, num_threads).
+      const size_t k = sharded_->num_shards();
+      const size_t groups = std::max<size_t>(
+          1, std::min(options.num_shards == 0 ? k : options.num_shards, k));
+      std::vector<std::vector<uint32_t>> group_candidates(groups);
+      auto run_group = [&](size_t g) {
+        std::vector<uint32_t>& out = group_candidates[g];
+        for (size_t s = g * k / groups; s < (g + 1) * k / groups; ++s) {
+          CandidateResult collected = CollectCandidates(sharded_->shard(s), cq);
+          if (collected.pruned) {
+            std::vector<uint32_t> ids = collected.sids.TakeIds();
+            out.insert(out.end(), ids.begin(), ids.end());
+          } else {
+            const ShardedKokoIndex::ShardRange& range = sharded_->shard_range(s);
+            for (uint32_t sid = range.begin; sid < range.end; ++sid) {
+              out.push_back(sid);
+            }
+          }
+        }
+      };
+      if (std::min(options.num_threads, groups) <= 1) {
+        for (size_t g = 0; g < groups; ++g) run_group(g);
+      } else {
+        std::atomic<size_t> cursor{0};
+        shared_pool().Dispatch([&](size_t) {
+          for (;;) {
+            size_t g = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (g >= groups) return;
+            run_group(g);
+          }
+        });
+      }
+      for (const std::vector<uint32_t>& part : group_candidates) {
+        candidates.insert(candidates.end(), part.begin(), part.end());
+      }
     }
   }
   result.candidate_sentences = candidates.size();
@@ -706,10 +780,12 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
         std::vector<std::pair<size_t, std::vector<PendingRow>>> per_candidate;
         PhaseStats phases;
       };
-      std::vector<WorkerOutput> outputs(num_workers);
+      // The shared pool holds num_threads workers — possibly more than
+      // this section needs; the extras exit on their first cursor draw.
+      const size_t pool_workers = shared_pool().num_workers();
+      std::vector<WorkerOutput> outputs(pool_workers);
       std::atomic<size_t> cursor{0};
-      ThreadPool pool(num_workers);
-      pool.Dispatch([&](size_t w) {
+      shared_pool().Dispatch([&](size_t w) {
         WorkerOutput& out = outputs[w];
         for (;;) {
           size_t idx = cursor.fetch_add(1, std::memory_order_relaxed);
@@ -722,19 +798,19 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
       // Deterministic sid-ordered merge: each worker drew ascending
       // candidate indices, so its buffer is sorted; k-way merge by index
       // and re-apply the global cap where the sequential scan would stop.
-      std::vector<size_t> heads(num_workers, 0);
+      std::vector<size_t> heads(pool_workers, 0);
       bool full = false;
       while (!full) {
-        size_t best_w = num_workers;
+        size_t best_w = pool_workers;
         size_t best_idx = std::numeric_limits<size_t>::max();
-        for (size_t w = 0; w < num_workers; ++w) {
+        for (size_t w = 0; w < pool_workers; ++w) {
           if (heads[w] < outputs[w].per_candidate.size() &&
               outputs[w].per_candidate[heads[w]].first < best_idx) {
             best_idx = outputs[w].per_candidate[heads[w]].first;
             best_w = w;
           }
         }
-        if (best_w == num_workers) break;
+        if (best_w == pool_workers) break;
         for (PendingRow& row :
              outputs[best_w].per_candidate[heads[best_w]].second) {
           pending.push_back(std::move(row));

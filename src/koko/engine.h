@@ -7,6 +7,7 @@
 
 #include "embed/embedding.h"
 #include "index/koko_index.h"
+#include "index/sharded_index.h"
 #include "koko/aggregate.h"
 #include "koko/ast.h"
 #include "koko/compile.h"
@@ -57,6 +58,16 @@ struct EngineOptions {
   /// `max_rows` truncation is applied to the merged stream exactly where
   /// the sequential evaluator would have stopped.
   size_t num_threads = 1;
+  /// Shard-group fan-out of the DPLI phase when the engine is constructed
+  /// over a ShardedKokoIndex: the index's K shards are split into this many
+  /// contiguous groups, and each group intersects its shards' local
+  /// SidLists as one task on the thread pool (DPLI workers =
+  /// min(num_threads, groups)). 0 (the default) runs one group per shard.
+  /// Ignored with a monolithic index. Results are **byte-identical** for
+  /// every (num_shards, num_threads) combination: per-shard candidate
+  /// lists concatenate in shard order, which *is* ascending global sid
+  /// order, so the downstream phases see exactly the monolithic stream.
+  size_t num_shards = 0;
 };
 
 /// \brief The KOKO query evaluation engine (Figure 2).
@@ -86,6 +97,13 @@ class Engine {
   Engine(const AnnotatedCorpus* corpus, const KokoIndex* index,
          const EmbeddingModel* embeddings, const EntityRecognizer* recognizer);
 
+  /// Sharded variant: DPLI runs per shard (fanned out per
+  /// EngineOptions::num_shards / num_threads) and candidates merge in
+  /// ascending-sid order, so every query returns byte-identical results to
+  /// the monolithic engine over the same corpus.
+  Engine(const AnnotatedCorpus* corpus, const ShardedKokoIndex* sharded,
+         const EmbeddingModel* embeddings, const EntityRecognizer* recognizer);
+
   /// Optional: serve LoadArticle from a serialized document store (paying
   /// per-article deserialisation, as the paper's DBMS-backed engine does).
   void set_document_store(const DocumentStore* store) { store_ = store; }
@@ -109,6 +127,7 @@ class Engine {
  private:
   const AnnotatedCorpus* corpus_;
   const KokoIndex* index_;
+  const ShardedKokoIndex* sharded_ = nullptr;
   const EmbeddingModel* embeddings_;
   const EntityRecognizer* recognizer_;
   const DocumentStore* store_ = nullptr;

@@ -239,13 +239,33 @@ size_t Catalog::MemoryUsage() const {
   return bytes;
 }
 
+Status Catalog::Save(BinaryWriter* writer) const {
+  writer->WriteU32(0x4b4f4b4f);  // "KOKO"
+  writer->WriteU32(static_cast<uint32_t>(tables_.size()));
+  for (const auto& [_, table] : tables_) table->Serialize(writer);
+  if (!writer->ok()) return Status::IoError("catalog write failure");
+  return Status::OK();
+}
+
+Status Catalog::Load(BinaryReader* reader) {
+  KOKO_ASSIGN_OR_RETURN(uint32_t magic, reader->ReadU32());
+  if (magic != 0x4b4f4b4f) return Status::ParseError("bad catalog magic");
+  KOKO_ASSIGN_OR_RETURN(uint32_t num_tables, reader->ReadU32());
+  tables_.clear();
+  for (uint32_t i = 0; i < num_tables; ++i) {
+    auto table = Table::Deserialize(reader);
+    if (!table.ok()) return table.status();
+    std::string name = table->name();
+    tables_[name] = std::make_unique<Table>(std::move(*table));
+  }
+  return Status::OK();
+}
+
 Status Catalog::SaveToFile(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   BinaryWriter writer(&out);
-  writer.WriteU32(0x4b4f4b4f);  // "KOKO"
-  writer.WriteU32(static_cast<uint32_t>(tables_.size()));
-  for (const auto& [_, table] : tables_) table->Serialize(&writer);
+  KOKO_RETURN_IF_ERROR(Save(&writer));
   if (!writer.ok()) return Status::IoError("write failure on " + path);
   return Status::OK();
 }
@@ -254,17 +274,7 @@ Status Catalog::LoadFromFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   BinaryReader reader(&in);
-  KOKO_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
-  if (magic != 0x4b4f4b4f) return Status::ParseError("bad catalog magic");
-  KOKO_ASSIGN_OR_RETURN(uint32_t num_tables, reader.ReadU32());
-  tables_.clear();
-  for (uint32_t i = 0; i < num_tables; ++i) {
-    auto table = Table::Deserialize(&reader);
-    if (!table.ok()) return table.status();
-    std::string name = table->name();
-    tables_[name] = std::make_unique<Table>(std::move(*table));
-  }
-  return Status::OK();
+  return Load(&reader);
 }
 
 }  // namespace koko

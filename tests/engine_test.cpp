@@ -7,6 +7,7 @@
 #include "corpus/generators.h"
 #include "corpus/query_gen.h"
 #include "index/koko_index.h"
+#include "index/sharded_index.h"
 #include "nlp/pipeline.h"
 
 namespace koko {
@@ -308,6 +309,141 @@ TEST(EngineTest, ParallelMaxRowsTruncationIsDeterministic) {
     EXPECT_LE(a->rows.size(), std::max<size_t>(cap, 1));
     ExpectIdenticalResults(*a, *b, "cap=" + std::to_string(cap));
   }
+}
+
+// ---- Sharding suite ---------------------------------------------------------
+//
+// For every query, the engine over a ShardedKokoIndex must return results
+// byte-identical to the monolithic engine — same rows, same order, same
+// candidate count — for every (num_shards, num_threads) combination,
+// because per-shard DPLI candidate lists concatenate in ascending global
+// sid order.
+
+TEST(EngineTest, ShardedEngineMatchesMonolithic) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 150, .seed = 51});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto mono_index = KokoIndex::Build(corpus);
+  EmbeddingModel embeddings;
+  Engine mono(&corpus, mono_index.get(), &embeddings,
+              &const_cast<const Pipeline&>(pipeline).recognizer());
+  auto queries = GenerateSyntheticSpanBenchmark(
+      corpus, {.queries_per_setting = 3, .seed = 52});
+  ASSERT_FALSE(queries.empty());
+  EngineOptions base;
+  base.max_rows = 50000;
+  for (size_t k : {1u, 2u, 4u, 7u}) {
+    auto sharded_index = ShardedKokoIndex::Build(corpus, k);
+    Engine sharded(&corpus, sharded_index.get(), &embeddings,
+                   &const_cast<const Pipeline&>(pipeline).recognizer());
+    for (const auto& bench : queries) {
+      auto want = mono.Execute(bench.query, base);
+      ASSERT_TRUE(want.ok()) << bench.name;
+      // Sweep (num_shards groups) x (num_threads): serial, shard-parallel,
+      // and a group count that forces several shards into one DPLI task.
+      struct Config {
+        size_t num_shards;
+        size_t num_threads;
+      };
+      for (const Config& config :
+           {Config{0, 1}, Config{0, 4}, Config{2, 4}}) {
+        EngineOptions options = base;
+        options.num_shards = config.num_shards;
+        options.num_threads = config.num_threads;
+        auto got = sharded.Execute(bench.query, options);
+        ASSERT_TRUE(got.ok()) << bench.name;
+        ExpectIdenticalResults(*want, *got,
+                               bench.name + " K=" + std::to_string(k) +
+                                   " groups=" +
+                                   std::to_string(config.num_shards) +
+                                   " threads=" +
+                                   std::to_string(config.num_threads));
+      }
+    }
+  }
+}
+
+TEST(EngineTest, ShardedEngineUnevenBoundaries) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 80, .seed = 53});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  const uint32_t n = static_cast<uint32_t>(corpus.NumSentences());
+  ASSERT_GE(n, 10u);
+  auto mono_index = KokoIndex::Build(corpus);
+  EmbeddingModel embeddings;
+  Engine mono(&corpus, mono_index.get(), &embeddings,
+              &const_cast<const Pipeline&>(pipeline).recognizer());
+  // Lopsided shards, including an empty one.
+  ShardedKokoIndex::Options options;
+  options.boundaries = {0, 2, 2, n / 2, n};
+  auto sharded_index = ShardedKokoIndex::Build(corpus, options);
+  Engine sharded(&corpus, sharded_index.get(), &embeddings,
+                 &const_cast<const Pipeline&>(pipeline).recognizer());
+  const char* query =
+      "extract b:Str from \"t\" if ( /ROOT:{ a = //verb, b = a/dobj })";
+  auto want = mono.ExecuteText(query);
+  ASSERT_TRUE(want.ok());
+  for (size_t threads : {1u, 4u}) {
+    EngineOptions engine_options;
+    engine_options.num_threads = threads;
+    auto got = sharded.ExecuteText(query, engine_options);
+    ASSERT_TRUE(got.ok());
+    ExpectIdenticalResults(*want, *got,
+                           "uneven threads=" + std::to_string(threads));
+  }
+}
+
+TEST(EngineTest, ShardedMaxRowsTruncationIsDeterministic) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 200, .seed = 54});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto mono_index = KokoIndex::Build(corpus);
+  auto sharded_index = ShardedKokoIndex::Build(corpus, 4);
+  EmbeddingModel embeddings;
+  Engine mono(&corpus, mono_index.get(), &embeddings,
+              &const_cast<const Pipeline&>(pipeline).recognizer());
+  Engine sharded(&corpus, sharded_index.get(), &embeddings,
+                 &const_cast<const Pipeline&>(pipeline).recognizer());
+  const char* query =
+      "extract b:Str from \"t\" if ( /ROOT:{ a = //verb, b = a/dobj })";
+  for (size_t cap : {0u, 1u, 7u, 23u, 50u}) {
+    EngineOptions serial;
+    serial.max_rows = cap;
+    auto want = mono.ExecuteText(query, serial);
+    ASSERT_TRUE(want.ok());
+    for (size_t threads : {1u, 4u}) {
+      EngineOptions options = serial;
+      options.num_threads = threads;
+      auto got = sharded.ExecuteText(query, options);
+      ASSERT_TRUE(got.ok());
+      ExpectIdenticalResults(*want, *got,
+                             "cap=" + std::to_string(cap) +
+                                 " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(EngineTest, ShardedSatisfyingQueryMatchesMonolithic) {
+  Pipeline pipeline;
+  auto docs = GenerateWikiArticles({.num_articles = 30, .seed = 55});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto mono_index = KokoIndex::Build(corpus);
+  auto sharded_index = ShardedKokoIndex::Build(corpus, 4);
+  EmbeddingModel embeddings;
+  Engine mono(&corpus, mono_index.get(), &embeddings,
+              &const_cast<const Pipeline&>(pipeline).recognizer());
+  Engine sharded(&corpus, sharded_index.get(), &embeddings,
+                 &const_cast<const Pipeline&>(pipeline).recognizer());
+  const char* query = R"(
+      extract x:Entity from "t" if ()
+      satisfying x (str(x) contains "a" {1}) with threshold 0.5)";
+  auto want = mono.ExecuteText(query);
+  ASSERT_TRUE(want.ok());
+  EngineOptions options;
+  options.num_threads = 4;
+  auto got = sharded.ExecuteText(query, options);
+  ASSERT_TRUE(got.ok());
+  ExpectIdenticalResults(*want, *got, "sharded satisfying");
 }
 
 TEST(EngineTest, ParallelSatisfyingQueryIsDeterministic) {

@@ -217,6 +217,53 @@ TEST(KokoIndexTest, SaveLoadRoundTrip) {
   EXPECT_EQ((*loaded)->LookupParseLabelPath(p), index->LookupParseLabelPath(p));
   EXPECT_EQ((*loaded)->LookupWord("delicious"), index->LookupWord("delicious"));
   EXPECT_EQ((*loaded)->AllEntities().size(), index->AllEntities().size());
+  // The sid caches came from the delta-encoded section, not a rebuild.
+  EXPECT_TRUE((*loaded)->sid_caches_from_disk());
+  std::remove(path.c_str());
+}
+
+TEST(KokoIndexTest, DeltaCompressedSidCachePersistence) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 200, .seed = 7});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+
+  // Size assertion: across every distinct word, the varint-delta layout
+  // must beat the raw u32 layout (sorted unique sids -> small gaps).
+  std::set<std::string> words;
+  for (uint32_t sid = 0; sid < corpus.NumSentences(); ++sid) {
+    for (const Token& token : corpus.sentence(sid).tokens) {
+      words.insert(token.text);
+    }
+  }
+  size_t delta_bytes = 0;
+  size_t raw_bytes = 0;
+  for (const std::string& word : words) {
+    const SidList* sids = index->WordSids(word);
+    ASSERT_NE(sids, nullptr) << word;
+    std::vector<uint8_t> encoded = EncodeDeltas(*sids);
+    EXPECT_EQ(DecodeDeltas(encoded), *sids) << word;
+    delta_bytes += encoded.size();
+    raw_bytes += sids->size() * sizeof(uint32_t);
+  }
+  EXPECT_LT(delta_bytes, raw_bytes);
+
+  // Round trip: the loaded index restores identical sid lists from disk.
+  std::string path = ::testing::TempDir() + "/koko_index_delta_test.bin";
+  ASSERT_TRUE(index->Save(path).ok());
+  auto loaded = KokoIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE((*loaded)->sid_caches_from_disk());
+  for (const std::string& word : words) {
+    const SidList* want = index->WordSids(word);
+    const SidList* got = (*loaded)->WordSids(word);
+    ASSERT_NE(got, nullptr) << word;
+    EXPECT_EQ(*got, *want) << word;
+  }
+  PathQuery p = MakePath({{"/", "root"}, {"//", "dobj"}});
+  EXPECT_EQ((*loaded)->PlPathSids(p), index->PlPathSids(p));
+  EXPECT_EQ((*loaded)->PosPathSids(MakePath({{"//", "verb"}})),
+            index->PosPathSids(MakePath({{"//", "verb"}})));
   std::remove(path.c_str());
 }
 
@@ -297,6 +344,59 @@ TEST(PathLookupTest, CompletenessProperty) {
       }
     }
   }
+}
+
+TEST(PathLookupTest, SidSemiJoinMatchesQuintupleProjection) {
+  // The cross-index fallback now semi-joins the per-index sid projections
+  // before materialising quintuples; its sid set must stay exactly the
+  // projection of the unfiltered quintuple-level lookup.
+  Pipeline pipeline;
+  auto docs = GenerateWikiArticles({.num_articles = 60, .seed = 22});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  std::vector<PathQuery> paths = {
+      MakePath({{"//", "verb"}, {"/", "dobj"}}),          // POS + PL
+      MakePath({{"//", "verb"}, {"//", "born"}}),         // POS + word
+      MakePath({{"/", "root"}, {"//", "the"}}),           // PL + word
+      MakePath({{"//", "verb"}, {"/", "prep"}, {"//", "the"}}),  // all three
+      MakePath({{"//", "ate"}}),                          // word only
+      MakePath({{"//", "verb"}, {"//", "zzz-absent"}}),   // absent word
+  };
+  for (const PathQuery& path : paths) {
+    PathSidLookupResult fast = KokoPathSidLookup(*index, path);
+    PathLookupResult full = KokoPathLookup(*index, path);
+    ASSERT_EQ(fast.unconstrained, full.unconstrained) << path.ToString();
+    EXPECT_EQ(fast.sids, SidList::FromSorted(SidsOfPostings(full.postings)))
+        << path.ToString();
+  }
+}
+
+TEST(PathLookupTest, SidFilteredLookupsMatchUnfiltered) {
+  // The semi-join push-down (LookupWord/LookupParseLabelPath/LookupPosPath
+  // with a sid filter) must keep exactly the postings whose sid is in the
+  // filter, including a filter that drops everything.
+  AnnotatedCorpus corpus = PaperCorpus();
+  auto index = KokoIndex::Build(corpus);
+  SidList only_second = SidList::FromSorted({1});
+  PostingList all = index->LookupWord("ate");
+  PostingList filtered = index->LookupWord("ate", &only_second);
+  PostingList want;
+  for (const Quintuple& q : all) {
+    if (q.sid == 1) want.push_back(q);
+  }
+  EXPECT_EQ(filtered, want);
+  ASSERT_FALSE(filtered.empty());
+  SidList none;
+  EXPECT_TRUE(index->LookupWord("ate", &none).empty());
+  PathQuery verbs = MakePath({{"//", "verb"}});
+  PostingList pos_all = index->LookupPosPath(verbs);
+  PostingList pos_filtered = index->LookupPosPath(verbs, &only_second);
+  PostingList pos_want;
+  for (const Quintuple& q : pos_all) {
+    if (q.sid == 1) pos_want.push_back(q);
+  }
+  EXPECT_EQ(pos_filtered, pos_want);
+  EXPECT_TRUE(index->LookupPosPath(verbs, &none).empty());
 }
 
 TEST(PathLookupTest, AbsentPathShortCircuits) {

@@ -1,0 +1,173 @@
+#include "index/sharded_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "corpus/generators.h"
+#include "index/path_lookup.h"
+#include "koko/engine.h"
+#include "nlp/pipeline.h"
+
+namespace koko {
+namespace {
+
+AnnotatedCorpus MomentsCorpus(int n, uint64_t seed) {
+  Pipeline pipeline;
+  return pipeline.AnnotateCorpus(
+      GenerateHappyMoments({.num_moments = n, .seed = seed}));
+}
+
+PathQuery DobjPath() {
+  PathQuery q;
+  PathStep s1;
+  s1.axis = PathStep::Axis::kChild;
+  s1.constraint.dep = DepLabel::kRoot;
+  PathStep s2;
+  s2.axis = PathStep::Axis::kDescendant;
+  s2.constraint.dep = DepLabel::kDobj;
+  q.steps = {s1, s2};
+  return q;
+}
+
+// The aggregated lookup surface must equal the monolithic index's answers
+// element for element (concatenation in shard order is global sid order).
+void ExpectLookupsMatchMonolithic(const ShardedKokoIndex& sharded,
+                                  const KokoIndex& mono,
+                                  const AnnotatedCorpus& corpus,
+                                  const std::string& context) {
+  for (const char* word : {"a", "delicious", "ate", "store", "zzz-absent"}) {
+    EXPECT_EQ(sharded.LookupWord(word), mono.LookupWord(word))
+        << context << " word=" << word;
+    const SidList* mono_sids = mono.WordSids(word);
+    EXPECT_EQ(sharded.WordSids(word), mono_sids ? *mono_sids : SidList())
+        << context << " word=" << word;
+    EXPECT_EQ(sharded.CountWordSids(word), mono.CountWordSids(word))
+        << context << " word=" << word;
+  }
+  PathQuery path = DobjPath();
+  EXPECT_EQ(sharded.LookupParseLabelPath(path), mono.LookupParseLabelPath(path))
+      << context;
+  EXPECT_EQ(sharded.PlPathSids(path), mono.PlPathSids(path)) << context;
+  EXPECT_EQ(sharded.AllEntities(), mono.AllEntities()) << context;
+  EXPECT_EQ(sharded.AllEntitySids(), mono.AllEntitySids()) << context;
+  for (size_t t = 0; t < kNumEntityTypes; ++t) {
+    EntityType type = static_cast<EntityType>(t);
+    EXPECT_EQ(sharded.EntitiesOfType(type), mono.EntitiesOfType(type))
+        << context << " type=" << t;
+    EXPECT_EQ(sharded.EntityTypeSids(type), mono.EntityTypeSids(type))
+        << context << " type=" << t;
+  }
+  const KokoIndex::Stats& ms = mono.stats();
+  KokoIndex::Stats ss = sharded.stats();
+  EXPECT_EQ(ss.num_sentences, ms.num_sentences) << context;
+  EXPECT_EQ(ss.num_tokens, ms.num_tokens) << context;
+  EXPECT_EQ(ss.num_entities, ms.num_entities) << context;
+  (void)corpus;
+}
+
+TEST(ShardedKokoIndexTest, MatchesMonolithicAcrossShardCounts) {
+  AnnotatedCorpus corpus = MomentsCorpus(120, 71);
+  auto mono = KokoIndex::Build(corpus);
+  for (size_t k : {1u, 2u, 4u, 7u}) {
+    auto sharded = ShardedKokoIndex::Build(corpus, k);
+    ASSERT_EQ(sharded->num_shards(), k);
+    // Default ranges partition [0, N) contiguously.
+    EXPECT_EQ(sharded->shard_range(0).begin, 0u);
+    EXPECT_EQ(sharded->shard_range(k - 1).end, corpus.NumSentences());
+    for (size_t i = 0; i + 1 < k; ++i) {
+      EXPECT_EQ(sharded->shard_range(i).end, sharded->shard_range(i + 1).begin);
+    }
+    ExpectLookupsMatchMonolithic(*sharded, *mono, corpus,
+                                 "K=" + std::to_string(k));
+  }
+}
+
+TEST(ShardedKokoIndexTest, UnevenAndEmptyShardBoundaries) {
+  AnnotatedCorpus corpus = MomentsCorpus(60, 72);
+  const uint32_t n = static_cast<uint32_t>(corpus.NumSentences());
+  ASSERT_GE(n, 10u);
+  auto mono = KokoIndex::Build(corpus);
+  // A tiny first shard, an empty middle shard, one giant tail shard.
+  ShardedKokoIndex::Options options;
+  options.boundaries = {0, 3, 3, n - 1, n};
+  auto sharded = ShardedKokoIndex::Build(corpus, options);
+  ASSERT_EQ(sharded->num_shards(), 4u);
+  EXPECT_EQ(sharded->shard_range(1).begin, sharded->shard_range(1).end);
+  ExpectLookupsMatchMonolithic(*sharded, *mono, corpus, "uneven");
+}
+
+TEST(ShardedKokoIndexTest, MoreShardsThanSentences) {
+  Pipeline pipeline;
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(
+      {{"d0", "Anna ate a delicious pie."}, {"d1", "I ate a pie."}});
+  auto mono = KokoIndex::Build(corpus);
+  auto sharded = ShardedKokoIndex::Build(corpus, 7);
+  ExpectLookupsMatchMonolithic(*sharded, *mono, corpus, "K>N");
+}
+
+TEST(ShardedKokoIndexTest, ParallelBuildMatchesSequentialBuild) {
+  AnnotatedCorpus corpus = MomentsCorpus(80, 73);
+  ShardedKokoIndex::Options sequential;
+  sequential.num_shards = 4;
+  sequential.build_threads = 1;
+  ShardedKokoIndex::Options parallel;
+  parallel.num_shards = 4;
+  parallel.build_threads = 4;
+  auto a = ShardedKokoIndex::Build(corpus, sequential);
+  auto b = ShardedKokoIndex::Build(corpus, parallel);
+  for (const char* word : {"a", "delicious", "ate"}) {
+    EXPECT_EQ(a->LookupWord(word), b->LookupWord(word)) << word;
+  }
+  PathQuery path = DobjPath();
+  EXPECT_EQ(a->LookupParseLabelPath(path), b->LookupParseLabelPath(path));
+  EXPECT_EQ(a->AllEntities(), b->AllEntities());
+}
+
+TEST(ShardedKokoIndexTest, SaveLoadRoundTrip) {
+  AnnotatedCorpus corpus = MomentsCorpus(60, 74);
+  auto built = ShardedKokoIndex::Build(corpus, 3);
+  std::string path = ::testing::TempDir() + "/sharded_index_test.bin";
+  ASSERT_TRUE(built->Save(path).ok());
+  auto loaded = ShardedKokoIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ((*loaded)->num_shards(), built->num_shards());
+  for (size_t i = 0; i < built->num_shards(); ++i) {
+    EXPECT_EQ((*loaded)->shard_range(i).begin, built->shard_range(i).begin);
+    EXPECT_EQ((*loaded)->shard_range(i).end, built->shard_range(i).end);
+    // Each shard restores its sid caches from the delta-encoded section.
+    EXPECT_TRUE((*loaded)->shard(i).sid_caches_from_disk());
+  }
+  for (const char* word : {"a", "delicious", "ate"}) {
+    EXPECT_EQ((*loaded)->LookupWord(word), built->LookupWord(word)) << word;
+    EXPECT_EQ((*loaded)->WordSids(word), built->WordSids(word)) << word;
+  }
+  PathQuery path_q = DobjPath();
+  EXPECT_EQ((*loaded)->LookupParseLabelPath(path_q),
+            built->LookupParseLabelPath(path_q));
+  EXPECT_EQ((*loaded)->PlPathSids(path_q), built->PlPathSids(path_q));
+  EXPECT_EQ((*loaded)->AllEntities(), built->AllEntities());
+
+  // Engine equality across the round trip: same rows from the loaded index.
+  Pipeline pipeline;
+  EmbeddingModel embeddings;
+  Engine from_built(&corpus, built.get(), &embeddings,
+                    &const_cast<const Pipeline&>(pipeline).recognizer());
+  Engine from_loaded(&corpus, loaded->get(), &embeddings,
+                     &const_cast<const Pipeline&>(pipeline).recognizer());
+  const char* query =
+      "extract b:Str from \"t\" if ( /ROOT:{ a = //verb, b = a/dobj })";
+  auto ra = from_built.ExecuteText(query);
+  auto rb = from_loaded.ExecuteText(query);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(ra->rows.size(), rb->rows.size());
+  for (size_t i = 0; i < ra->rows.size(); ++i) {
+    EXPECT_EQ(ra->rows[i].sid, rb->rows[i].sid);
+    EXPECT_EQ(ra->rows[i].values, rb->rows[i].values);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace koko
