@@ -1,0 +1,229 @@
+// Concurrent serving: throughput and warm-cache behaviour of QueryService.
+//
+// Measures (a) cold vs warm repeated workload on one service — the warm
+// pass must beat the cold pass on the aggregate ("satisfying") phase
+// because the persistent per-shard score cache survives across queries —
+// and (b) a client-count sweep (1..8 concurrent clients over one shared
+// pool + admission queue), checking row counts stay byte-stable versus
+// serial single-query execution at every concurrency level.
+//
+// argv[1] optionally overrides the article count (default 1000) for quick
+// CI runs. Emits BENCH_serve.json.
+#include "bench_util.h"
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "index/sharded_index.h"
+#include "serve/query_service.h"
+#include "util/timer.h"
+
+using namespace koko;
+
+namespace {
+
+// The §6.3-style example queries of bench_shard_scaleup; the Chocolate
+// query carries a satisfying clause, so repeated runs exercise the score
+// cache.
+const char* kChocolateQuery = R"(
+extract c:Entity from wiki.article if (
+  /ROOT:{
+    v = //verb,
+    o = v//pobj[text="chocolate"],
+    s = v/nsubj
+  } (s) in (c))
+satisfying v
+  (v SimilarTo "is" {1})
+with threshold 0.9
+)";
+
+const char* kTitleQuery = R"(
+extract a:Person, b:Str from wiki.article if (
+  /ROOT:{
+    v = //"called",
+    p = v/propn,
+    b = p.subtree,
+    c = a + ^ + v + ^ + b
+  })
+)";
+
+struct WorkloadStats {
+  double wall_s = 0;
+  double satisfying_s = 0;
+  size_t rows = 0;
+  bool ok = true;
+};
+
+// One pass of the workload through the service on the calling thread.
+WorkloadStats RunWorkload(QueryService& service,
+                          const std::vector<std::string>& workload) {
+  WorkloadStats stats;
+  WallTimer timer;
+  for (const std::string& query : workload) {
+    auto result = service.Run(query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      stats.ok = false;
+      continue;
+    }
+    stats.satisfying_s += result->phases.Get("satisfying");
+    stats.rows += result->rows.size();
+  }
+  stats.wall_s = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t articles =
+      argc > 1 ? static_cast<size_t>(std::strtoul(argv[1], nullptr, 10)) : 1000;
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("Concurrent serving: admission queue + shared pool + persistent "
+              "score cache (%zu articles, %u hardware threads)\n\n",
+              articles, cores);
+
+  Pipeline pipeline;
+  auto docs = GenerateWikiArticles(
+      {.num_articles = static_cast<int>(articles), .seed = 901});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  constexpr size_t kShards = 4;
+  auto index = ShardedKokoIndex::Build(corpus, kShards);
+  EmbeddingModel embeddings;
+  Engine engine(&corpus, index.get(), &embeddings,
+                &const_cast<const Pipeline&>(pipeline).recognizer());
+  const std::vector<std::string> workload = {kChocolateQuery, kTitleQuery};
+
+  bench::JsonEmitter emitter("serve");
+  emitter.SetMeta("articles", static_cast<double>(articles));
+  emitter.SetMeta("sentences", static_cast<double>(corpus.NumSentences()));
+  emitter.SetMeta("hardware_threads", static_cast<double>(cores));
+  emitter.SetMeta("index_shards", static_cast<double>(kShards));
+
+  bool ok = true;
+
+  // Serial single-query reference row counts (the byte-identity oracle for
+  // the sweep below; the full row-level check lives in query_service_test).
+  std::vector<size_t> serial_rows;
+  {
+    size_t total = 0;
+    for (const std::string& query : workload) {
+      EngineOptions serial;
+      serial.max_rows = 500000;
+      auto result = engine.ExecuteText(query, serial);
+      if (!result.ok()) {
+        std::fprintf(stderr, "serial reference failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      serial_rows.push_back(result->rows.size());
+      total += result->rows.size();
+    }
+    std::printf("-- serial reference: %zu rows over %zu queries --\n\n", total,
+                workload.size());
+  }
+
+  // (a) Cold vs warm: same service, repeated workload. The second pass
+  // serves aggregate scores from the persistent cache.
+  {
+    QueryService::Options options;
+    options.num_threads = std::max(1u, cores);
+    options.max_inflight = 4;
+    options.engine.max_rows = 500000;
+    QueryService service(&engine, options, index->num_shards());
+
+    WorkloadStats cold = RunWorkload(service, workload);
+    ScoreCache::Stats cache_cold = service.score_cache().stats();
+    WorkloadStats warm = RunWorkload(service, workload);
+    ScoreCache::Stats cache_warm = service.score_cache().stats();
+    ok &= cold.ok && warm.ok && cold.rows == warm.rows;
+
+    const double agg_speedup =
+        warm.satisfying_s > 0 ? cold.satisfying_s / warm.satisfying_s : 0;
+    std::printf(
+        "-- warm-cache repeat --\n"
+        "  cold: total=%.4fs satisfying=%.4fs rows=%zu (cache: %llu misses)\n"
+        "  warm: total=%.4fs satisfying=%.4fs rows=%zu (cache: +%llu hits)\n"
+        "  satisfying speedup: %.2fx %s\n\n",
+        cold.wall_s, cold.satisfying_s, cold.rows,
+        static_cast<unsigned long long>(cache_cold.misses), warm.wall_s,
+        warm.satisfying_s, warm.rows,
+        static_cast<unsigned long long>(cache_warm.hits - cache_cold.hits),
+        agg_speedup, agg_speedup > 1.0 ? "[warm beats cold]" : "");
+    emitter.AddEntry("warm_cache/cold",
+                     {{"total_s", cold.wall_s},
+                      {"satisfying_s", cold.satisfying_s},
+                      {"rows", static_cast<double>(cold.rows)},
+                      {"cache_misses", static_cast<double>(cache_cold.misses)}});
+    emitter.AddEntry(
+        "warm_cache/warm",
+        {{"total_s", warm.wall_s},
+         {"satisfying_s", warm.satisfying_s},
+         {"rows", static_cast<double>(warm.rows)},
+         {"cache_hits",
+          static_cast<double>(cache_warm.hits - cache_cold.hits)},
+         {"satisfying_speedup", agg_speedup}});
+  }
+
+  // (b) Client sweep: N concurrent clients, fresh service each (cold
+  // caches), two rounds per client so every level also sees warm repeats.
+  for (size_t clients : {1u, 2u, 4u, 8u}) {
+    QueryService::Options options;
+    options.num_threads = std::max(1u, cores);
+    options.max_inflight = 4;
+    options.engine.max_rows = 500000;
+    QueryService service(&engine, options, index->num_shards());
+
+    constexpr int kRounds = 2;
+    std::vector<WorkloadStats> per_client(clients);
+    WallTimer timer;
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int r = 0; r < kRounds; ++r) {
+          WorkloadStats pass = RunWorkload(service, workload);
+          per_client[c].ok &= pass.ok;
+          per_client[c].rows += pass.rows;
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall_s = timer.ElapsedSeconds();
+
+    size_t expected_rows = 0;
+    for (size_t rows : serial_rows) expected_rows += rows;
+    expected_rows *= kRounds;
+    for (const WorkloadStats& client : per_client) {
+      ok &= client.ok;
+      if (client.rows != expected_rows) {
+        std::fprintf(stderr,
+                     "row mismatch under concurrency: got %zu want %zu\n",
+                     client.rows, expected_rows);
+        ok = false;
+      }
+    }
+    const size_t queries = clients * kRounds * workload.size();
+    const double qps = wall_s > 0 ? static_cast<double>(queries) / wall_s : 0;
+    QueryService::Stats stats = service.stats();
+    std::printf(
+        "-- clients=%zu: %zu queries in %.3fs (%.1f qps, peak inflight "
+        "%llu) --\n",
+        clients, queries, wall_s, qps,
+        static_cast<unsigned long long>(stats.peak_inflight));
+    emitter.AddEntry(
+        "sweep/clients=" + std::to_string(clients),
+        {{"clients", static_cast<double>(clients)},
+         {"queries", static_cast<double>(queries)},
+         {"wall_s", wall_s},
+         {"qps", qps},
+         {"peak_inflight", static_cast<double>(stats.peak_inflight)}});
+  }
+
+  if (!emitter.WriteFile()) {
+    std::fprintf(stderr, "failed to write BENCH_serve.json\n");
+    return 1;
+  }
+  return ok ? 0 : 1;
+}

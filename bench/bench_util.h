@@ -32,8 +32,11 @@ namespace bench {
 ///     "meta":    { "<key>": <number>, ... },
 ///     "entries": [ { "name": "<entry>", "values": { "<k>": <number> } } ] }
 ///
-/// Entry/key names are expected to be identifier-like; values print with
-/// enough digits to round-trip doubles.
+/// Names and keys are escaped (quotes, backslashes, control characters), so
+/// any string — query text, generated labels — is safe to use; values print
+/// with enough digits to round-trip doubles, and non-finite values emit as
+/// `null` (JSON has no NaN/Inf), keeping the files parseable by the CI
+/// artifact consumers no matter what a bench measures.
 class JsonEmitter {
  public:
   explicit JsonEmitter(std::string bench_name)
@@ -54,19 +57,19 @@ class JsonEmitter {
     std::string target = path.empty() ? "BENCH_" + bench_name_ + ".json" : path;
     std::ofstream out(target);
     if (!out) return false;
-    out << "{\n  \"bench\": \"" << bench_name_ << "\",\n  \"meta\": {";
+    out << "{\n  \"bench\": " << Quoted(bench_name_) << ",\n  \"meta\": {";
     for (size_t i = 0; i < meta_.size(); ++i) {
-      out << (i == 0 ? "" : ",") << "\n    \"" << meta_[i].first
-          << "\": " << Number(meta_[i].second);
+      out << (i == 0 ? "" : ",") << "\n    " << Quoted(meta_[i].first)
+          << ": " << Number(meta_[i].second);
     }
     out << (meta_.empty() ? "" : "\n  ") << "},\n  \"entries\": [";
     for (size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
-      out << (i == 0 ? "" : ",") << "\n    {\"name\": \"" << e.name
-          << "\", \"values\": {";
+      out << (i == 0 ? "" : ",") << "\n    {\"name\": " << Quoted(e.name)
+          << ", \"values\": {";
       for (size_t j = 0; j < e.values.size(); ++j) {
-        out << (j == 0 ? "" : ", ") << "\"" << e.values[j].first
-            << "\": " << Number(e.values[j].second);
+        out << (j == 0 ? "" : ", ") << Quoted(e.values[j].first)
+            << ": " << Number(e.values[j].second);
       }
       out << "}}";
     }
@@ -80,10 +83,37 @@ class JsonEmitter {
     std::vector<std::pair<std::string, double>> values;
   };
 
+  /// JSON string literal: quotes, backslashes, and control characters
+  /// (RFC 8259 mandates escaping everything below 0x20) are escaped.
+  static std::string Quoted(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"':  out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
   static std::string Number(double v) {
-    // JSON has no NaN/Inf; emit 0 rather than an invalid token. The range
-    // check precedes the cast (casting out-of-range doubles is UB).
-    if (!std::isfinite(v)) return "0";
+    // JSON has no NaN/Inf; emit null rather than an invalid token. The
+    // range check precedes the cast (casting out-of-range doubles is UB).
+    if (!std::isfinite(v)) return "null";
     char buf[64];
     // %.17g round-trips doubles; integral values print without exponent.
     if (v > -1e15 && v < 1e15 &&

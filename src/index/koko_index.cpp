@@ -208,7 +208,7 @@ std::unique_ptr<KokoIndex> KokoIndex::Build(const AnnotatedCorpus& corpus,
 
   index->ExportClosureTable(pl, "PL");
   index->ExportClosureTable(pos, "POS");
-  index->RebuildEntityCache();
+  KOKO_CHECK_OK(index->RebuildEntityCache());
   index->RebuildSidCaches();
 
   index->stats_.pl_trie_nodes = pl.nodes.size() - 1;
@@ -242,7 +242,7 @@ void KokoIndex::ExportClosureTable(const Trie& trie, const std::string& table_na
   KOKO_CHECK_OK(t->CreateIndex(table_name + "_label", {"label"}));
 }
 
-void KokoIndex::RebuildEntityCache() {
+Status KokoIndex::RebuildEntityCache() {
   all_entities_.clear();
   all_entities_.reserve(e_->NumRows());
   for (uint32_t row = 0; row < e_->NumRows(); ++row) {
@@ -250,9 +250,16 @@ void KokoIndex::RebuildEntityCache() {
     p.sid = static_cast<uint32_t>(e_->GetInt(row, kESid));
     p.left = static_cast<uint32_t>(e_->GetInt(row, kELeft));
     p.right = static_cast<uint32_t>(e_->GetInt(row, kERight));
-    p.type = static_cast<EntityType>(e_->GetInt(row, kEType));
+    const int64_t type = e_->GetInt(row, kEType);
+    // Catalog values may come from a corrupt image; an out-of-range type
+    // would index past the per-type bucket arrays.
+    if (type < 0 || type >= kNumEntityTypes) {
+      return Status::ParseError("E table entity type out of range");
+    }
+    p.type = static_cast<EntityType>(type);
     all_entities_.push_back(p);
   }
+  return Status::OK();
 }
 
 void KokoIndex::RebuildSidCaches() {
@@ -440,7 +447,7 @@ void WriteSidList(BinaryWriter* writer, const SidList& list) {
 Result<SidList> ReadSidList(BinaryReader* reader) {
   KOKO_ASSIGN_OR_RETURN(uint32_t count, reader->ReadU32());
   KOKO_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, reader->ReadVector<uint8_t>());
-  SidList list = DecodeDeltas(bytes);
+  KOKO_ASSIGN_OR_RETURN(SidList list, DecodeDeltas(bytes));
   if (list.size() != count) {
     return Status::ParseError("sid list delta stream decoded to wrong length");
   }
@@ -482,10 +489,20 @@ Status KokoIndex::RebuildTrieFromClosure(const std::string& table_name, Trie* tr
                                          int w_node_col) {
   const Table* t = catalog_.GetTable(table_name);
   if (t == nullptr) return Status::NotFound("closure table " + table_name);
-  // Pass 1: create nodes (max id) and record parent/label/depth.
+  // Catalog values may come from a corrupt image: every id consumed below
+  // is validated before it indexes anything (a bad image must fail load
+  // cleanly, not read out of bounds).
+  // Pass 1: create nodes (max id) and record parent/label/depth. Every
+  // node contributes at least its self-pair row, so a valid max id never
+  // exceeds the row count.
   int64_t max_id = 0;
   for (uint32_t row = 0; row < t->NumRows(); ++row) {
-    max_id = std::max(max_id, t->GetInt(row, 0));
+    int64_t id = t->GetInt(row, 0);
+    if (id < 0 || id > static_cast<int64_t>(t->NumRows())) {
+      return Status::ParseError("closure table " + table_name +
+                                ": node id out of range");
+    }
+    max_id = std::max(max_id, id);
   }
   trie->nodes.clear();
   trie->nodes.resize(static_cast<size_t>(max_id) + 1);
@@ -495,6 +512,10 @@ Status KokoIndex::RebuildTrieFromClosure(const std::string& table_name, Trie* tr
     int64_t depth = t->GetInt(row, 2);
     int64_t aid = t->GetInt(row, 3);
     int64_t adepth = t->GetInt(row, 5);
+    if (aid < 0 || aid > max_id) {
+      return Status::ParseError("closure table " + table_name +
+                                ": ancestor id out of range");
+    }
     TrieNode& node = trie->nodes[static_cast<size_t>(id)];
     node.label = trie->labels.Intern(t->GetString(row, 1));
     node.depth = static_cast<uint32_t>(depth);
@@ -519,6 +540,10 @@ Status KokoIndex::RebuildTrieFromClosure(const std::string& table_name, Trie* tr
   // Pass 3: posting rows from W.
   for (uint32_t row = 0; row < w_->NumRows(); ++row) {
     int64_t node = w_->GetInt(row, static_cast<uint32_t>(w_node_col));
+    if (node < 0 || node > max_id) {
+      return Status::ParseError("W table references " + table_name +
+                                " node out of range");
+    }
     trie->nodes[static_cast<size_t>(node)].rows.push_back(row);
   }
   return Status::OK();
@@ -530,9 +555,14 @@ Status KokoIndex::InitFromCatalog() {
   if (w_ == nullptr || e_ == nullptr) {
     return Status::ParseError("catalog missing W/E tables");
   }
+  // The lookup paths KOKO_CHECK these indexes; a corrupt image that lost
+  // them must fail load, not crash the first query.
+  if (!w_->HasIndex("w_word") || !e_->HasIndex("e_entity")) {
+    return Status::ParseError("catalog missing w_word/e_entity indexes");
+  }
   KOKO_RETURN_IF_ERROR(RebuildTrieFromClosure("PL", &pl_trie_, kWPlid));
   KOKO_RETURN_IF_ERROR(RebuildTrieFromClosure("POS", &pos_trie_, kWPosid));
-  RebuildEntityCache();
+  KOKO_RETURN_IF_ERROR(RebuildEntityCache());
   stats_.num_tokens = w_->NumRows();
   stats_.num_entities = e_->NumRows();
   stats_.pl_trie_nodes = pl_trie_.nodes.size() - 1;

@@ -210,7 +210,7 @@ class KokoIndex {
   /// Post-catalog-load setup shared by both image formats: resolve W/E,
   /// rebuild tries from the closure tables, entity cache, stats.
   Status InitFromCatalog();
-  void RebuildEntityCache();
+  Status RebuildEntityCache();
   /// Fills the columnar sid caches (word/entity-type/trie-node lists) from
   /// the W and E tables; called at the end of Build and legacy Load.
   void RebuildSidCaches();

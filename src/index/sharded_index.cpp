@@ -59,17 +59,24 @@ std::unique_ptr<ShardedKokoIndex> ShardedKokoIndex::Build(
   } else {
     // Shards are independent: workers draw shard ids from an atomic cursor
     // and build into their own slot, so the result is identical to the
-    // sequential build regardless of scheduling.
+    // sequential build regardless of scheduling — on a caller-shared pool
+    // (options.pool, interleaving with other fork/join sections) or a
+    // transient build-only pool.
     std::atomic<size_t> cursor{0};
-    ThreadPool pool(workers);
-    pool.Dispatch([&](size_t) {
+    auto build_shards = [&](size_t) {
       for (;;) {
         size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= k) return;
         index->shards_[i] = KokoIndex::Build(corpus, index->ranges_[i].begin,
                                              index->ranges_[i].end);
       }
-    });
+    };
+    if (options.pool != nullptr) {
+      options.pool->ParallelFor(workers, build_shards);
+    } else {
+      ThreadPool pool(workers);
+      pool.Dispatch(build_shards);
+    }
   }
   index->build_seconds_ = timer.ElapsedSeconds();
   return index;

@@ -10,6 +10,8 @@
 
 namespace koko {
 
+class ThreadPool;
+
 /// \brief K independent KokoIndex shards over contiguous sid ranges.
 ///
 /// The corpus's global sentence numbering is partitioned into K contiguous
@@ -37,6 +39,12 @@ class ShardedKokoIndex {
     /// ending at NumSentences()). Overrides num_shards when non-empty —
     /// lets callers align shards to document groups or test uneven splits.
     std::vector<uint32_t> boundaries;
+    /// Shared thread pool for the parallel shard build (borrowed; must
+    /// outlive the call). nullptr — the default — spawns a transient
+    /// build-only pool. A server rebuilding shards online passes its
+    /// serving pool so the rebuild interleaves with query fork/join
+    /// sections instead of spawning a competing thread set.
+    ThreadPool* pool = nullptr;
   };
 
   struct ShardRange {

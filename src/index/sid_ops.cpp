@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <queue>
 
 namespace koko {
@@ -173,24 +174,36 @@ std::vector<uint8_t> EncodeDeltas(const SidList& list) {
   return out;
 }
 
-SidList DecodeDeltas(const std::vector<uint8_t>& bytes) {
+Result<SidList> DecodeDeltas(const std::vector<uint8_t>& bytes) {
   std::vector<uint32_t> ids;
-  uint32_t prev = 0;
+  uint64_t prev = 0;
   bool first = true;
   uint32_t value = 0;
   int shift = 0;
   for (uint8_t byte : bytes) {
+    if (shift >= 32 || (shift == 28 && (byte & 0x7f) > 0x0f)) {
+      return Status::ParseError("sid delta stream: overlong varint");
+    }
     value |= static_cast<uint32_t>(byte & 0x7f) << shift;
     if (byte & 0x80) {
       shift += 7;
       continue;
     }
-    uint32_t sid = first ? value : prev + value;
+    if (!first && value == 0) {
+      return Status::ParseError("sid delta stream: zero gap (non-monotone ids)");
+    }
+    const uint64_t sid = first ? value : prev + value;
+    if (sid > std::numeric_limits<uint32_t>::max()) {
+      return Status::ParseError("sid delta stream: id overflows uint32");
+    }
     first = false;
     prev = sid;
-    ids.push_back(sid);
+    ids.push_back(static_cast<uint32_t>(sid));
     value = 0;
     shift = 0;
+  }
+  if (shift != 0 || value != 0) {
+    return Status::ParseError("sid delta stream: truncated varint");
   }
   return SidList::FromSorted(std::move(ids));
 }

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/status.h"
+
 namespace koko {
 
 /// \brief A sorted, deduplicated list of sentence ids.
@@ -102,7 +104,13 @@ SidList Difference(const SidList& a, const SidList& b);
 /// layout future posting-block work builds on. First id is stored as-is,
 /// subsequent ids as gaps; every value is LEB128 varint encoded.
 std::vector<uint8_t> EncodeDeltas(const SidList& list);
-SidList DecodeDeltas(const std::vector<uint8_t>& bytes);
+
+/// Decodes an EncodeDeltas stream, validating it: a truncated stream (ends
+/// mid-varint), an overlong varint (more than 5 bytes, or high bits beyond
+/// 32), a duplicate id (zero gap after the first id), or a sid overflowing
+/// uint32 all fail with ParseError instead of yielding garbage sids — a
+/// corrupt or truncated index image must fail load cleanly.
+Result<SidList> DecodeDeltas(const std::vector<uint8_t>& bytes);
 
 }  // namespace koko
 

@@ -51,12 +51,18 @@ Aggregator::Aggregator(const EmbeddingModel* model,
       expander_(model) {}
 
 void Aggregator::AddOntologySet(const std::vector<std::string>& related) {
+  std::lock_guard<std::mutex> lock(expansion_mu_);
   expander_.AddOntologySet(related);
   expansion_cache_.clear();
 }
 
 const std::vector<WeightedPhrase>& Aggregator::Expansions(
     const std::string& descriptor) const {
+  // Serialized so Score() stays safe to call from concurrent serving
+  // threads sharing one Aggregator. References into the node-based map are
+  // stable across later insertions; only AddOntologySet (setup time, before
+  // any concurrent scoring) invalidates them.
+  std::lock_guard<std::mutex> lock(expansion_mu_);
   auto it = expansion_cache_.find(descriptor);
   if (it != expansion_cache_.end()) return it->second;
   return expansion_cache_.emplace(descriptor, expander_.Expand(descriptor))

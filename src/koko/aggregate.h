@@ -1,6 +1,7 @@
 #ifndef KOKO_KOKO_AGGREGATE_H_
 #define KOKO_KOKO_AGGREGATE_H_
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -75,6 +76,11 @@ class Aggregator {
   const EntityRecognizer* recognizer_;
   Options options_;
   DescriptorExpander expander_;
+  /// Guards the expansion memo: Score/Excluded/ConditionScore are safe to
+  /// call from concurrent serving threads sharing one Aggregator. Register
+  /// ontology sets before any concurrent scoring starts — AddOntologySet
+  /// invalidates references handed out by Expansions().
+  mutable std::mutex expansion_mu_;
   mutable std::unordered_map<std::string, std::vector<WeightedPhrase>>
       expansion_cache_;
 };

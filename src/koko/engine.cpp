@@ -647,14 +647,28 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
   for (const auto& cond : cq.excluding) track(cond.var);
 
   // One pool serves every parallel section of this query (shard-parallel
-  // DPLI and the extract fan-out), created lazily on first use so serial
-  // queries never spawn threads. Sections that need fewer workers than the
-  // pool holds just let the extras drain their cursor immediately.
-  std::unique_ptr<ThreadPool> pool;
+  // DPLI and the extract fan-out). A caller-provided pool (options.pool) is
+  // shared as-is — concurrent queries multiplex their fork/join sections
+  // onto it; otherwise a private pool is created lazily on first use so
+  // serial queries never spawn threads. Sections that need fewer workers
+  // than the pool holds just let the extras drain their cursor immediately.
+  std::unique_ptr<ThreadPool> owned_pool;
   auto shared_pool = [&]() -> ThreadPool& {
-    if (pool == nullptr) pool = std::make_unique<ThreadPool>(options.num_threads);
-    return *pool;
+    if (options.pool != nullptr) return *options.pool;
+    if (owned_pool == nullptr) {
+      owned_pool = std::make_unique<ThreadPool>(options.num_threads);
+    }
+    return *owned_pool;
   };
+  // Parallel-section width: a caller-shared pool defines it (passing a pool
+  // while leaving num_threads at its default must not silently serialize);
+  // otherwise num_threads does. Sections are further clamped to the work
+  // they actually have, so a wide serving pool doesn't cost idle slot
+  // closures on small queries.
+  const size_t parallelism = options.pool != nullptr
+                                 ? std::max(options.pool->num_workers(),
+                                            options.num_threads)
+                                 : options.num_threads;
 
   // ---- DPLI: prune to candidate sentences (Algorithm 1) ----
   //
@@ -703,11 +717,12 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
           }
         }
       };
-      if (std::min(options.num_threads, groups) <= 1) {
+      const size_t dpli_workers = std::min(parallelism, groups);
+      if (dpli_workers <= 1) {
         for (size_t g = 0; g < groups; ++g) run_group(g);
       } else {
         std::atomic<size_t> cursor{0};
-        shared_pool().Dispatch([&](size_t) {
+        shared_pool().ParallelFor(dpli_workers, [&](size_t) {
           for (;;) {
             size_t g = cursor.fetch_add(1, std::memory_order_relaxed);
             if (g >= groups) return;
@@ -765,7 +780,7 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
       });
     };
 
-    const size_t num_workers = std::min(options.num_threads, candidates.size());
+    const size_t num_workers = std::min(parallelism, candidates.size());
     if (num_workers <= 1) {
       // Sequential: rows accumulate directly into `pending`, so the budget
       // check spans sentences and stops the scan exactly at max_rows.
@@ -780,12 +795,11 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
         std::vector<std::pair<size_t, std::vector<PendingRow>>> per_candidate;
         PhaseStats phases;
       };
-      // The shared pool holds num_threads workers — possibly more than
-      // this section needs; the extras exit on their first cursor draw.
-      const size_t pool_workers = shared_pool().num_workers();
-      std::vector<WorkerOutput> outputs(pool_workers);
+      // Exactly num_workers slots — a wide serving pool doesn't enqueue
+      // no-op closures for a section with little work.
+      std::vector<WorkerOutput> outputs(num_workers);
       std::atomic<size_t> cursor{0};
-      shared_pool().Dispatch([&](size_t w) {
+      shared_pool().ParallelFor(num_workers, [&](size_t w) {
         WorkerOutput& out = outputs[w];
         for (;;) {
           size_t idx = cursor.fetch_add(1, std::memory_order_relaxed);
@@ -798,19 +812,19 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
       // Deterministic sid-ordered merge: each worker drew ascending
       // candidate indices, so its buffer is sorted; k-way merge by index
       // and re-apply the global cap where the sequential scan would stop.
-      std::vector<size_t> heads(pool_workers, 0);
+      std::vector<size_t> heads(num_workers, 0);
       bool full = false;
       while (!full) {
-        size_t best_w = pool_workers;
+        size_t best_w = num_workers;
         size_t best_idx = std::numeric_limits<size_t>::max();
-        for (size_t w = 0; w < pool_workers; ++w) {
+        for (size_t w = 0; w < num_workers; ++w) {
           if (heads[w] < outputs[w].per_candidate.size() &&
               outputs[w].per_candidate[heads[w]].first < best_idx) {
             best_idx = outputs[w].per_candidate[heads[w]].first;
             best_w = w;
           }
         }
-        if (best_w == pool_workers) break;
+        if (best_w == num_workers) break;
         for (PendingRow& row :
              outputs[best_w].per_candidate[heads[best_w]].second) {
           pending.push_back(std::move(row));
@@ -839,7 +853,31 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
     Aggregator aggregator(embeddings_, recognizer_, agg_options);
     for (const auto& set : ontology_sets_) aggregator.AddOntologySet(set);
 
-    // Score cache: (doc, clause index, value) -> score.
+    // Score cache: (doc, clause, value) -> score. A shared cross-query
+    // cache (options.score_cache) is consulted first when present; entries
+    // are keyed by clause *content* salted with this engine's scoring
+    // configuration (use_descriptors, ontology sets), so a hit is
+    // guaranteed to equal recomputation and queries with different options
+    // can share one cache. The query-local cache still fronts the shared
+    // one to avoid re-locking stripes for values repeated within one query.
+    std::vector<uint64_t> clause_keys;
+    if (options.score_cache != nullptr) {
+      uint64_t salt = Mix64(options.use_descriptors ? 1 : 2);
+      for (const auto& set : ontology_sets_) {
+        // Set boundaries matter: {"good","happy"} relates the two phrases,
+        // {"good"} + {"happy"} does not — the flat phrase sequence alone
+        // must not collide across different partitions.
+        salt = HashCombine(salt, Mix64(set.size()));
+        for (const std::string& phrase : set) {
+          salt = HashCombine(salt, Fnv1a64(phrase));
+        }
+      }
+      clause_keys.reserve(cq.satisfying.size());
+      for (const SatisfyingClause& clause : cq.satisfying) {
+        clause_keys.push_back(
+            HashCombine(salt, ScoreCache::ClauseFingerprint(clause)));
+      }
+    }
     std::unordered_map<std::tuple<uint32_t, size_t, std::string>, double,
                        ScoreKeyHash>
         cache;
@@ -848,8 +886,18 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
       auto key = std::make_tuple(doc, clause_idx, value);
       auto it = cache.find(key);
       if (it != cache.end()) return it->second;
+      if (options.score_cache != nullptr) {
+        if (auto hit =
+                options.score_cache->Lookup(clause_keys[clause_idx], doc, value)) {
+          cache.emplace(std::move(key), *hit);
+          return *hit;
+        }
+      }
       double s = aggregator.Score(loaded.at(doc), value,
                                   cq.satisfying[clause_idx]);
+      if (options.score_cache != nullptr) {
+        options.score_cache->Insert(clause_keys[clause_idx], doc, value, s);
+      }
       cache.emplace(std::move(key), s);
       return s;
     };

@@ -11,12 +11,15 @@
 #include "koko/aggregate.h"
 #include "koko/ast.h"
 #include "koko/compile.h"
+#include "koko/score_cache.h"
 #include "ner/entity_recognizer.h"
 #include "storage/doc_store.h"
 #include "text/document.h"
 #include "util/timer.h"
 
 namespace koko {
+
+class ThreadPool;
 
 /// One result tuple. `values` holds one string per output column;
 /// `scores` holds the aggregated evidence score per satisfying clause
@@ -68,6 +71,32 @@ struct EngineOptions {
   /// lists concatenate in shard order, which *is* ascending global sid
   /// order, so the downstream phases see exactly the monolithic stream.
   size_t num_shards = 0;
+  /// Shared thread pool for this query's parallel sections (borrowed; must
+  /// outlive the call). When null — the default — the engine lazily creates
+  /// a private `num_threads`-worker pool per query, which reproduces the
+  /// one-pool-per-query fork/join behaviour. A non-null pool may be shared
+  /// by **many concurrent queries**: each parallel section is a
+  /// `ThreadPool::ParallelFor` fork/join whose slots interleave with other
+  /// queries' slots on the shared workers (the calling thread participates,
+  /// so a section always completes even on a saturated pool). Slot ids are
+  /// task indices, not thread identities, so results stay byte-identical to
+  /// serial execution regardless of pool size or contention. Passing a
+  /// pool is sufficient to parallelize: the section width becomes
+  /// max(pool->num_workers(), num_threads), so the num_threads default of
+  /// 1 does not silently serialize a pooled query. This is how
+  /// QueryService (serve/query_service.h) multiplexes admitted queries onto
+  /// one pool instead of spawning per-query thread sets.
+  ThreadPool* pool = nullptr;
+  /// Cross-query (doc, clause, value) score cache for the aggregate phase
+  /// (borrowed, thread-safe; must outlive the call). When null — the
+  /// default — the engine uses a query-local cache, rebuilding warm state
+  /// per query. A shared cache persists aggregate scores across queries;
+  /// scores are deterministic, so hits are byte-identical to recomputation.
+  /// The engine keys entries by clause content *and* its scoring
+  /// configuration (use_descriptors, ontology sets), so one cache may serve
+  /// heterogeneous option sets against one corpus. Never share a cache
+  /// across different corpora.
+  ScoreCache* score_cache = nullptr;
 };
 
 /// \brief The KOKO query evaluation engine (Figure 2).

@@ -1,0 +1,110 @@
+#ifndef KOKO_KOKO_SCORE_CACHE_H_
+#define KOKO_KOKO_SCORE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "koko/ast.h"
+
+namespace koko {
+
+/// \brief Persistent, sharded (doc, clause, value) -> score cache for the
+/// aggregate phase (§4.4).
+///
+/// The engine's satisfying/excluding evaluation repeatedly scores the same
+/// (document, clause, candidate value) triple — within one query when many
+/// rows share a value, and *across* queries when a workload repeats (the
+/// heavy-traffic serving case). A ScoreCache outlives individual queries:
+/// hand one to `EngineOptions::score_cache` (QueryService does this for
+/// every admitted query) and repeated workloads hit warm aggregate scores
+/// instead of re-running descriptor matching over whole documents.
+///
+/// The cache is sharded into `num_shards` independently locked stripes
+/// keyed by document id, so concurrent queries scoring different documents
+/// never contend and per-document invalidation touches exactly one shard.
+/// Correctness: `Aggregator::Score` is a pure function of (document
+/// content, value, clause, engine scoring configuration), so serving a hit
+/// is byte-identical to recomputing — provided the clause fingerprint keys
+/// capture the scoring configuration. `ClauseFingerprint` covers the clause
+/// itself (conditions, weights — not the threshold, which is applied after
+/// scoring); the engine additionally mixes its descriptor/ontology
+/// configuration into the key (see Engine::ExecuteCompiled), so one cache
+/// must only be shared across engines with identical corpora. Do not reuse
+/// a cache after mutating or reloading the corpus; call Clear() instead.
+class ScoreCache {
+ public:
+  struct Options {
+    /// Lock stripes (cache shards); rounded up to a power of two, min 1.
+    /// Align with the index shard count for shard-affine serving.
+    size_t num_shards = 16;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t entries = 0;
+  };
+
+  ScoreCache() : ScoreCache(Options{}) {}
+  explicit ScoreCache(const Options& options);
+
+  /// Content fingerprint of a satisfying/excluding clause: every condition's
+  /// kind, variable, text, and weight. Clauses that score identically on any
+  /// document collide only if structurally identical (modulo 64-bit hash
+  /// collisions). The clause threshold is deliberately excluded — it gates
+  /// rows after scoring and does not change the score itself.
+  static uint64_t ClauseFingerprint(const SatisfyingClause& clause);
+
+  /// Cached score for (clause_key, doc, value), or nullopt on a miss.
+  std::optional<double> Lookup(uint64_t clause_key, uint32_t doc,
+                               const std::string& value) const;
+
+  /// Inserts (first writer wins; concurrent inserts of the same key are
+  /// benign because scores are deterministic).
+  void Insert(uint64_t clause_key, uint32_t doc, const std::string& value,
+              double score);
+
+  /// Drops every cached score for `doc` (call when a document changes).
+  void InvalidateDoc(uint32_t doc);
+
+  /// Drops everything and resets hit/miss counters.
+  void Clear();
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t size() const;
+  Stats stats() const;
+
+ private:
+  struct Key {
+    uint64_t clause_key;
+    uint32_t doc;
+    std::string value;
+    bool operator==(const Key& o) const {
+      return clause_key == o.clause_key && doc == o.doc && value == o.value;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, double, KeyHash> map;
+  };
+
+  Shard& ShardOf(uint32_t doc) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_mask_ = 0;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace koko
+
+#endif  // KOKO_KOKO_SCORE_CACHE_H_

@@ -1,0 +1,68 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "koko/parser.h"
+
+namespace koko {
+
+QueryService::QueryService(const Engine* engine, const Options& options,
+                           size_t index_shards)
+    : engine_(engine),
+      options_(options),
+      admission_(options.max_inflight, options.max_queue) {
+  if (options_.num_threads == 0) {
+    options_.num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  ScoreCache::Options cache_options;
+  cache_options.num_shards = options_.cache_shards != 0
+                                 ? options_.cache_shards
+                                 : std::max<size_t>(16, index_shards);
+  score_cache_ = std::make_unique<ScoreCache>(cache_options);
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+}
+
+Result<QueryResult> QueryService::Run(const Query& query) {
+  if (!admission_.Enter()) {
+    return Status::Unavailable("admission queue full (max_queue waiters)");
+  }
+  EngineOptions options = options_.engine;
+  options.pool = pool_.get();
+  options.score_cache = score_cache_.get();
+  options.num_threads = pool_->num_workers();
+  Result<QueryResult> result = engine_->Execute(query, options);
+  admission_.Exit();
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+Result<QueryResult> QueryService::Run(std::string_view query_text) {
+  // Parsing is cheap and per-caller; only execution passes admission.
+  auto query = ParseQuery(query_text);
+  if (!query.ok()) return query.status();
+  return Run(*query);
+}
+
+std::future<Result<QueryResult>> QueryService::Submit(std::string query_text) {
+  auto task = std::make_shared<std::packaged_task<Result<QueryResult>()>>(
+      [this, text = std::move(query_text)] {
+        return Run(std::string_view(text));
+      });
+  std::future<Result<QueryResult>> future = task->get_future();
+  pool_->Submit([task] { (*task)(); });
+  return future;
+}
+
+QueryService::Stats QueryService::stats() const {
+  Stats stats;
+  stats.admitted = admission_.admitted();
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.rejected = admission_.rejected();
+  stats.peak_inflight = admission_.peak_inflight();
+  stats.peak_waiting = admission_.peak_waiting();
+  return stats;
+}
+
+}  // namespace koko

@@ -1,0 +1,211 @@
+#ifndef KOKO_SERVE_QUERY_SERVICE_H_
+#define KOKO_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "koko/engine.h"
+#include "koko/score_cache.h"
+#include "util/thread_pool.h"
+
+namespace koko {
+
+/// \brief FIFO admission control for concurrent query execution.
+///
+/// At most `max_inflight` callers hold admission at once; further callers
+/// wait in ticket order (strict FIFO — no barging), and when `max_queue`
+/// callers are already waiting, new arrivals are rejected immediately
+/// (back-pressure instead of unbounded pile-up). Separated from
+/// QueryService so the admission semantics are unit-testable without
+/// timing-dependent query execution.
+class AdmissionQueue {
+ public:
+  AdmissionQueue(size_t max_inflight, size_t max_queue)
+      : max_inflight_(max_inflight == 0 ? 1 : max_inflight),
+        max_queue_(max_queue) {}
+
+  /// Blocks until admitted; returns false (rejection) when the caller
+  /// would have to wait behind `max_queue` queued callers. Every true
+  /// return must be paired with Exit().
+  bool Enter() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool immediate = waiting_ == 0 && inflight_ < max_inflight_;
+    if (!immediate && waiting_ >= max_queue_) {
+      ++rejected_;
+      return false;
+    }
+    const uint64_t ticket = next_ticket_++;
+    ++waiting_;
+    // peak_waiting counts callers that actually blocked; an uncontended
+    // caller passes straight through.
+    if (!immediate) {
+      peak_waiting_ = std::max(peak_waiting_, static_cast<uint64_t>(waiting_));
+    }
+    cv_.wait(lock, [&] {
+      return ticket == serve_ticket_ && inflight_ < max_inflight_;
+    });
+    --waiting_;
+    ++serve_ticket_;
+    ++inflight_;
+    ++admitted_;
+    peak_inflight_ = std::max(peak_inflight_, static_cast<uint64_t>(inflight_));
+    // The next ticket in line may be admittable too while inflight_ is
+    // still below the bound.
+    cv_.notify_all();
+    return true;
+  }
+
+  void Exit() {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    cv_.notify_all();
+  }
+
+  size_t inflight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inflight_;
+  }
+  size_t waiting() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return waiting_;
+  }
+  uint64_t admitted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return admitted_;
+  }
+  uint64_t rejected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+  }
+  uint64_t peak_inflight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_inflight_;
+  }
+  uint64_t peak_waiting() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_waiting_;
+  }
+
+ private:
+  const size_t max_inflight_;
+  const size_t max_queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t next_ticket_ = 0;   ///< Next ticket to hand out.
+  uint64_t serve_ticket_ = 0;  ///< Ticket currently first in line.
+  size_t inflight_ = 0;
+  size_t waiting_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t peak_inflight_ = 0;
+  uint64_t peak_waiting_ = 0;
+};
+
+/// \brief Concurrent query serving over one shared engine (the server core).
+///
+/// The paper evaluates Koko one query at a time; heavy multi-user traffic
+/// needs many concurrent queries over one shared index. QueryService turns
+/// the batch engine into that server core:
+///
+///  * **Admission queue.** At most `max_inflight` queries execute at once;
+///    further callers wait FIFO, and beyond `max_queue` waiters new calls
+///    are rejected with `Unavailable` (back-pressure instead of pile-up).
+///  * **One shared ThreadPool.** Every admitted query runs its parallel
+///    sections (shard-parallel DPLI, the extract fan-out) as fork/join
+///    slots on the service's pool via `EngineOptions::pool`, replacing the
+///    one-pool-per-query model — thread count is a property of the server,
+///    not of the query. Queries execute on their caller's thread (or a pool
+///    worker for `Submit`), which always participates in its own sections,
+///    so a saturated pool delays queries but never deadlocks them.
+///  * **Persistent per-shard score caches.** One `ScoreCache` (lock-striped
+///    into cache shards) survives across queries via
+///    `EngineOptions::score_cache`, so repeated workloads hit warm
+///    aggregate scores instead of re-scoring (doc, clause, value) triples.
+///
+/// **Determinism contract:** for any query, `Run` returns byte-identical
+/// rows (docs, sids, values, scores) to a serial single-query
+/// `Engine::Execute`, for every (index shard count, num_shards,
+/// num_threads, max_inflight, concurrent client count) combination. The
+/// engine's parallel sections are deterministic by construction and score
+/// caching is value-preserving, so concurrency changes only scheduling,
+/// never results.
+///
+/// Thread-safety: all public methods may be called from any number of
+/// threads. The borrowed Engine must outlive the service and must not be
+/// reconfigured (set_document_store / AddOntologySet) while queries run.
+/// See examples/serve_queries.cpp for an end-to-end snippet.
+class QueryService {
+ public:
+  struct Options {
+    /// Workers in the shared pool (0 = one per hardware thread).
+    size_t num_threads = 0;
+    /// Queries executing at once; further callers wait FIFO. Min 1.
+    size_t max_inflight = 4;
+    /// Callers allowed to wait for admission; beyond this, Run/Submit fail
+    /// fast with Unavailable. Default: unbounded.
+    size_t max_queue = SIZE_MAX;
+    /// Lock stripes (shards) of the persistent score cache. 0 = pick from
+    /// the engine's index shard count (min 16).
+    size_t cache_shards = 0;
+    /// Per-query execution defaults. `pool`, `score_cache`, and
+    /// `num_threads` are overridden by the service; the rest (use_gsp,
+    /// use_index, use_descriptors, max_rows, num_shards) apply to every
+    /// query run through the service.
+    EngineOptions engine;
+  };
+
+  struct Stats {
+    uint64_t admitted = 0;   ///< Queries that entered execution.
+    uint64_t completed = 0;  ///< Queries that finished (ok or error).
+    uint64_t rejected = 0;   ///< Queries turned away (queue full).
+    uint64_t peak_inflight = 0;
+    uint64_t peak_waiting = 0;
+  };
+
+  /// `engine` is borrowed and must outlive the service. `index_shards` is
+  /// only used to size the score cache's stripes; pass
+  /// `sharded->num_shards()` when serving a sharded index.
+  QueryService(const Engine* engine, const Options& options,
+               size_t index_shards = 0);
+
+  /// Blocks for admission, executes on the calling thread (parallel
+  /// sections on the shared pool), returns the query's result. Rejects
+  /// with Unavailable when `max_queue` callers are already waiting.
+  Result<QueryResult> Run(std::string_view query_text);
+  Result<QueryResult> Run(const Query& query);
+
+  /// Asynchronous variant: the query is parsed and executed on a pool
+  /// worker (still subject to admission). Collect outstanding futures
+  /// before destroying the service.
+  std::future<Result<QueryResult>> Submit(std::string query_text);
+
+  ScoreCache& score_cache() { return *score_cache_; }
+  const ScoreCache& score_cache() const { return *score_cache_; }
+  ThreadPool& pool() { return *pool_; }
+  /// Exposed for load-shedding introspection and deterministic tests.
+  AdmissionQueue& admission() { return admission_; }
+  const AdmissionQueue& admission() const { return admission_; }
+
+  Stats stats() const;
+
+ private:
+  const Engine* engine_;
+  Options options_;
+  std::unique_ptr<ScoreCache> score_cache_;
+  AdmissionQueue admission_;
+  std::atomic<uint64_t> completed_{0};
+
+  /// Declared last: the pool's destructor drains queued Submit() tasks,
+  /// which touch every other member — they must still be alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace koko
+
+#endif  // KOKO_SERVE_QUERY_SERVICE_H_

@@ -77,6 +77,9 @@ class BinaryReader {
   Result<std::string> ReadString() {
     auto len = ReadU32();
     if (!len.ok()) return len.status();
+    // A corrupt length prefix must fail cleanly, not allocate gigabytes:
+    // never trust a count larger than the bytes left in the stream.
+    if (*len > RemainingBytes()) return Fail<std::string>();
     std::string s(*len, '\0');
     if (*len > 0 && !ReadRaw(s.data(), *len)) return Fail<std::string>();
     return s;
@@ -87,6 +90,9 @@ class BinaryReader {
     static_assert(std::is_trivially_copyable_v<T>);
     auto len = ReadU32();
     if (!len.ok()) return len.status();
+    if (static_cast<uint64_t>(*len) * sizeof(T) > RemainingBytes()) {
+      return Fail<std::vector<T>>();
+    }
     std::vector<T> v(*len);
     if (*len > 0 && !ReadRaw(v.data(), v.size() * sizeof(T))) {
       return Fail<std::vector<T>>();
@@ -99,11 +105,28 @@ class BinaryReader {
   Result<T> Fail() {
     return Status::IoError("unexpected end of stream");
   }
+
+  /// Bytes left between the cursor and end-of-stream; UINT64_MAX when the
+  /// stream is not seekable (no bound available). The end offset is cached
+  /// — the underlying image does not grow mid-load.
+  uint64_t RemainingBytes() {
+    const std::streampos cur = in_->tellg();
+    if (cur == std::streampos(-1)) return UINT64_MAX;
+    if (end_pos_ == std::streampos(-1)) {
+      in_->seekg(0, std::ios::end);
+      end_pos_ = in_->tellg();
+      in_->seekg(cur);
+      if (end_pos_ == std::streampos(-1)) return UINT64_MAX;
+    }
+    if (end_pos_ < cur) return 0;
+    return static_cast<uint64_t>(end_pos_ - cur);
+  }
   bool ReadRaw(void* data, size_t size) {
     in_->read(reinterpret_cast<char*>(data), static_cast<std::streamsize>(size));
     return in_->good() || (in_->eof() && static_cast<size_t>(in_->gcount()) == size);
   }
   std::istream* in_;
+  std::streampos end_pos_ = std::streampos(-1);
 };
 
 }  // namespace koko

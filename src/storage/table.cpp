@@ -186,8 +186,14 @@ Result<Table> Table::Deserialize(BinaryReader* reader) {
   for (size_t c = 0; c < table.schema_.size(); ++c) {
     if (table.schema_[c].type == ColumnType::kInt64) {
       KOKO_ASSIGN_OR_RETURN(table.int_cols_[c], reader->ReadVector<int64_t>());
+      if (table.int_cols_[c].size() != num_rows) {
+        return Status::ParseError("table column length mismatches row count");
+      }
     } else {
       KOKO_ASSIGN_OR_RETURN(uint32_t n, reader->ReadU32());
+      if (n != num_rows) {
+        return Status::ParseError("table column length mismatches row count");
+      }
       table.str_cols_[c].reserve(n);
       for (uint32_t i = 0; i < n; ++i) {
         KOKO_ASSIGN_OR_RETURN(std::string s, reader->ReadString());
@@ -202,6 +208,9 @@ Result<Table> Table::Deserialize(BinaryReader* reader) {
     std::vector<std::string> cols;
     for (uint32_t j = 0; j < arity; ++j) {
       KOKO_ASSIGN_OR_RETURN(uint32_t col, reader->ReadU32());
+      if (col >= table.schema_.size()) {
+        return Status::ParseError("table index references column out of range");
+      }
       cols.push_back(table.schema_[col].name);
     }
     KOKO_RETURN_IF_ERROR(table.CreateIndex(index_name, cols));

@@ -19,6 +19,7 @@ enum class StatusCode : uint8_t {
   kInternal,
   kIoError,
   kParseError,
+  kUnavailable,
 };
 
 /// \brief Result of an operation that can fail.
@@ -57,6 +58,9 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,20 +4,37 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace koko {
 
-/// \brief Fixed-size thread pool for fork/join parallel sections.
+/// \brief Fixed-size thread pool with a task queue and fork/join sections.
 ///
-/// Deliberately work-stealing-free: callers distribute work themselves
-/// (typically via an atomic cursor over a pre-ordered task list), which
-/// keeps per-worker output buffers append-only and merges deterministic.
-/// Workers park on a condition variable between dispatches, so one pool can
-/// serve many parallel sections without re-spawning threads.
+/// Two layers of API:
+///
+///  * `Submit(task)` — enqueue one fire-and-forget task (FIFO). The engine's
+///    serving layer uses this for whole-query execution.
+///  * `ParallelFor(n, fn)` / `Dispatch(fn)` — a fork/join section: `fn(slot)`
+///    runs exactly once for every slot in `[0, n)` and the call returns when
+///    all slots have finished. **Safe to call from any number of threads
+///    concurrently**: every call owns its own job state, so many queries can
+///    share one pool (the admission-queue serving model) instead of each
+///    spawning a private fork/join section. The calling thread participates
+///    in its own section, so a section always completes even when every
+///    worker is busy with other sections or with the caller's own enqueued
+///    query tasks — which also makes it safe to open a section from *inside*
+///    a Submit()-ed task without deadlock.
+///
+/// Deliberately work-stealing-free: fork/join callers distribute work
+/// themselves (typically via an atomic cursor over a pre-ordered task list),
+/// which keeps per-slot output buffers append-only and merges deterministic.
+/// Slot ids are stable task indices, not thread identities; results indexed
+/// by slot are byte-identical regardless of which thread ran which slot.
 class ThreadPool {
  public:
   /// Spawns `num_workers` threads (at least 1).
@@ -25,10 +42,12 @@ class ThreadPool {
       : num_workers_(num_workers == 0 ? 1 : num_workers) {
     workers_.reserve(num_workers_);
     for (size_t w = 0; w < num_workers_; ++w) {
-      workers_.emplace_back([this, w] { WorkerLoop(w); });
+      workers_.emplace_back([this] { WorkerLoop(); });
     }
   }
 
+  /// Drains the queue (remaining tasks run, on workers) and joins. The
+  /// caller must ensure no new Submit/ParallelFor races with destruction.
   ~ThreadPool() {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -43,38 +62,87 @@ class ThreadPool {
 
   size_t num_workers() const { return num_workers_; }
 
-  /// Runs `fn(worker_id)` once on every worker concurrently; blocks the
-  /// calling thread until all workers have returned. `fn` must be safe to
-  /// invoke from `num_workers()` threads at once.
-  void Dispatch(const std::function<void(size_t)>& fn) {
-    std::unique_lock<std::mutex> lock(mu_);
-    fn_ = &fn;
-    remaining_ = num_workers_;
-    ++generation_;
+  /// Enqueues one task. Thread-safe.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+  /// Fork/join section: runs `fn(slot)` exactly once for each slot in
+  /// `[0, num_slots)` and blocks until every slot has returned. The calling
+  /// thread executes slots alongside the workers. Thread-safe and
+  /// re-entrant; `fn` must tolerate up to `min(num_slots, num_workers + 1)`
+  /// concurrent invocations (each with a distinct slot).
+  void ParallelFor(size_t num_slots, const std::function<void(size_t)>& fn) {
+    if (num_slots == 0) return;
+    if (num_slots == 1) {
+      fn(0);
+      return;
+    }
+    auto job = std::make_shared<Job>(num_slots, &fn);
+    // Enough helpers that every idle worker can join, minus the caller's
+    // own seat. Helpers that arrive after the section drained are no-ops.
+    const size_t helpers = std::min(num_slots - 1, num_workers_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < helpers; ++i) {
+        queue_.push_back([job] { RunSlots(*job); });
+      }
+    }
     wake_.notify_all();
-    done_.wait(lock, [this] { return remaining_ == 0; });
-    fn_ = nullptr;
+    RunSlots(*job);
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done.wait(lock, [&] { return job->completed == job->num_slots; });
+  }
+
+  /// Legacy fork/join shape: one slot per worker. `fn(slot)` runs once for
+  /// every slot in `[0, num_workers())`; see ParallelFor for the contract.
+  void Dispatch(const std::function<void(size_t)>& fn) {
+    ParallelFor(num_workers_, fn);
   }
 
  private:
-  void WorkerLoop(size_t worker_id) {
-    uint64_t seen_generation = 0;
+  // One fork/join section. Helpers hold the state alive via shared_ptr;
+  // `fn` is only dereferenced for claimed slots, all of which finish before
+  // ParallelFor (and therefore the caller's `fn`) goes away.
+  struct Job {
+    Job(size_t n, const std::function<void(size_t)>* f) : num_slots(n), fn(f) {}
+    const size_t num_slots;
+    const std::function<void(size_t)>* const fn;
+    std::atomic<size_t> next_slot{0};
+    std::mutex mu;
+    std::condition_variable done;
+    size_t completed = 0;
+  };
+
+  static void RunSlots(Job& job) {
+    size_t ran = 0;
     for (;;) {
-      const std::function<void(size_t)>* fn = nullptr;
+      const size_t slot = job.next_slot.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= job.num_slots) break;
+      (*job.fn)(slot);
+      ++ran;
+    }
+    if (ran == 0) return;
+    std::lock_guard<std::mutex> lock(job.mu);
+    job.completed += ran;
+    if (job.completed == job.num_slots) job.done.notify_all();
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
       {
         std::unique_lock<std::mutex> lock(mu_);
-        wake_.wait(lock, [this, seen_generation] {
-          return shutdown_ || generation_ != seen_generation;
-        });
-        if (shutdown_) return;
-        seen_generation = generation_;
-        fn = fn_;
+        wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // shutdown with a drained queue
+        task = std::move(queue_.front());
+        queue_.pop_front();
       }
-      (*fn)(worker_id);
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (--remaining_ == 0) done_.notify_all();
-      }
+      task();
     }
   }
 
@@ -83,10 +151,7 @@ class ThreadPool {
 
   std::mutex mu_;
   std::condition_variable wake_;
-  std::condition_variable done_;
-  const std::function<void(size_t)>* fn_ = nullptr;
-  uint64_t generation_ = 0;
-  size_t remaining_ = 0;
+  std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
 };
 

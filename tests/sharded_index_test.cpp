@@ -2,12 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
+#include <thread>
 
 #include "corpus/generators.h"
 #include "index/path_lookup.h"
 #include "koko/engine.h"
 #include "nlp/pipeline.h"
+#include "util/thread_pool.h"
 
 namespace koko {
 namespace {
@@ -122,6 +125,38 @@ TEST(ShardedKokoIndexTest, ParallelBuildMatchesSequentialBuild) {
   PathQuery path = DobjPath();
   EXPECT_EQ(a->LookupParseLabelPath(path), b->LookupParseLabelPath(path));
   EXPECT_EQ(a->AllEntities(), b->AllEntities());
+}
+
+TEST(ShardedKokoIndexTest, BuildOnSharedPoolMatchesDefault) {
+  // A server rebuilding shards online passes its serving pool; the result
+  // must be identical to a build on a transient pool, even while other
+  // fork/join sections share the workers.
+  AnnotatedCorpus corpus = MomentsCorpus(80, 74);
+  ShardedKokoIndex::Options defaults;
+  defaults.num_shards = 4;
+  auto want = ShardedKokoIndex::Build(corpus, defaults);
+
+  ThreadPool pool(3);
+  std::atomic<int> noise{0};
+  std::thread competing([&] {
+    for (int i = 0; i < 20; ++i) {
+      pool.ParallelFor(8, [&](size_t) { noise.fetch_add(1); });
+    }
+  });
+  ShardedKokoIndex::Options shared;
+  shared.num_shards = 4;
+  shared.build_threads = 3;
+  shared.pool = &pool;
+  auto got = ShardedKokoIndex::Build(corpus, shared);
+  competing.join();
+
+  EXPECT_EQ(noise.load(), 20 * 8);
+  for (const char* word : {"a", "delicious", "ate"}) {
+    EXPECT_EQ(want->LookupWord(word), got->LookupWord(word)) << word;
+  }
+  PathQuery path = DobjPath();
+  EXPECT_EQ(want->LookupParseLabelPath(path), got->LookupParseLabelPath(path));
+  EXPECT_EQ(want->AllEntities(), got->AllEntities());
 }
 
 TEST(ShardedKokoIndexTest, SaveLoadRoundTrip) {

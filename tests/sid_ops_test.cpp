@@ -175,15 +175,70 @@ TEST(DeltaCodecTest, RoundTrip) {
   Rng rng(7);
   for (int round = 0; round < 20; ++round) {
     SidList list = RandomList(&rng, rng.Next() % 500, 1u << 20);
-    SidList decoded = DecodeDeltas(EncodeDeltas(list));
+    SidList decoded = *DecodeDeltas(EncodeDeltas(list));
     EXPECT_EQ(decoded.ids(), list.ids());
   }
-  EXPECT_TRUE(DecodeDeltas(EncodeDeltas(SidList())).empty());
+  EXPECT_TRUE(DecodeDeltas(EncodeDeltas(SidList()))->empty());
   // Dense lists encode to ~1 byte per sid.
   std::vector<uint32_t> dense;
   for (uint32_t i = 1000000; i < 1001000; ++i) dense.push_back(i);
   SidList dense_list = SidList::FromSorted(dense);
   EXPECT_LE(EncodeDeltas(dense_list).size(), 999u + 5u);
+}
+
+// A corrupt or truncated v2 index image must fail load cleanly rather than
+// decode to garbage sids; these are the codec-level regression cases.
+TEST(DeltaCodecTest, TruncatedStreamRejected) {
+  // A stream whose final byte still has the continuation bit set ends
+  // mid-varint.
+  EXPECT_FALSE(DecodeDeltas({0x85}).ok());
+  EXPECT_EQ(DecodeDeltas({0x85}).status().code(), StatusCode::kParseError);
+  // Every truncation of a valid stream either errors or decodes to a
+  // shorter, still-monotone prefix — never to garbage ids.
+  SidList list = SidList::FromSorted({5, 300, 70000, 70001});
+  std::vector<uint8_t> bytes = EncodeDeltas(list);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> prefix(bytes.begin(),
+                                bytes.begin() + static_cast<long>(cut));
+    auto decoded = DecodeDeltas(prefix);
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kParseError) << cut;
+      continue;
+    }
+    ASSERT_LE(decoded->size(), list.size()) << cut;
+    for (size_t i = 0; i < decoded->size(); ++i) {
+      EXPECT_EQ((*decoded)[i], list[i]) << cut;
+    }
+  }
+}
+
+TEST(DeltaCodecTest, OverlongVarintRejected) {
+  // Six continuation bytes exceed the 5-byte LEB128 maximum for uint32.
+  EXPECT_FALSE(DecodeDeltas({0xff, 0xff, 0xff, 0xff, 0xff, 0x01}).ok());
+  // Five bytes, but the last carries bits beyond 2^32.
+  EXPECT_FALSE(DecodeDeltas({0xff, 0xff, 0xff, 0xff, 0x7f}).ok());
+  // The canonical 5-byte maximum (0xffffffff) still decodes.
+  auto max_value = DecodeDeltas({0xff, 0xff, 0xff, 0xff, 0x0f});
+  ASSERT_TRUE(max_value.ok()) << max_value.status().ToString();
+  EXPECT_EQ(max_value->ids(), (std::vector<uint32_t>{0xffffffffu}));
+}
+
+TEST(DeltaCodecTest, NonMonotoneGapsRejected) {
+  // 7 followed by a zero gap encodes a duplicate id; a valid encoder never
+  // emits it, and accepting it would silently violate SidList's sorted-
+  // unique invariant.
+  EXPECT_FALSE(DecodeDeltas({0x07, 0x00}).ok());
+  // A zero *first* id is legal (sid 0 exists).
+  auto zero_first = DecodeDeltas({0x00, 0x01});
+  ASSERT_TRUE(zero_first.ok());
+  EXPECT_EQ(zero_first->ids(), (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(DeltaCodecTest, SidOverflowRejected) {
+  // 0xffffffff followed by a gap of 1 would wrap past uint32.
+  std::vector<uint8_t> bytes = EncodeDeltas(SidList::FromSorted({0xffffffffu}));
+  bytes.push_back(0x01);
+  EXPECT_FALSE(DecodeDeltas(bytes).ok());
 }
 
 }  // namespace
