@@ -2,18 +2,22 @@
 // shard count K — measures (a) ShardedKokoIndex build time (shards build in
 // parallel on the thread pool: speedup should approach min(K, cores); the
 // acceptance bar is > 1.5x at K=4 on the 4000-article corpus on multi-core
-// hardware) and (b) per-phase query time with shard-parallel DPLI +
-// parallel extraction at num_threads = num_shards = K.
+// hardware), (b) per-phase query time with shard-parallel DPLI + parallel
+// extraction at num_threads = num_shards = K, and (c) index load time —
+// serial vs shard-parallel deserialization from the v2 manifest's byte
+// extents.
 //
 // argv[1] optionally overrides the article count (default 4000) for quick
 // local runs. Emits BENCH_shard_scaleup.json.
 #include "bench_util.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 
 #include "index/sharded_index.h"
 #include "storage/doc_store.h"
+#include "util/timer.h"
 
 using namespace koko;
 
@@ -42,6 +46,45 @@ extract a:Person, b:Str from wiki.article if (
     c = a + ^ + v + ^ + b
   })
 )";
+
+// Save the index, then time serial vs shard-parallel load. Returns false
+// on any persistence failure so main can fail the (CI) run.
+bool TimeLoad(const ShardedKokoIndex& index, size_t k,
+              bench::JsonEmitter* emitter) {
+  const std::string path = "bench_shard_scaleup_index.bin";
+  if (!index.Save(path).ok()) {
+    std::printf("  save FAILED at K=%zu\n", k);
+    return false;
+  }
+  double serial_s = 0;
+  double parallel_s = 0;
+  bool ok = true;
+  for (int parallel : {0, 1}) {
+    ShardedKokoIndex::LoadOptions options;
+    options.num_threads = parallel ? 0 : 1;  // 0 = one worker per shard
+    WallTimer timer;
+    auto loaded = ShardedKokoIndex::Load(path, options);
+    const double seconds = timer.ElapsedSeconds();
+    if (!loaded.ok()) {
+      std::printf("  load FAILED at K=%zu: %s\n", k,
+                  loaded.status().ToString().c_str());
+      ok = false;
+      continue;
+    }
+    (parallel ? parallel_s : serial_s) = seconds;
+  }
+  std::remove(path.c_str());
+  if (!ok) return false;
+  const double speedup = parallel_s > 0 ? serial_s / parallel_s : 0;
+  std::printf("  load: serial=%.3fs parallel=%.3fs (speedup %.2fx)\n",
+              serial_s, parallel_s, speedup);
+  emitter->AddEntry("load/K=" + std::to_string(k),
+                    {{"shards", static_cast<double>(k)},
+                     {"load_serial_s", serial_s},
+                     {"load_parallel_s", parallel_s},
+                     {"load_speedup", speedup}});
+  return true;
+}
 
 // Returns false on query failure so main can fail the (CI) run.
 bool RunQuery(const char* name, const char* query_text,
@@ -116,6 +159,7 @@ int main(int argc, char** argv) {
                      {{"shards", static_cast<double>(k)},
                       {"build_s", build_s},
                       {"speedup_vs_1", speedup}});
+    ok &= TimeLoad(*index, k, &emitter);
     ok &= RunQuery("Chocolate", kChocolateQuery, corpus, *index, store,
                    pipeline, embeddings, k, &emitter);
     ok &= RunQuery("Title", kTitleQuery, corpus, *index, store, pipeline,

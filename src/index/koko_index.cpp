@@ -271,14 +271,17 @@ void KokoIndex::RebuildSidCaches() {
         static_cast<uint32_t>(w_->GetInt(row, kWSid)));
   }
 
+  for (auto& [word, sids] : word_sids_) sids.ShrinkToFit();
+
   // Per-trie-node sid lists: project each node's W-row list (row ids are
   // ascending, hence sid-sorted) onto the sid column once.
   for (Trie* trie : {&pl_trie_, &pos_trie_}) {
     for (TrieNode& node : trie->nodes) {
-      node.sids = SidList();
+      node.sids = BlockList();
       for (uint32_t row : node.rows) {
         node.sids.Append(static_cast<uint32_t>(w_->GetInt(row, kWSid)));
       }
+      node.sids.ShrinkToFit();
     }
   }
 
@@ -289,13 +292,15 @@ void KokoIndex::RebuildEntitySidCaches() {
   // Per-type entity buckets + sid lists. all_entities_ is in E-row order,
   // which is sid-sorted.
   for (auto& bucket : entities_by_type_) bucket.clear();
-  for (auto& sids : entity_sids_by_type_) sids = SidList();
-  all_entity_sids_ = SidList();
+  for (auto& sids : entity_sids_by_type_) sids = BlockList();
+  all_entity_sids_ = BlockList();
   for (const EntityPosting& p : all_entities_) {
     entities_by_type_[static_cast<size_t>(p.type)].push_back(p);
     entity_sids_by_type_[static_cast<size_t>(p.type)].Append(p.sid);
     all_entity_sids_.Append(p.sid);
   }
+  for (auto& sids : entity_sids_by_type_) sids.ShrinkToFit();
+  all_entity_sids_.ShrinkToFit();
 }
 
 // ---- Lookups ------------------------------------------------------------------
@@ -336,13 +341,13 @@ std::vector<EntityPosting> KokoIndex::LookupEntityText(std::string_view text) co
   return out;
 }
 
-const SidList* KokoIndex::WordSids(std::string_view token) const {
+const BlockList* KokoIndex::WordSids(std::string_view token) const {
   auto it = word_sids_.find(std::string(token));
   return it == word_sids_.end() ? nullptr : &it->second;
 }
 
 size_t KokoIndex::CountWordSids(std::string_view token) const {
-  const SidList* sids = WordSids(token);
+  const BlockList* sids = WordSids(token);
   return sids == nullptr ? 0 : sids->CountSids();
 }
 
@@ -387,18 +392,18 @@ PostingList KokoIndex::LookupPosPath(const PathQuery& path,
 
 SidList KokoIndex::PlPathSids(const PathQuery& path) const {
   std::vector<uint32_t> nodes = pl_trie_.Match(path, /*use_pos=*/false);
-  std::vector<const SidList*> lists;
+  std::vector<const BlockList*> lists;
   lists.reserve(nodes.size());
   for (uint32_t node : nodes) lists.push_back(&pl_trie_.nodes[node].sids);
-  return UnionAll(std::move(lists));
+  return UnionAllBlocks(lists);
 }
 
 SidList KokoIndex::PosPathSids(const PathQuery& path) const {
   std::vector<uint32_t> nodes = pos_trie_.Match(path, /*use_pos=*/true);
-  std::vector<const SidList*> lists;
+  std::vector<const BlockList*> lists;
   lists.reserve(nodes.size());
   for (uint32_t node : nodes) lists.push_back(&pos_trie_.nodes[node].sids);
-  return UnionAll(std::move(lists));
+  return UnionAllBlocks(lists);
 }
 
 size_t KokoIndex::CountPlPathNodes(const PathQuery& path) const {
@@ -414,7 +419,7 @@ size_t KokoIndex::MemoryUsage() const {
                  pos_trie_.MemoryUsage() +
                  all_entities_.capacity() * sizeof(EntityPosting);
   for (const auto& [word, sids] : word_sids_) {
-    bytes += word.capacity() + sids.MemoryUsage() + sizeof(SidList);
+    bytes += word.capacity() + sids.MemoryUsage() + sizeof(BlockList);
   }
   for (const auto& bucket : entities_by_type_) {
     bytes += bucket.capacity() * sizeof(EntityPosting);
@@ -424,27 +429,50 @@ size_t KokoIndex::MemoryUsage() const {
   return bytes;
 }
 
+size_t KokoIndex::SidCacheMemoryUsage() const {
+  size_t bytes = all_entity_sids_.MemoryUsage();
+  for (const auto& [word, sids] : word_sids_) bytes += sids.MemoryUsage();
+  for (const Trie* trie : {&pl_trie_, &pos_trie_}) {
+    for (const TrieNode& node : trie->nodes) bytes += node.sids.MemoryUsage();
+  }
+  for (const auto& sids : entity_sids_by_type_) bytes += sids.MemoryUsage();
+  return bytes;
+}
+
+size_t KokoIndex::SidCacheDecodedEquivalentBytes() const {
+  size_t sids = all_entity_sids_.CountSids();
+  for (const auto& [word, list] : word_sids_) sids += list.CountSids();
+  for (const Trie* trie : {&pl_trie_, &pos_trie_}) {
+    for (const TrieNode& node : trie->nodes) sids += node.sids.CountSids();
+  }
+  for (const auto& list : entity_sids_by_type_) sids += list.CountSids();
+  return sids * sizeof(uint32_t);
+}
+
 // ---- Persistence ----------------------------------------------------------------
 //
-// File layout (version 2):
+// File layout (version 3):
 //   u32 magic "KIDX" | u32 version | catalog (tables W, E, PL, POS) |
 //   word sid lists   | PL-trie node sid lists | POS-trie node sid lists
-// Every sid list is stored as (u32 count, varint-delta byte vector); the
-// delta form is strictly smaller than the raw u32 layout for any non-empty
-// list (gaps between sorted unique sids fit in 1-2 varint bytes almost
-// always). Legacy catalog-only images (magic "KOKO") still load, paying a
-// full RebuildSidCaches.
+// Every sid list is stored in its block-compressed form — u32 count, then
+// the skip-first / skip-offset / payload vectors exactly as BlockList holds
+// them in memory — so Load is three bounds-checked vector reads plus a
+// structural validation walk, never a re-encode, and the layout is
+// mmap-ready. Version-2 images (flat varint-delta lists) and legacy
+// catalog-only images (no "KIDX" magic) still load; v2 pays a re-encode
+// into blocks, legacy pays a full RebuildSidCaches.
 
 namespace {
 constexpr uint32_t kIndexMagic = 0x4b494458;  // "KIDX"
-constexpr uint32_t kIndexVersion = 2;
+constexpr uint32_t kIndexVersionBlocks = 3;
+constexpr uint32_t kIndexVersionFlatDeltas = 2;
 
-void WriteSidList(BinaryWriter* writer, const SidList& list) {
+void WriteSidListV2(BinaryWriter* writer, const SidList& list) {
   writer->WriteU32(static_cast<uint32_t>(list.size()));
   writer->WriteVector(EncodeDeltas(list));
 }
 
-Result<SidList> ReadSidList(BinaryReader* reader) {
+Result<SidList> ReadSidListV2(BinaryReader* reader) {
   KOKO_ASSIGN_OR_RETURN(uint32_t count, reader->ReadU32());
   KOKO_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, reader->ReadVector<uint8_t>());
   KOKO_ASSIGN_OR_RETURN(SidList list, DecodeDeltas(bytes));
@@ -453,14 +481,49 @@ Result<SidList> ReadSidList(BinaryReader* reader) {
   }
   return list;
 }
+
+void WriteBlockList(BinaryWriter* writer, const BlockList& list,
+                    uint32_t version) {
+  if (version == kIndexVersionFlatDeltas) {
+    WriteSidListV2(writer, list.Decode());
+    return;
+  }
+  writer->WriteU32(static_cast<uint32_t>(list.size()));
+  writer->WriteVector(list.skip_first());
+  writer->WriteVector(list.skip_offset());
+  writer->WriteVector(list.bytes());
+}
+
+Result<BlockList> ReadBlockList(BinaryReader* reader, uint32_t version) {
+  if (version == kIndexVersionFlatDeltas) {
+    KOKO_ASSIGN_OR_RETURN(SidList list, ReadSidListV2(reader));
+    return BlockList::FromSidList(list);
+  }
+  KOKO_ASSIGN_OR_RETURN(uint32_t count, reader->ReadU32());
+  KOKO_ASSIGN_OR_RETURN(std::vector<uint32_t> skip_first,
+                        reader->ReadVector<uint32_t>());
+  KOKO_ASSIGN_OR_RETURN(std::vector<uint32_t> skip_offset,
+                        reader->ReadVector<uint32_t>());
+  KOKO_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, reader->ReadVector<uint8_t>());
+  return BlockList::FromParts(count, std::move(skip_first),
+                              std::move(skip_offset), std::move(bytes));
+}
 }  // namespace
 
 Status KokoIndex::Save(BinaryWriter* writer) const {
+  return Save(writer, kIndexVersionBlocks);
+}
+
+Status KokoIndex::Save(BinaryWriter* writer, uint32_t version) const {
+  if (version != kIndexVersionBlocks && version != kIndexVersionFlatDeltas) {
+    return Status::InvalidArgument("unsupported index image version " +
+                                   std::to_string(version));
+  }
   writer->WriteU32(kIndexMagic);
-  writer->WriteU32(kIndexVersion);
+  writer->WriteU32(version);
   KOKO_RETURN_IF_ERROR(catalog_.Save(writer));
   // Word sid lists, in sorted word order for deterministic images.
-  std::vector<const std::pair<const std::string, SidList>*> words;
+  std::vector<const std::pair<const std::string, BlockList>*> words;
   words.reserve(word_sids_.size());
   for (const auto& entry : word_sids_) words.push_back(&entry);
   std::sort(words.begin(), words.end(),
@@ -468,11 +531,13 @@ Status KokoIndex::Save(BinaryWriter* writer) const {
   writer->WriteU32(static_cast<uint32_t>(words.size()));
   for (const auto* entry : words) {
     writer->WriteString(entry->first);
-    WriteSidList(writer, entry->second);
+    WriteBlockList(writer, entry->second, version);
   }
   for (const Trie* trie : {&pl_trie_, &pos_trie_}) {
     writer->WriteU32(static_cast<uint32_t>(trie->nodes.size()));
-    for (const TrieNode& node : trie->nodes) WriteSidList(writer, node.sids);
+    for (const TrieNode& node : trie->nodes) {
+      WriteBlockList(writer, node.sids, version);
+    }
   }
   if (!writer->ok()) return Status::IoError("index write failure");
   return Status::OK();
@@ -574,20 +639,23 @@ Result<std::unique_ptr<KokoIndex>> KokoIndex::Load(BinaryReader* reader) {
   KOKO_ASSIGN_OR_RETURN(uint32_t magic, reader->ReadU32());
   if (magic != kIndexMagic) return Status::ParseError("bad index magic");
   KOKO_ASSIGN_OR_RETURN(uint32_t version, reader->ReadU32());
-  if (version != kIndexVersion) {
+  if (version != kIndexVersionBlocks && version != kIndexVersionFlatDeltas) {
     return Status::ParseError("unsupported index version " +
                               std::to_string(version));
   }
   auto index = std::unique_ptr<KokoIndex>(new KokoIndex());
   KOKO_RETURN_IF_ERROR(index->catalog_.Load(reader));
   KOKO_RETURN_IF_ERROR(index->InitFromCatalog());
-  // Restore the delta-encoded sid caches instead of re-projecting W.
+  // Restore the compressed sid caches instead of re-projecting W. A v3
+  // image holds the exact in-memory block layout (validated structurally
+  // by BlockList::FromParts); a v2 image holds flat delta streams that are
+  // re-encoded into blocks as they are read.
   KOKO_ASSIGN_OR_RETURN(uint32_t num_words, reader->ReadU32());
   index->word_sids_.clear();
   index->word_sids_.reserve(num_words);
   for (uint32_t i = 0; i < num_words; ++i) {
     KOKO_ASSIGN_OR_RETURN(std::string word, reader->ReadString());
-    KOKO_ASSIGN_OR_RETURN(SidList sids, ReadSidList(reader));
+    KOKO_ASSIGN_OR_RETURN(BlockList sids, ReadBlockList(reader, version));
     index->word_sids_.emplace(std::move(word), std::move(sids));
   }
   for (Trie* trie : {&index->pl_trie_, &index->pos_trie_}) {
@@ -596,7 +664,7 @@ Result<std::unique_ptr<KokoIndex>> KokoIndex::Load(BinaryReader* reader) {
       return Status::ParseError("trie sid-cache section has wrong node count");
     }
     for (TrieNode& node : trie->nodes) {
-      KOKO_ASSIGN_OR_RETURN(node.sids, ReadSidList(reader));
+      KOKO_ASSIGN_OR_RETURN(node.sids, ReadBlockList(reader, version));
     }
   }
   index->RebuildEntitySidCaches();

@@ -99,19 +99,22 @@ class KokoIndex {
   // Sorted, deduplicated sentence-id lists precomputed at Build/Load time:
   // one per word, per entity type, and per hierarchy-trie node. DPLI's
   // candidate pruning intersects these directly instead of materialising
-  // Quintuple postings and projecting out sids per query.
+  // Quintuple postings and projecting out sids per query. The lists stay
+  // resident in their block-compressed form (`BlockList`: fixed-size
+  // varint-delta blocks + skip table) and are intersected in place —
+  // they are never decoded wholesale.
 
-  /// Sid list of a surface token; nullptr when the word is absent.
-  const SidList* WordSids(std::string_view token) const;
+  /// Block-compressed sid list of a surface token; nullptr when absent.
+  const BlockList* WordSids(std::string_view token) const;
 
   /// Number of sentences containing `token` without materialising anything.
   size_t CountWordSids(std::string_view token) const;
 
   /// Sids of all sentences with at least one entity (any type).
-  const SidList& AllEntitySids() const { return all_entity_sids_; }
+  const BlockList& AllEntitySids() const { return all_entity_sids_; }
 
   /// Sids of all sentences with at least one entity of `type`.
-  const SidList& EntityTypeSids(EntityType type) const {
+  const BlockList& EntityTypeSids(EntityType type) const {
     return entity_sids_by_type_[static_cast<size_t>(type)];
   }
 
@@ -155,18 +158,33 @@ class KokoIndex {
   /// Heap footprint of everything: tables, B-trees, tries, entity cache.
   size_t MemoryUsage() const;
 
+  /// Heap footprint of just the columnar sid projections (per-word,
+  /// per-trie-node, per-entity-type) — the block-compressed posting
+  /// working set whose size BENCH_table2_scaleup.json tracks.
+  size_t SidCacheMemoryUsage() const;
+
+  /// What the same projections would occupy fully decoded (4 bytes/sid,
+  /// the pre-block representation's floor) — the compression baseline
+  /// reported next to SidCacheMemoryUsage.
+  size_t SidCacheDecodedEquivalentBytes() const;
+
   /// Storage-level view (tables W, E, PL, POS) for tests and tooling.
   const Catalog& catalog() const { return catalog_; }
 
   /// Persists the index: the relational catalog followed by the columnar
-  /// sid caches (per-word and per-trie-node SidLists) stored varint-delta
-  /// encoded (EncodeDeltas), so Load restores them directly instead of
-  /// re-projecting the W table.
+  /// sid caches in their block-compressed form (v3: per-list skip table +
+  /// delta-block payload, byte-identical to the in-memory layout), so Load
+  /// restores them with bounds-checked vector reads instead of
+  /// re-projecting the W table or re-encoding.
   Status Save(const std::string& path) const;
   static Result<std::unique_ptr<KokoIndex>> Load(const std::string& path);
 
   /// Stream-based variants (one shard's section of a ShardedKokoIndex file).
+  /// `version` selects the image format: 3 (current, block layout) or 2
+  /// (flat varint-delta lists) — writing v2 exists for legacy-load tests;
+  /// the no-version overload writes the current format.
   Status Save(BinaryWriter* writer) const;
+  Status Save(BinaryWriter* writer, uint32_t version) const;
   static Result<std::unique_ptr<KokoIndex>> Load(BinaryReader* reader);
 
   /// True when the last Load restored the word/trie sid caches from their
@@ -181,7 +199,7 @@ class KokoIndex {
     uint32_t depth = 0;
     std::vector<std::pair<Symbol, uint32_t>> children;  // sorted by label
     std::vector<uint32_t> rows;                         // row ids into W
-    SidList sids;  // sorted unique sids of `rows` (columnar projection)
+    BlockList sids;  // block-compressed sorted unique sids of `rows`
   };
   struct Trie {
     std::vector<TrieNode> nodes;  // nodes[0] = dummy root above all trees
@@ -225,9 +243,9 @@ class KokoIndex {
   Trie pos_trie_;
   std::vector<EntityPosting> all_entities_;
   std::array<std::vector<EntityPosting>, kNumEntityTypes> entities_by_type_;
-  std::unordered_map<std::string, SidList> word_sids_;
-  std::array<SidList, kNumEntityTypes> entity_sids_by_type_;
-  SidList all_entity_sids_;
+  std::unordered_map<std::string, BlockList> word_sids_;
+  std::array<BlockList, kNumEntityTypes> entity_sids_by_type_;
+  BlockList all_entity_sids_;
   Stats stats_;
   bool sid_caches_from_disk_ = false;
 };

@@ -238,7 +238,8 @@ PathSidLookupResult KokoPathSidLookup(const KokoIndex& index,
   // materialised; otherwise it becomes the sid filter that prunes every
   // posting list before the §4.2.2 joins.
   std::vector<SidList> owned;
-  std::vector<const SidList*> projections;
+  owned.reserve(2);
+  std::vector<SidSetView> projections;
   if (has_pl) {
     owned.push_back(index.PlPathSids(ProjectParseLabelPath(path)));
   }
@@ -247,12 +248,14 @@ PathSidLookupResult KokoPathSidLookup(const KokoIndex& index,
   }
   for (const PathStep& step : path.steps) {
     if (!step.constraint.word) continue;
-    const SidList* word_sids = index.WordSids(*step.constraint.word);
+    // Per-word projections stay block compressed; the semi-join
+    // intersects them in place alongside the decoded path projections.
+    const BlockList* word_sids = index.WordSids(*step.constraint.word);
     if (word_sids == nullptr) return result;  // word absent -> empty answer
     projections.push_back(word_sids);
   }
   for (const SidList& list : owned) projections.push_back(&list);
-  SidList semi = IntersectAll(std::move(projections));
+  SidList semi = IntersectAllViews(std::move(projections));
   if (semi.empty()) return result;
   PathLookupResult full = KokoPathLookup(index, path, &semi);
   result.unconstrained = full.unconstrained;

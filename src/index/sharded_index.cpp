@@ -13,8 +13,13 @@ namespace koko {
 
 namespace {
 
+// Manifest v2 records each shard image's byte length next to its sid
+// range, so Load can hand every shard a private reader positioned at its
+// extent and deserialize the shards in parallel. v1 manifests (no extents)
+// still load, sequentially.
 constexpr uint32_t kShardedMagic = 0x4b534844;  // "KSHD"
-constexpr uint32_t kShardedVersion = 1;
+constexpr uint32_t kShardedVersion = 2;
+constexpr uint32_t kShardedVersionNoExtents = 1;
 
 std::vector<ShardedKokoIndex::ShardRange> MakeRanges(
     const ShardedKokoIndex::Options& options, uint32_t num_sentences) {
@@ -125,9 +130,10 @@ std::vector<EntityPosting> ShardedKokoIndex::EntitiesOfType(
 namespace {
 
 // Concatenates per-shard sid lists (disjoint ascending ranges) in order.
-// The materialising variant takes per-shard lists by value (for lookups
-// that compute them); the pointer variant reads precomputed lists in
-// place (nullptr = shard has none), copying each element exactly once.
+// The materialising variant takes decoded per-shard lists by value (for
+// lookups that compute them); the block variant decodes each shard's
+// block-compressed projection straight into the output (nullptr = shard
+// has none).
 template <typename PerShard>
 SidList ConcatSids(size_t num_shards, const PerShard& per_shard) {
   std::vector<uint32_t> ids;
@@ -139,11 +145,22 @@ SidList ConcatSids(size_t num_shards, const PerShard& per_shard) {
 }
 
 template <typename PerShard>
-SidList ConcatSidPtrs(size_t num_shards, const PerShard& per_shard) {
-  std::vector<uint32_t> ids;
+SidList ConcatBlockSids(size_t num_shards, const PerShard& per_shard) {
+  size_t total = 0;
   for (size_t i = 0; i < num_shards; ++i) {
-    const SidList* part = per_shard(i);
-    if (part != nullptr) ids.insert(ids.end(), part->begin(), part->end());
+    const BlockList* part = per_shard(i);
+    if (part != nullptr) total += part->size();
+  }
+  std::vector<uint32_t> ids;
+  ids.reserve(total);
+  uint32_t buf[BlockList::kBlockSids];
+  for (size_t i = 0; i < num_shards; ++i) {
+    const BlockList* part = per_shard(i);
+    if (part == nullptr) continue;
+    for (size_t b = 0; b < part->NumBlocks(); ++b) {
+      const size_t n = part->DecodeBlock(b, buf);
+      ids.insert(ids.end(), buf, buf + n);
+    }
   }
   return SidList::FromSorted(std::move(ids));
 }
@@ -151,8 +168,8 @@ SidList ConcatSidPtrs(size_t num_shards, const PerShard& per_shard) {
 }  // namespace
 
 SidList ShardedKokoIndex::WordSids(std::string_view token) const {
-  return ConcatSidPtrs(shards_.size(),
-                       [&](size_t i) { return shards_[i]->WordSids(token); });
+  return ConcatBlockSids(shards_.size(),
+                         [&](size_t i) { return shards_[i]->WordSids(token); });
 }
 
 size_t ShardedKokoIndex::CountWordSids(std::string_view token) const {
@@ -162,12 +179,12 @@ size_t ShardedKokoIndex::CountWordSids(std::string_view token) const {
 }
 
 SidList ShardedKokoIndex::AllEntitySids() const {
-  return ConcatSidPtrs(shards_.size(),
-                       [&](size_t i) { return &shards_[i]->AllEntitySids(); });
+  return ConcatBlockSids(shards_.size(),
+                         [&](size_t i) { return &shards_[i]->AllEntitySids(); });
 }
 
 SidList ShardedKokoIndex::EntityTypeSids(EntityType type) const {
-  return ConcatSidPtrs(
+  return ConcatBlockSids(
       shards_.size(), [&](size_t i) { return &shards_[i]->EntityTypeSids(type); });
 }
 
@@ -240,31 +257,51 @@ Status ShardedKokoIndex::Save(const std::string& path) const {
   writer.WriteU32(kShardedMagic);
   writer.WriteU32(kShardedVersion);
   writer.WriteU32(static_cast<uint32_t>(shards_.size()));
-  for (const ShardRange& range : ranges_) {
-    writer.WriteU32(range.begin);
-    writer.WriteU32(range.end);
+  // The manifest (ranges + byte extents) precedes all images so Load can
+  // fan out without a second pass over the file. Extents are written as
+  // placeholders, the images streamed straight to disk (never buffered in
+  // memory), then backpatched from the recorded stream positions.
+  std::vector<std::streampos> extent_at(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    writer.WriteU32(ranges_[i].begin);
+    writer.WriteU32(ranges_[i].end);
+    extent_at[i] = out.tellp();
+    writer.WriteU64(0);
   }
-  for (const auto& shard : shards_) {
-    KOKO_RETURN_IF_ERROR(shard->Save(&writer));
+  std::vector<uint64_t> extents(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const std::streampos begin = out.tellp();
+    KOKO_RETURN_IF_ERROR(shards_[i]->Save(&writer));
+    const std::streampos end = out.tellp();
+    if (begin == std::streampos(-1) || end == std::streampos(-1)) {
+      return Status::IoError("cannot track shard extents on " + path);
+    }
+    extents[i] = static_cast<uint64_t>(end - begin);
   }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    out.seekp(extent_at[i]);
+    writer.WriteU64(extents[i]);
+  }
+  out.seekp(0, std::ios::end);
   if (!writer.ok()) return Status::IoError("write failure on " + path);
   return Status::OK();
 }
 
 Result<std::unique_ptr<ShardedKokoIndex>> ShardedKokoIndex::Load(
-    const std::string& path) {
+    const std::string& path, const LoadOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   BinaryReader reader(&in);
   KOKO_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
   if (magic != kShardedMagic) return Status::ParseError("bad shard manifest magic");
   KOKO_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
-  if (version != kShardedVersion) {
+  if (version != kShardedVersion && version != kShardedVersionNoExtents) {
     return Status::ParseError("unsupported shard manifest version " +
                               std::to_string(version));
   }
   KOKO_ASSIGN_OR_RETURN(uint32_t k, reader.ReadU32());
   auto index = std::unique_ptr<ShardedKokoIndex>(new ShardedKokoIndex());
+  std::vector<uint64_t> extents;
   for (uint32_t i = 0; i < k; ++i) {
     KOKO_ASSIGN_OR_RETURN(uint32_t begin, reader.ReadU32());
     KOKO_ASSIGN_OR_RETURN(uint32_t end, reader.ReadU32());
@@ -272,11 +309,76 @@ Result<std::unique_ptr<ShardedKokoIndex>> ShardedKokoIndex::Load(
       return Status::ParseError("shard manifest ranges not contiguous");
     }
     index->ranges_.push_back({begin, end});
+    if (version == kShardedVersion) {
+      KOKO_ASSIGN_OR_RETURN(uint64_t extent, reader.ReadU64());
+      extents.push_back(extent);
+    }
+  }
+  index->shards_.resize(k);
+
+  if (version == kShardedVersionNoExtents) {
+    // Legacy manifest: no extents, images must be consumed in order.
+    for (uint32_t i = 0; i < k; ++i) {
+      KOKO_ASSIGN_OR_RETURN(std::unique_ptr<KokoIndex> shard,
+                            KokoIndex::Load(&reader));
+      index->shards_[i] = std::move(shard);
+    }
+    return index;
+  }
+
+  // Absolute offset of each shard image, bounds-checked against the file.
+  const std::streampos images_begin = in.tellg();
+  if (images_begin == std::streampos(-1)) {
+    return Status::IoError("cannot locate shard image section");
+  }
+  in.seekg(0, std::ios::end);
+  const std::streampos file_end = in.tellg();
+  std::vector<uint64_t> offsets(k);
+  uint64_t cursor = static_cast<uint64_t>(images_begin);
+  for (uint32_t i = 0; i < k; ++i) {
+    offsets[i] = cursor;
+    if (extents[i] > static_cast<uint64_t>(file_end) - cursor) {
+      return Status::ParseError("shard extent past end of file");
+    }
+    cursor += extents[i];
+  }
+
+  // Shards deserialize independently: each worker opens its own stream,
+  // seeks to its extent, and fills its slot. Results are position-
+  // independent, so the loaded index is identical for any worker count.
+  const size_t workers = std::min<size_t>(
+      options.num_threads == 0 ? k : options.num_threads, k);
+  std::atomic<size_t> next{0};
+  std::vector<Status> statuses(k, Status::OK());
+  auto load_shards = [&](size_t) {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= k) return;
+      std::ifstream shard_in(path, std::ios::binary);
+      if (!shard_in) {
+        statuses[i] = Status::IoError("cannot reopen " + path);
+        continue;
+      }
+      shard_in.seekg(static_cast<std::streamoff>(offsets[i]));
+      BinaryReader shard_reader(&shard_in);
+      auto shard = KokoIndex::Load(&shard_reader);
+      if (!shard.ok()) {
+        statuses[i] = shard.status();
+        continue;
+      }
+      index->shards_[i] = std::move(*shard);
+    }
+  };
+  if (workers <= 1) {
+    load_shards(0);
+  } else if (options.pool != nullptr) {
+    options.pool->ParallelFor(workers, load_shards);
+  } else {
+    ThreadPool pool(workers);
+    pool.Dispatch(load_shards);
   }
   for (uint32_t i = 0; i < k; ++i) {
-    KOKO_ASSIGN_OR_RETURN(std::unique_ptr<KokoIndex> shard,
-                          KokoIndex::Load(&reader));
-    index->shards_.push_back(std::move(shard));
+    if (!statuses[i].ok()) return statuses[i];
   }
   return index;
 }

@@ -76,6 +76,9 @@ class ShardedKokoIndex {
   std::vector<EntityPosting> AllEntities() const;
   std::vector<EntityPosting> EntitiesOfType(EntityType type) const;
 
+  /// Aggregated sid projections. Per-shard lists are stored block
+  /// compressed; aggregation decodes and concatenates them (shard ranges
+  /// are disjoint ascending), so these return decoded lists by value.
   SidList WordSids(std::string_view token) const;
   size_t CountWordSids(std::string_view token) const;
   SidList AllEntitySids() const;
@@ -95,10 +98,28 @@ class ShardedKokoIndex {
   KokoIndex::Stats stats() const;
   size_t MemoryUsage() const;
 
-  /// One file: shard manifest (count + sid ranges) followed by each
-  /// shard's full KokoIndex image (delta-compressed sid caches included).
+  /// One file: shard manifest (count + sid ranges + per-shard image byte
+  /// lengths) followed by each shard's full KokoIndex image (block-
+  /// compressed sid caches included). The byte extents let Load hand each
+  /// shard's section to an independent reader.
   Status Save(const std::string& path) const;
-  static Result<std::unique_ptr<ShardedKokoIndex>> Load(const std::string& path);
+
+  struct LoadOptions {
+    /// Workers for the parallel shard load; 0 = one per shard, 1 = serial.
+    size_t num_threads = 0;
+    /// Shared pool to run the load on (borrowed; must outlive the call).
+    /// nullptr spawns a transient pool when num_threads/shard count > 1.
+    ThreadPool* pool = nullptr;
+  };
+
+  /// Deserializes the shards in parallel (each worker opens its own file
+  /// handle and seeks to its shard's extent from the manifest). Legacy v1
+  /// manifests carry no extents and load sequentially.
+  static Result<std::unique_ptr<ShardedKokoIndex>> Load(const std::string& path) {
+    return Load(path, LoadOptions());
+  }
+  static Result<std::unique_ptr<ShardedKokoIndex>> Load(
+      const std::string& path, const LoadOptions& options);
 
  private:
   ShardedKokoIndex() = default;

@@ -156,20 +156,401 @@ SidList Difference(const SidList& a, const SidList& b) {
   return SidList::FromSorted(std::move(out));
 }
 
+// ---- BlockList --------------------------------------------------------------
+
+namespace {
+
+void AppendVarint(std::vector<uint8_t>* out, uint32_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+}  // namespace
+
+void BlockList::Append(uint32_t sid) {
+  if (size_ > 0) {
+    assert(sid >= last_);
+    if (sid == last_) return;
+  }
+  if (size_ % kBlockSids == 0) {
+    // New block: the first sid lives in the skip table, not the payload.
+    skip_first_.push_back(sid);
+    skip_offset_.push_back(static_cast<uint32_t>(bytes_.size()));
+  } else {
+    AppendVarint(&bytes_, sid - last_);
+  }
+  last_ = sid;
+  ++size_;
+}
+
+BlockList BlockList::FromSidList(const SidList& list) {
+  BlockList out;
+  for (uint32_t sid : list) out.Append(sid);
+  out.ShrinkToFit();
+  return out;
+}
+
+void BlockList::ShrinkToFit() {
+  bytes_.shrink_to_fit();
+  skip_first_.shrink_to_fit();
+  skip_offset_.shrink_to_fit();
+}
+
+size_t BlockList::DecodeBlock(size_t b, uint32_t* out) const {
+  const size_t count = BlockSize(b);
+  uint32_t sid = skip_first_[b];
+  out[0] = sid;
+  const uint8_t* p = bytes_.data() + skip_offset_[b];
+  for (size_t i = 1; i < count; ++i) {
+    uint32_t gap = 0;
+    int shift = 0;
+    uint8_t byte;
+    do {
+      byte = *p++;
+      gap |= static_cast<uint32_t>(byte & 0x7f) << shift;
+      shift += 7;
+    } while (byte & 0x80);
+    sid += gap;
+    out[i] = sid;
+  }
+  return count;
+}
+
+SidList BlockList::Decode() const {
+  std::vector<uint32_t> ids;
+  ids.reserve(size_);
+  uint32_t buf[kBlockSids];
+  for (size_t b = 0; b < NumBlocks(); ++b) {
+    const size_t n = DecodeBlock(b, buf);
+    ids.insert(ids.end(), buf, buf + n);
+  }
+  return SidList::FromSorted(std::move(ids));
+}
+
+bool BlockList::Contains(uint32_t sid) const {
+  if (empty()) return false;
+  auto it = std::upper_bound(skip_first_.begin(), skip_first_.end(), sid);
+  if (it == skip_first_.begin()) return false;
+  const size_t b = static_cast<size_t>(it - skip_first_.begin()) - 1;
+  uint32_t buf[kBlockSids];
+  const size_t n = DecodeBlock(b, buf);
+  return std::binary_search(buf, buf + n, sid);
+}
+
+Result<BlockList> BlockList::FromParts(uint32_t count,
+                                       std::vector<uint32_t> skip_first,
+                                       std::vector<uint32_t> skip_offset,
+                                       std::vector<uint8_t> bytes) {
+  const size_t nb = skip_first.size();
+  if (skip_offset.size() != nb) {
+    return Status::ParseError("block list: skip table arrays disagree");
+  }
+  const size_t expected_blocks =
+      (static_cast<size_t>(count) + kBlockSids - 1) / kBlockSids;
+  if (nb != expected_blocks) {
+    return Status::ParseError("block list: wrong block count for sid count");
+  }
+  if (count == 0) {
+    if (!bytes.empty()) {
+      return Status::ParseError("block list: empty list with payload bytes");
+    }
+    return BlockList();
+  }
+  if (skip_offset[0] != 0) {
+    return Status::ParseError("block list: first block offset not zero");
+  }
+  uint32_t prev_last = 0;  // last sid of the previous block
+  for (size_t b = 0; b < nb; ++b) {
+    if (b > 0 && skip_first[b] <= prev_last) {
+      return Status::ParseError("block list: non-monotone sids across blocks");
+    }
+    const size_t begin = skip_offset[b];
+    const size_t end = b + 1 < nb ? skip_offset[b + 1] : bytes.size();
+    if (begin > end || end > bytes.size()) {
+      return Status::ParseError("block list: skip offsets out of bounds");
+    }
+    // Walk the payload: the block must hold exactly its sid count in
+    // wellformed, nonzero, non-overflowing gaps and end on its boundary.
+    const size_t in_block =
+        b + 1 < nb ? kBlockSids : static_cast<size_t>(count) - b * kBlockSids;
+    uint64_t sid = skip_first[b];
+    size_t at = begin;
+    for (size_t i = 1; i < in_block; ++i) {
+      uint32_t gap = 0;
+      int shift = 0;
+      for (;;) {
+        if (at >= end) {
+          return Status::ParseError("block list: truncated varint");
+        }
+        const uint8_t byte = bytes[at++];
+        if (shift >= 32 || (shift == 28 && (byte & 0x7f) > 0x0f)) {
+          return Status::ParseError("block list: overlong varint");
+        }
+        gap |= static_cast<uint32_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) break;
+        shift += 7;
+      }
+      if (gap == 0) {
+        return Status::ParseError("block list: zero gap (non-monotone ids)");
+      }
+      sid += gap;
+      if (sid > std::numeric_limits<uint32_t>::max()) {
+        return Status::ParseError("block list: sid overflows uint32");
+      }
+    }
+    if (at != end) {
+      return Status::ParseError("block list: block payload has trailing bytes");
+    }
+    prev_last = static_cast<uint32_t>(sid);
+  }
+  BlockList out;
+  out.size_ = count;
+  out.last_ = prev_last;
+  out.skip_first_ = std::move(skip_first);
+  out.skip_offset_ = std::move(skip_offset);
+  out.bytes_ = std::move(bytes);
+  return out;
+}
+
+// ---- In-place compressed intersection ---------------------------------------
+
+namespace {
+
+// Monotone cursor over a BlockList, fed ascending keys: gallops the skip
+// table to the candidate block, decodes at most that one block into a stack
+// buffer, then gallops within it. Each block is decoded at most once per
+// pass, and blocks the keys skip over are never decoded at all.
+class BlockCursor {
+ public:
+  explicit BlockCursor(const BlockList& list) : list_(list) {}
+
+  /// True iff `key` is in the list. Keys must be *strictly* increasing
+  /// across calls: a match advances the cursor past the matched sid, so
+  /// repeating a key would miss it.
+  bool AdvanceTo(uint32_t key) {
+    const std::vector<uint32_t>& firsts = list_.skip_first();
+    const size_t nb = firsts.size();
+    if (nb == 0 || key < firsts[0]) return false;
+    // Candidate block: the last one whose first sid is <= key, i.e. just
+    // before the first block whose first sid exceeds key.
+    size_t candidate;
+    if (key == std::numeric_limits<uint32_t>::max()) {
+      candidate = nb - 1;
+    } else {
+      candidate = GallopTo(firsts.data(), nb, block_, key + 1) - 1;
+    }
+    if (candidate != block_ || !decoded_) {
+      block_ = candidate;
+      count_ = list_.DecodeBlock(block_, buf_);
+      pos_ = 0;
+      decoded_ = true;
+    }
+    pos_ = GallopTo(buf_, count_, pos_, key);
+    if (pos_ < count_ && buf_[pos_] == key) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// True once the cursor has moved past the final sid: every later key
+  /// misses, so drivers may stop early.
+  bool AtEnd() const {
+    return decoded_ && block_ + 1 == list_.NumBlocks() && pos_ >= count_;
+  }
+
+ private:
+  const BlockList& list_;
+  size_t block_ = 0;
+  bool decoded_ = false;
+  uint32_t buf_[BlockList::kBlockSids];
+  size_t count_ = 0;
+  size_t pos_ = 0;
+};
+
+// Linear two-pointer merge between a decoded list and a block list,
+// decoding one block at a time into a stack buffer. A block whose entire
+// sid range lies below the decoded cursor (its successor's first sid
+// bounds it from above) is skipped without decoding.
+void IntersectMergeBlocks(const SidList& a, const BlockList& b,
+                          std::vector<uint32_t>* out) {
+  const uint32_t* xs = a.data();
+  const size_t na = a.size();
+  const std::vector<uint32_t>& firsts = b.skip_first();
+  uint32_t buf[BlockList::kBlockSids];
+  size_t i = 0;
+  for (size_t blk = 0; blk < b.NumBlocks() && i < na; ++blk) {
+    if (blk + 1 < b.NumBlocks() && firsts[blk + 1] <= xs[i]) continue;
+    const size_t n = b.DecodeBlock(blk, buf);
+    size_t j = 0;
+    while (i < na && j < n) {
+      const uint32_t x = xs[i], y = buf[j];
+      if (x < y) {
+        ++i;
+      } else if (y < x) {
+        ++j;
+      } else {
+        out->push_back(x);
+        ++i;
+        ++j;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SidList Intersect(const SidList& a, const BlockList& b) {
+  if (a.empty() || b.empty()) return SidList();
+  const size_t small = std::min(a.size(), b.size());
+  const size_t large = std::max(a.size(), b.size());
+  std::vector<uint32_t> out;
+  out.reserve(small);
+  if (large / small < kGallopSkewRatio) {
+    // Comparable sizes: blockwise linear merge (same adaptive policy as
+    // the decoded Intersect).
+    IntersectMergeBlocks(a, b, &out);
+  } else if (a.size() <= b.size()) {
+    // Walk the decoded side, gallop blockwise in the compressed one.
+    BlockCursor cursor(b);
+    for (uint32_t key : a) {
+      if (cursor.AdvanceTo(key)) out.push_back(key);
+      if (cursor.AtEnd()) break;
+    }
+  } else {
+    // The compressed side is smaller: decode it block by block and gallop
+    // each decoded run through the larger decoded list.
+    uint32_t buf[BlockList::kBlockSids];
+    const uint32_t* xs = a.data();
+    const size_t n = a.size();
+    size_t j = 0;
+    for (size_t blk = 0; blk < b.NumBlocks() && j < n; ++blk) {
+      const size_t count = b.DecodeBlock(blk, buf);
+      for (size_t i = 0; i < count; ++i) {
+        j = GallopTo(xs, n, j, buf[i]);
+        if (j == n) break;
+        if (xs[j] == buf[i]) {
+          out.push_back(buf[i]);
+          ++j;
+        }
+      }
+    }
+  }
+  return SidList::FromSorted(std::move(out));
+}
+
+SidList Intersect(const BlockList& a, const SidList& b) { return Intersect(b, a); }
+
+SidList Intersect(const BlockList& a, const BlockList& b) {
+  if (a.empty() || b.empty()) return SidList();
+  const BlockList& small = a.size() <= b.size() ? a : b;
+  const BlockList& large = a.size() <= b.size() ? b : a;
+  std::vector<uint32_t> out;
+  out.reserve(small.size());
+  uint32_t buf[BlockList::kBlockSids];
+  if (large.size() / small.size() < kGallopSkewRatio) {
+    // Comparable sizes: stream both block sequences through one merge,
+    // decoding each block at most once. A block of `large` wholly below
+    // the small side's cursor is skipped via the skip table, undecoded.
+    const std::vector<uint32_t>& firsts = large.skip_first();
+    uint32_t lbuf[BlockList::kBlockSids];
+    size_t lblk = 0;
+    size_t ln = 0;  // decoded size of lbuf; 0 = not decoded yet
+    size_t j = 0;
+    for (size_t blk = 0; blk < small.NumBlocks(); ++blk) {
+      const size_t count = small.DecodeBlock(blk, buf);
+      size_t i = 0;
+      while (i < count) {
+        if (j == ln) {
+          if (ln != 0) ++lblk;  // current large block exhausted
+          while (lblk + 1 < large.NumBlocks() && firsts[lblk + 1] <= buf[i]) {
+            ++lblk;
+          }
+          if (lblk >= large.NumBlocks()) break;
+          ln = large.DecodeBlock(lblk, lbuf);
+          j = 0;
+        }
+        const uint32_t x = buf[i], y = lbuf[j];
+        if (x < y) {
+          ++i;
+        } else if (y < x) {
+          ++j;
+        } else {
+          out.push_back(x);
+          ++i;
+          ++j;
+        }
+      }
+      if (lblk >= large.NumBlocks()) break;
+    }
+  } else {
+    BlockCursor cursor(large);
+    for (size_t blk = 0; blk < small.NumBlocks() && !cursor.AtEnd(); ++blk) {
+      const size_t count = small.DecodeBlock(blk, buf);
+      for (size_t i = 0; i < count; ++i) {
+        if (cursor.AdvanceTo(buf[i])) out.push_back(buf[i]);
+        if (cursor.AtEnd()) break;
+      }
+    }
+  }
+  return SidList::FromSorted(std::move(out));
+}
+
+SidList IntersectAllViews(std::vector<SidSetView> views) {
+  if (views.empty()) return SidList();
+  std::sort(views.begin(), views.end(),
+            [](const SidSetView& x, const SidSetView& y) {
+              return x.size() < y.size();
+            });
+  if (views[0].empty()) return SidList();
+  // Seed the accumulator from the smallest view(s) without a wholesale
+  // decode where possible: two compressed views seed via the in-place
+  // block-x-block kernel (bounding the decoded accumulator by their
+  // intersection), a single compressed view only decodes when it is the
+  // sole input. Every later pass intersects against the views' native
+  // forms.
+  SidList current;
+  size_t next = 1;
+  if (views[0].list() != nullptr) {
+    current = *views[0].list();
+  } else if (views.size() == 1) {
+    current = views[0].blocks()->Decode();
+  } else if (views[1].list() != nullptr) {
+    current = Intersect(*views[1].list(), *views[0].blocks());
+    next = 2;
+  } else {
+    current = Intersect(*views[0].blocks(), *views[1].blocks());
+    next = 2;
+  }
+  for (size_t i = next; i < views.size() && !current.empty(); ++i) {
+    current = views[i].list() != nullptr ? Intersect(current, *views[i].list())
+                                         : Intersect(current, *views[i].blocks());
+  }
+  return current;
+}
+
+SidList UnionAllBlocks(const std::vector<const BlockList*>& lists) {
+  std::vector<SidList> decoded;
+  decoded.reserve(lists.size());
+  for (const BlockList* list : lists) decoded.push_back(list->Decode());
+  std::vector<const SidList*> ptrs;
+  ptrs.reserve(decoded.size());
+  for (const SidList& list : decoded) ptrs.push_back(&list);
+  return UnionAll(std::move(ptrs));
+}
+
 std::vector<uint8_t> EncodeDeltas(const SidList& list) {
   std::vector<uint8_t> out;
   out.reserve(list.size());
   uint32_t prev = 0;
   bool first = true;
   for (uint32_t sid : list) {
-    uint32_t value = first ? sid : sid - prev;
+    AppendVarint(&out, first ? sid : sid - prev);
     first = false;
     prev = sid;
-    while (value >= 0x80) {
-      out.push_back(static_cast<uint8_t>(value | 0x80));
-      value >>= 7;
-    }
-    out.push_back(static_cast<uint8_t>(value));
   }
   return out;
 }

@@ -98,11 +98,151 @@ SidList UnionAll(std::vector<const SidList*> lists);
 /// `b` when it is much larger.
 SidList Difference(const SidList& a, const SidList& b);
 
+// ---- Block-compressed posting lists -----------------------------------------
+
+/// \brief A sorted sid list stored as fixed-size varint-delta blocks with a
+/// per-block skip table — the index's *resident* posting representation.
+///
+/// Layout (identical in memory and in the v3 on-disk image, so load is a
+/// bounds-checked vector read rather than a full decode, and a future mmap
+/// path can point straight into the file):
+///
+///   * `skip_first[b]`  — absolute first sid of block b (the skip table's
+///     search key; a contiguous uint32 array, gallop-friendly).
+///   * `skip_offset[b]` — byte offset of block b's payload in `bytes`.
+///   * `bytes`          — concatenated block payloads. A block's payload is
+///     the LEB128 varint gaps of its 2nd..kth sids from the block's first
+///     sid; the first sid itself lives only in the skip table, so a
+///     single-sid block has an empty payload.
+///
+/// Every block except the last holds exactly `kBlockSids` sids. Intersection
+/// runs directly over this form: gallop the skip table to the candidate
+/// block, decode at most that one block into a stack buffer (see
+/// `Intersect(SidList, BlockList)` / `Intersect(BlockList, BlockList)`).
+/// Versus the decoded `std::vector<uint32_t>` this stores ~1-2 bytes per sid
+/// instead of 4 plus geometric vector slack.
+class BlockList {
+ public:
+  /// Sids per block. 128 gaps fit L1 comfortably as a decode buffer and
+  /// amortise the 8-byte skip entry to 0.0625 bytes/sid.
+  static constexpr size_t kBlockSids = 128;
+
+  BlockList() = default;
+
+  /// Build-time append of a non-decreasing id stream; duplicates of the
+  /// current tail are dropped (mirrors SidList::Append).
+  void Append(uint32_t sid);
+
+  /// Compresses an already decoded list.
+  static BlockList FromSidList(const SidList& list);
+
+  /// Reassembles a list from its (possibly untrusted) serialized parts,
+  /// validating every structural invariant: skip-table monotonicity and
+  /// bounds, varint wellformedness, per-block sid counts, strictly
+  /// ascending sids across block seams, exact payload consumption. A
+  /// corrupt image must fail here, never at query time.
+  static Result<BlockList> FromParts(uint32_t count,
+                                     std::vector<uint32_t> skip_first,
+                                     std::vector<uint32_t> skip_offset,
+                                     std::vector<uint8_t> bytes);
+
+  size_t CountSids() const { return size_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t NumBlocks() const { return skip_first_.size(); }
+
+  /// Number of sids in block `b` (kBlockSids except possibly the last).
+  size_t BlockSize(size_t b) const {
+    return b + 1 < skip_first_.size() ? kBlockSids
+                                      : size_ - b * kBlockSids;
+  }
+
+  /// Decodes block `b` into `out` (capacity >= kBlockSids); returns the
+  /// number of sids written. The payload is trusted (validated at
+  /// construction), so this is a tight varint loop with no branching on
+  /// malformed input.
+  size_t DecodeBlock(size_t b, uint32_t* out) const;
+
+  /// Fully decodes the list (transient use only — unions, aggregation
+  /// across shards, tests; the resident form stays compressed).
+  SidList Decode() const;
+
+  bool Contains(uint32_t sid) const;
+
+  size_t MemoryUsage() const {
+    return bytes_.capacity() +
+           (skip_first_.capacity() + skip_offset_.capacity()) * sizeof(uint32_t);
+  }
+
+  /// Trims capacity slack after a build-time Append stream.
+  void ShrinkToFit();
+
+  // Serialization views (the v3 image writes these verbatim).
+  const std::vector<uint32_t>& skip_first() const { return skip_first_; }
+  const std::vector<uint32_t>& skip_offset() const { return skip_offset_; }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+  /// The encoder is canonical (one byte stream per sid set), so structural
+  /// equality is set equality.
+  friend bool operator==(const BlockList& a, const BlockList& b) {
+    return a.size_ == b.size_ && a.skip_first_ == b.skip_first_ &&
+           a.skip_offset_ == b.skip_offset_ && a.bytes_ == b.bytes_;
+  }
+
+ private:
+  uint32_t size_ = 0;
+  uint32_t last_ = 0;  // tail sid of the append stream
+  std::vector<uint32_t> skip_first_;
+  std::vector<uint32_t> skip_offset_;
+  std::vector<uint8_t> bytes_;
+};
+
+/// \brief A borrowed sorted sid set: either a decoded `SidList` or a
+/// compressed `BlockList`.
+///
+/// DPLI mixes both — computed per-query lists (path projections, literal
+/// intersections) are decoded, the index's stored projections are block
+/// compressed — and `IntersectAllViews` intersects across the mix without
+/// materialising the compressed inputs.
+class SidSetView {
+ public:
+  SidSetView() = default;
+  /*implicit*/ SidSetView(const SidList* list) : list_(list) {}
+  /*implicit*/ SidSetView(const BlockList* blocks) : blocks_(blocks) {}
+
+  size_t size() const {
+    return list_ != nullptr ? list_->size()
+                            : (blocks_ != nullptr ? blocks_->size() : 0);
+  }
+  bool empty() const { return size() == 0; }
+  const SidList* list() const { return list_; }
+  const BlockList* blocks() const { return blocks_; }
+
+ private:
+  const SidList* list_ = nullptr;
+  const BlockList* blocks_ = nullptr;
+};
+
+/// In-place compressed intersection: walks the smaller side, gallops the
+/// skip table to the candidate block and decodes at most that one block
+/// into a stack buffer. Results equal Intersect over the decoded lists.
+SidList Intersect(const SidList& a, const BlockList& b);
+SidList Intersect(const BlockList& a, const SidList& b);
+SidList Intersect(const BlockList& a, const BlockList& b);
+
+/// Multi-way intersection over mixed decoded/compressed views,
+/// smallest-first with short-circuit on empty — the DPLI kernel.
+SidList IntersectAllViews(std::vector<SidSetView> views);
+
+/// Multi-way union of compressed lists (decodes each list once; the union
+/// itself is the k-way ordered heap merge of UnionAll).
+SidList UnionAllBlocks(const std::vector<const BlockList*>& lists);
+
 // ---- Delta layout helpers ---------------------------------------------------
 
-/// Varint(delta) encoding of a sorted sid list — the on-disk/compressed
-/// layout future posting-block work builds on. First id is stored as-is,
-/// subsequent ids as gaps; every value is LEB128 varint encoded.
+/// Varint(delta) encoding of a sorted sid list — the flat (blockless)
+/// layout of the v2 image. First id is stored as-is, subsequent ids as
+/// gaps; every value is LEB128 varint encoded.
 std::vector<uint8_t> EncodeDeltas(const SidList& list);
 
 /// Decodes an EncodeDeltas stream, validating it: a truncated stream (ends

@@ -552,7 +552,7 @@ CandidateResult CollectCandidates(const KokoIndex& index,
                                   const CompiledQuery& cq) {
   CandidateResult result;
   std::deque<SidList> owned;  // stable storage for per-query lists
-  std::vector<const SidList*> sets;
+  std::vector<SidSetView> sets;
   for (int dom : cq.DominantPathVars()) {
     PathSidLookupResult lookup =
         KokoPathSidLookup(index, cq.vars[static_cast<size_t>(dom)].abs_path);
@@ -564,6 +564,8 @@ CandidateResult CollectCandidates(const KokoIndex& index,
   }
   for (const CompiledVar& v : cq.vars) {
     if (v.kind == CompiledVar::Kind::kEntity) {
+      // The stored per-type projections stay block compressed; the
+      // intersection below runs over them in place.
       sets.push_back(v.etype ? &index.EntityTypeSids(*v.etype)
                              : &index.AllEntitySids());
       result.pruned = true;
@@ -571,18 +573,18 @@ CandidateResult CollectCandidates(const KokoIndex& index,
       // A literal prunes to sentences containing all of its words:
       // intersect the precomputed per-word lists, smallest first.
       result.pruned = true;
-      std::vector<const SidList*> word_lists;
+      std::vector<SidSetView> word_lists;
       for (const std::string& word : v.literal) {
-        const SidList* sids = index.WordSids(word);
+        const BlockList* sids = index.WordSids(word);
         if (sids == nullptr) return result;  // word absent from this index
         word_lists.push_back(sids);
       }
-      owned.push_back(IntersectAll(std::move(word_lists)));
+      owned.push_back(IntersectAllViews(std::move(word_lists)));
       if (owned.back().empty()) return result;
       sets.push_back(&owned.back());
     }
   }
-  if (result.pruned) result.sids = IntersectAll(std::move(sets));
+  if (result.pruned) result.sids = IntersectAllViews(std::move(sets));
   return result;
 }
 

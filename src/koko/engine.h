@@ -109,11 +109,13 @@ struct EngineOptions {
 /// **DPLI phase contract.** Candidate pruning is columnar: every prunable
 /// atom of the compiled query — each dominant node-variable path, each
 /// entity variable, each literal — contributes one sorted, deduplicated
-/// sentence-id list (`SidList`), served from the index's precomputed
-/// per-word / per-entity-type / per-trie-node projections where possible
+/// sentence-id set, served from the index's precomputed per-word /
+/// per-entity-type / per-trie-node projections where possible
 /// (`KokoPathSidLookup`, `KokoIndex::WordSids`, `KokoIndex::EntityTypeSids`).
-/// The lists are intersected smallest-first with a galloping ordered merge
-/// (`IntersectAll`); the result is the candidate set, already in ascending
+/// Stored projections stay block compressed (`BlockList`) and per-query
+/// lists are decoded (`SidList`); the mix is intersected smallest-first
+/// with a galloping ordered merge that runs directly over the compressed
+/// blocks (`IntersectAllViews`) — the result is the candidate set in ascending
 /// sid order. The candidate set is *complete* (a superset of all answer
 /// sentences — pruning never loses answers) but may be unsound (§4.2.2);
 /// the extract phase re-validates every candidate. An unconstrained query

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
@@ -10,6 +11,7 @@
 #include "corpus/generators.h"
 #include "index/path_lookup.h"
 #include "nlp/pipeline.h"
+#include "storage/serde.h"
 
 namespace koko {
 namespace {
@@ -252,14 +254,17 @@ TEST(KokoIndexTest, CorruptImageFailsLoadCleanly) {
     EXPECT_FALSE(loaded.ok()) << "truncated to " << keep << " bytes";
   }
 
-  // Flip bytes in the trailing quarter (catalog tail + the delta-encoded
-  // sid caches). Structural damage — continuation bits, oversized counts
-  // (which used to hang Load on a gigabyte allocation), gap monotonicity —
-  // must fail cleanly; a flip that happens to decode to another valid
-  // stream of the recorded length is indistinguishable without a checksum,
-  // so the guarantee under test is "clean error or a usable index", never
-  // a crash or hang.
-  for (size_t at = image.size() - image.size() / 4; at < image.size();
+  // Flip bytes in the trailing half (catalog tail + the v3 block-
+  // compressed sid caches: skip-first / skip-offset arrays and delta-block
+  // payloads). Structural damage — continuation bits, oversized counts
+  // (which used to hang Load on a gigabyte allocation), skip offsets out
+  // of bounds or non-monotone, gap monotonicity, payloads not ending on a
+  // block boundary — must fail cleanly; a flip that happens to decode to
+  // another valid stream of the recorded length is indistinguishable
+  // without a checksum, so the guarantee under test is "clean error or a
+  // usable index", never a crash, hang, or out-of-bounds read (the suite
+  // runs under ASan in CI).
+  for (size_t at = image.size() - image.size() / 2; at < image.size();
        at += 7) {
     std::vector<char> corrupt = image;
     corrupt[at] = static_cast<char>(corrupt[at] ^ 0xff);
@@ -267,46 +272,55 @@ TEST(KokoIndexTest, CorruptImageFailsLoadCleanly) {
     auto loaded = KokoIndex::Load(path);
     if (!loaded.ok()) continue;  // clean failure: the desired outcome
     (void)(*loaded)->LookupWord("delicious");
-    (void)(*loaded)->WordSids("delicious");
+    const BlockList* sids = (*loaded)->WordSids("delicious");
+    // A survivor must still be a structurally sound index: decoding any
+    // restored list must stay in bounds and sorted.
+    if (sids != nullptr) {
+      SidList decoded = sids->Decode();
+      EXPECT_TRUE(std::is_sorted(decoded.begin(), decoded.end()));
+    }
   }
   std::remove(path.c_str());
 }
 
-TEST(KokoIndexTest, DeltaCompressedSidCachePersistence) {
+TEST(KokoIndexTest, BlockCompressedSidCachePersistence) {
   Pipeline pipeline;
   auto docs = GenerateHappyMoments({.num_moments = 200, .seed = 7});
   AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
   auto index = KokoIndex::Build(corpus);
 
-  // Size assertion: across every distinct word, the varint-delta layout
-  // must beat the raw u32 layout (sorted unique sids -> small gaps).
+  // Size assertion: across every distinct word, the resident block layout
+  // (delta payload + skip table) must beat the decoded u32 layout (sorted
+  // unique sids -> small gaps; one 8-byte skip entry per 128 sids).
   std::set<std::string> words;
   for (uint32_t sid = 0; sid < corpus.NumSentences(); ++sid) {
     for (const Token& token : corpus.sentence(sid).tokens) {
       words.insert(token.text);
     }
   }
-  size_t delta_bytes = 0;
+  size_t block_bytes = 0;
   size_t raw_bytes = 0;
   for (const std::string& word : words) {
-    const SidList* sids = index->WordSids(word);
+    const BlockList* sids = index->WordSids(word);
     ASSERT_NE(sids, nullptr) << word;
-    std::vector<uint8_t> encoded = EncodeDeltas(*sids);
-    EXPECT_EQ(*DecodeDeltas(encoded), *sids) << word;
-    delta_bytes += encoded.size();
+    // The flat v2 codec and the block layout must agree on the sid set.
+    SidList decoded = sids->Decode();
+    EXPECT_EQ(*DecodeDeltas(EncodeDeltas(decoded)), decoded) << word;
+    EXPECT_EQ(BlockList::FromSidList(decoded), *sids) << word;
+    block_bytes += sids->MemoryUsage();
     raw_bytes += sids->size() * sizeof(uint32_t);
   }
-  EXPECT_LT(delta_bytes, raw_bytes);
+  EXPECT_LT(block_bytes, raw_bytes);
 
-  // Round trip: the loaded index restores identical sid lists from disk.
+  // Round trip: the loaded index restores byte-identical block lists.
   std::string path = ::testing::TempDir() + "/koko_index_delta_test.bin";
   ASSERT_TRUE(index->Save(path).ok());
   auto loaded = KokoIndex::Load(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   ASSERT_TRUE((*loaded)->sid_caches_from_disk());
   for (const std::string& word : words) {
-    const SidList* want = index->WordSids(word);
-    const SidList* got = (*loaded)->WordSids(word);
+    const BlockList* want = index->WordSids(word);
+    const BlockList* got = (*loaded)->WordSids(word);
     ASSERT_NE(got, nullptr) << word;
     EXPECT_EQ(*got, *want) << word;
   }
@@ -314,6 +328,57 @@ TEST(KokoIndexTest, DeltaCompressedSidCachePersistence) {
   EXPECT_EQ((*loaded)->PlPathSids(p), index->PlPathSids(p));
   EXPECT_EQ((*loaded)->PosPathSids(MakePath({{"//", "verb"}})),
             index->PosPathSids(MakePath({{"//", "verb"}})));
+  std::remove(path.c_str());
+}
+
+TEST(KokoIndexTest, LegacyV2ImageStillLoads) {
+  // A flat varint-delta (v2) image — what PR-2/PR-3 binaries wrote — must
+  // load into the same index, re-encoded into blocks on the way in.
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 120, .seed = 8});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  std::string path = ::testing::TempDir() + "/koko_index_v2_test.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    BinaryWriter writer(&out);
+    ASSERT_TRUE(index->Save(&writer, /*version=*/2).ok());
+  }
+  auto loaded = KokoIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE((*loaded)->sid_caches_from_disk());
+  for (const char* word : {"a", "delicious", "ate"}) {
+    const BlockList* want = index->WordSids(word);
+    const BlockList* got = (*loaded)->WordSids(word);
+    ASSERT_EQ(got == nullptr, want == nullptr) << word;
+    if (want != nullptr) EXPECT_EQ(*got, *want) << word;
+  }
+  PathQuery p = MakePath({{"/", "root"}, {"//", "dobj"}});
+  EXPECT_EQ((*loaded)->LookupParseLabelPath(p), index->LookupParseLabelPath(p));
+  EXPECT_EQ((*loaded)->PlPathSids(p), index->PlPathSids(p));
+  std::remove(path.c_str());
+}
+
+TEST(KokoIndexTest, LegacyCatalogOnlyImageStillLoads) {
+  // A v1 image is a bare catalog (no "KIDX" magic, no sid-cache section);
+  // Load must detect it and rebuild every projection from the tables.
+  AnnotatedCorpus corpus = PaperCorpus();
+  auto index = KokoIndex::Build(corpus);
+  std::string path = ::testing::TempDir() + "/koko_index_v1_test.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    BinaryWriter writer(&out);
+    ASSERT_TRUE(index->catalog().Save(&writer).ok());
+  }
+  auto loaded = KokoIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE((*loaded)->sid_caches_from_disk());
+  EXPECT_EQ((*loaded)->LookupWord("delicious"), index->LookupWord("delicious"));
+  const BlockList* want = index->WordSids("ate");
+  const BlockList* got = (*loaded)->WordSids("ate");
+  ASSERT_NE(got, nullptr);
+  ASSERT_NE(want, nullptr);
+  EXPECT_EQ(*got, *want);
   std::remove(path.c_str());
 }
 

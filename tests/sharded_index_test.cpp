@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <thread>
 
 #include "corpus/generators.h"
@@ -42,8 +43,8 @@ void ExpectLookupsMatchMonolithic(const ShardedKokoIndex& sharded,
   for (const char* word : {"a", "delicious", "ate", "store", "zzz-absent"}) {
     EXPECT_EQ(sharded.LookupWord(word), mono.LookupWord(word))
         << context << " word=" << word;
-    const SidList* mono_sids = mono.WordSids(word);
-    EXPECT_EQ(sharded.WordSids(word), mono_sids ? *mono_sids : SidList())
+    const BlockList* mono_sids = mono.WordSids(word);
+    EXPECT_EQ(sharded.WordSids(word), mono_sids ? mono_sids->Decode() : SidList())
         << context << " word=" << word;
     EXPECT_EQ(sharded.CountWordSids(word), mono.CountWordSids(word))
         << context << " word=" << word;
@@ -53,12 +54,12 @@ void ExpectLookupsMatchMonolithic(const ShardedKokoIndex& sharded,
       << context;
   EXPECT_EQ(sharded.PlPathSids(path), mono.PlPathSids(path)) << context;
   EXPECT_EQ(sharded.AllEntities(), mono.AllEntities()) << context;
-  EXPECT_EQ(sharded.AllEntitySids(), mono.AllEntitySids()) << context;
+  EXPECT_EQ(sharded.AllEntitySids(), mono.AllEntitySids().Decode()) << context;
   for (size_t t = 0; t < kNumEntityTypes; ++t) {
     EntityType type = static_cast<EntityType>(t);
     EXPECT_EQ(sharded.EntitiesOfType(type), mono.EntitiesOfType(type))
         << context << " type=" << t;
-    EXPECT_EQ(sharded.EntityTypeSids(type), mono.EntityTypeSids(type))
+    EXPECT_EQ(sharded.EntityTypeSids(type), mono.EntityTypeSids(type).Decode())
         << context << " type=" << t;
   }
   const KokoIndex::Stats& ms = mono.stats();
@@ -201,6 +202,65 @@ TEST(ShardedKokoIndexTest, SaveLoadRoundTrip) {
     EXPECT_EQ(ra->rows[i].sid, rb->rows[i].sid);
     EXPECT_EQ(ra->rows[i].values, rb->rows[i].values);
   }
+  std::remove(path.c_str());
+}
+
+TEST(ShardedKokoIndexTest, ParallelLoadMatchesSerialLoad) {
+  // The v2 manifest's byte extents let shards deserialize independently;
+  // the loaded index must be identical for every worker count and on a
+  // caller-shared pool.
+  AnnotatedCorpus corpus = MomentsCorpus(80, 75);
+  auto built = ShardedKokoIndex::Build(corpus, 4);
+  std::string path = ::testing::TempDir() + "/sharded_index_parload_test.bin";
+  ASSERT_TRUE(built->Save(path).ok());
+
+  ShardedKokoIndex::LoadOptions serial;
+  serial.num_threads = 1;
+  auto want = ShardedKokoIndex::Load(path, serial);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  ThreadPool pool(3);
+  std::vector<ShardedKokoIndex::LoadOptions> variants(3);
+  variants[0].num_threads = 0;  // one worker per shard, transient pool
+  variants[1].num_threads = 2;
+  variants[2].pool = &pool;  // shared serving pool
+  for (size_t v = 0; v < variants.size(); ++v) {
+    auto got = ShardedKokoIndex::Load(path, variants[v]);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ((*got)->num_shards(), (*want)->num_shards()) << v;
+    for (size_t i = 0; i < (*want)->num_shards(); ++i) {
+      EXPECT_TRUE((*got)->shard(i).sid_caches_from_disk()) << v;
+    }
+    for (const char* word : {"a", "delicious", "ate", "zzz-absent"}) {
+      EXPECT_EQ((*got)->LookupWord(word), (*want)->LookupWord(word))
+          << "v=" << v << " word=" << word;
+      EXPECT_EQ((*got)->WordSids(word), (*want)->WordSids(word))
+          << "v=" << v << " word=" << word;
+    }
+    PathQuery path_q = DobjPath();
+    EXPECT_EQ((*got)->LookupParseLabelPath(path_q),
+              (*want)->LookupParseLabelPath(path_q))
+        << v;
+    EXPECT_EQ((*got)->AllEntities(), (*want)->AllEntities()) << v;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardedKokoIndexTest, CorruptManifestExtentFailsLoadCleanly) {
+  AnnotatedCorpus corpus = MomentsCorpus(30, 76);
+  auto built = ShardedKokoIndex::Build(corpus, 2);
+  std::string path = ::testing::TempDir() + "/sharded_index_corrupt_test.bin";
+  ASSERT_TRUE(built->Save(path).ok());
+  // Blow up the first shard's extent (u64 after the two range u32s of the
+  // first manifest entry, 12 bytes past magic|version|count): Load must
+  // reject it instead of seeking past the file.
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(12 + 8);
+  const uint64_t huge = ~uint64_t{0} / 2;
+  file.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  file.close();
+  auto loaded = ShardedKokoIndex::Load(path);
+  EXPECT_FALSE(loaded.ok());
   std::remove(path.c_str());
 }
 

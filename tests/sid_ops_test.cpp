@@ -171,6 +171,187 @@ TEST(DifferenceTest, BasicAndSkewed) {
             (std::vector<uint32_t>{3, 1999}));
 }
 
+// ---- BlockList: the block-compressed resident representation ---------------
+
+TEST(BlockListTest, RoundTripEdgeSizes) {
+  // Empty list, single sid, exactly one block, one-past-a-block-boundary,
+  // several blocks with a partial tail.
+  const size_t kB = BlockList::kBlockSids;
+  for (size_t n : {size_t{0}, size_t{1}, kB - 1, kB, kB + 1, 3 * kB, 3 * kB + 7}) {
+    std::vector<uint32_t> ids;
+    for (size_t i = 0; i < n; ++i) ids.push_back(static_cast<uint32_t>(i * 3));
+    SidList list = SidList::FromSorted(ids);
+    BlockList blocks = BlockList::FromSidList(list);
+    EXPECT_EQ(blocks.CountSids(), n);
+    EXPECT_EQ(blocks.NumBlocks(), (n + kB - 1) / kB);
+    EXPECT_EQ(blocks.Decode(), list) << n;
+  }
+}
+
+TEST(BlockListTest, AppendMatchesFromSidListAndDropsRepeats) {
+  BlockList appended;
+  for (uint32_t sid : {1u, 1u, 2u, 2u, 2u, 7u, 7u, 2000000u}) appended.Append(sid);
+  appended.ShrinkToFit();
+  EXPECT_EQ(appended, BlockList::FromSidList(SidList::FromSorted({1, 2, 7, 2000000})));
+  EXPECT_EQ(appended.Decode().ids(), (std::vector<uint32_t>{1, 2, 7, 2000000}));
+}
+
+TEST(BlockListTest, ContainsIncludingBlockBoundaries) {
+  const size_t kB = BlockList::kBlockSids;
+  std::vector<uint32_t> ids;
+  for (size_t i = 0; i < 3 * kB + 5; ++i) ids.push_back(static_cast<uint32_t>(i * 2));
+  BlockList blocks = BlockList::FromSidList(SidList::FromSorted(ids));
+  EXPECT_FALSE(BlockList().Contains(0));
+  for (uint32_t sid : ids) EXPECT_TRUE(blocks.Contains(sid)) << sid;
+  // First sid of each block (skip-table hits) and their neighbours.
+  for (size_t b = 0; b < blocks.NumBlocks(); ++b) {
+    const uint32_t first = blocks.skip_first()[b];
+    EXPECT_TRUE(blocks.Contains(first));
+    EXPECT_FALSE(blocks.Contains(first + 1));  // ids are all even
+  }
+  EXPECT_FALSE(blocks.Contains(ids.back() + 2));
+}
+
+TEST(BlockListTest, CompressesDenseListsBelowRawLayout) {
+  // 10k consecutive-ish sids: ~1 payload byte per sid + 8 skip bytes per
+  // 128 sids, vs 4 raw bytes per sid decoded.
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < 10000; ++i) ids.push_back(i * 2);
+  SidList list = SidList::FromSorted(ids);
+  BlockList blocks = BlockList::FromSidList(list);
+  EXPECT_LT(blocks.MemoryUsage() * 2, list.MemoryUsage());
+}
+
+TEST(BlockListTest, InPlaceIntersectMatchesDecoded) {
+  Rng rng(123);
+  for (int round = 0; round < 100; ++round) {
+    const size_t na = 1 + rng.Next() % 600;
+    const size_t nb = 1 + rng.Next() % 3000;
+    SidList a = RandomList(&rng, na, 2000);
+    SidList b = RandomList(&rng, nb, 8000);
+    BlockList ab = BlockList::FromSidList(a);
+    BlockList bb = BlockList::FromSidList(b);
+    const SidList want = Intersect(a, b);
+    EXPECT_EQ(Intersect(a, bb), want) << round;      // decoded x blocks
+    EXPECT_EQ(Intersect(b, ab), want) << round;      // larger decoded side
+    EXPECT_EQ(Intersect(ab, b), want) << round;      // blocks x decoded
+    EXPECT_EQ(Intersect(ab, bb), want) << round;     // blocks x blocks
+    EXPECT_EQ(Intersect(bb, ab), want) << round;
+  }
+  // Degenerate shapes.
+  BlockList empty;
+  EXPECT_TRUE(Intersect(SidList(), empty).empty());
+  EXPECT_TRUE(Intersect(Make({1, 2}), empty).empty());
+  EXPECT_TRUE(Intersect(empty, Make({1, 2})).empty());
+  // The uint32 maximum must not wrap the skip-table gallop.
+  BlockList max_list = BlockList::FromSidList(SidList::FromSorted({5, 0xffffffffu}));
+  EXPECT_EQ(Intersect(Make({0xffffffffu}), max_list).ids(),
+            (std::vector<uint32_t>{0xffffffffu}));
+}
+
+TEST(BlockListTest, IntersectAllViewsMixesDecodedAndCompressed) {
+  SidList a = Make({1, 2, 3, 4, 5, 6, 7, 8});
+  SidList b = Make({2, 4, 6, 8});
+  BlockList c = BlockList::FromSidList(Make({4, 8, 12}));
+  std::vector<uint32_t> expected = {4, 8};
+  EXPECT_EQ(IntersectAllViews({&a, &b, &c}).ids(), expected);
+  EXPECT_EQ(IntersectAllViews({&c, &a, &b}).ids(), expected);
+  EXPECT_TRUE(IntersectAllViews({}).empty());
+  BlockList empty;
+  EXPECT_TRUE(IntersectAllViews({&a, &empty}).empty());
+  EXPECT_EQ(IntersectAllViews({&c}).ids(), (std::vector<uint32_t>{4, 8, 12}));
+}
+
+TEST(BlockListTest, UnionAllBlocks) {
+  BlockList a = BlockList::FromSidList(Make({1}));
+  BlockList b = BlockList::FromSidList(Make({5, 6}));
+  BlockList c = BlockList::FromSidList(Make({1, 9}));
+  EXPECT_EQ(UnionAllBlocks({&a, &b, &c}).ids(),
+            (std::vector<uint32_t>{1, 5, 6, 9}));
+  EXPECT_TRUE(UnionAllBlocks({}).empty());
+}
+
+// FromParts guards the v3 image: every structural invariant violation a
+// byte flip can produce must be rejected, never decoded into garbage sids.
+TEST(BlockListTest, FromPartsValidation) {
+  auto parts_of = [](const BlockList& list) {
+    return std::make_tuple(static_cast<uint32_t>(list.size()), list.skip_first(),
+                           list.skip_offset(), list.bytes());
+  };
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < 300; ++i) ids.push_back(i * 3);
+  BlockList good = BlockList::FromSidList(SidList::FromSorted(ids));
+  auto [count, skip_first, skip_offset, bytes] = parts_of(good);
+
+  // The untouched parts reassemble to an identical list.
+  auto ok = BlockList::FromParts(count, skip_first, skip_offset, bytes);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(*ok, good);
+
+  // Count inconsistent with the block structure.
+  EXPECT_FALSE(BlockList::FromParts(count + 1, skip_first, skip_offset, bytes).ok());
+  EXPECT_FALSE(BlockList::FromParts(0, skip_first, skip_offset, bytes).ok());
+  // Skip tables of different lengths.
+  {
+    auto f = skip_first;
+    f.pop_back();
+    EXPECT_FALSE(BlockList::FromParts(count, f, skip_offset, bytes).ok());
+  }
+  // Corrupt skip-table entries: non-monotone first sids across blocks.
+  {
+    auto f = skip_first;
+    f[1] = f[0];
+    EXPECT_FALSE(BlockList::FromParts(count, f, skip_offset, bytes).ok());
+  }
+  // Corrupt skip-table entries: offset out of bounds / non-monotone /
+  // first block not at zero.
+  {
+    auto o = skip_offset;
+    o[1] = static_cast<uint32_t>(bytes.size()) + 100;
+    EXPECT_FALSE(BlockList::FromParts(count, skip_first, o, bytes).ok());
+    o = skip_offset;
+    o[0] = 1;
+    EXPECT_FALSE(BlockList::FromParts(count, skip_first, o, bytes).ok());
+    o = skip_offset;
+    std::swap(o[1], o[2]);
+    EXPECT_FALSE(BlockList::FromParts(count, skip_first, o, bytes).ok());
+  }
+  // Payload truncated mid-varint / trailing bytes.
+  {
+    auto p = bytes;
+    p.pop_back();
+    EXPECT_FALSE(BlockList::FromParts(count, skip_first, skip_offset, p).ok());
+    p = bytes;
+    p.push_back(0x01);
+    EXPECT_FALSE(BlockList::FromParts(count, skip_first, skip_offset, p).ok());
+  }
+  // Zero gap (duplicate sid) inside a block.
+  {
+    auto p = bytes;
+    p[0] = 0x00;
+    EXPECT_FALSE(BlockList::FromParts(count, skip_first, skip_offset, p).ok());
+  }
+  // Empty list: only the all-empty parts are valid.
+  EXPECT_TRUE(BlockList::FromParts(0, {}, {}, {}).ok());
+  EXPECT_FALSE(BlockList::FromParts(0, {}, {}, {0x01}).ok());
+}
+
+TEST(BlockListTest, FromPartsRejectsOverflowAndOverlongVarints) {
+  // A single block of two sids whose gap pushes past uint32.
+  std::vector<uint32_t> first = {0xfffffff0u};
+  std::vector<uint32_t> offsets = {0};
+  std::vector<uint8_t> gap_overflow = {0xff, 0xff, 0xff, 0xff, 0x0f};  // +2^32-1
+  EXPECT_FALSE(BlockList::FromParts(2, first, offsets, gap_overflow).ok());
+  // Overlong varint (six continuation bytes).
+  std::vector<uint8_t> overlong = {0xff, 0xff, 0xff, 0xff, 0xff, 0x01};
+  EXPECT_FALSE(BlockList::FromParts(2, {0}, offsets, overlong).ok());
+  // The canonical maximum still validates: 0 then +0xffffffff.
+  std::vector<uint8_t> max_gap = {0xff, 0xff, 0xff, 0xff, 0x0f};
+  auto max_ok = BlockList::FromParts(2, {0}, offsets, max_gap);
+  ASSERT_TRUE(max_ok.ok()) << max_ok.status().ToString();
+  EXPECT_EQ(max_ok->Decode().ids(), (std::vector<uint32_t>{0, 0xffffffffu}));
+}
+
 TEST(DeltaCodecTest, RoundTrip) {
   Rng rng(7);
   for (int round = 0; round < 20; ++round) {

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Checks documentation for references to nonexistent files.
+
+Two kinds of references are validated in README.md and docs/*.md (plus any
+extra files passed as arguments):
+
+  * Markdown links  [text](target) — external schemes (http, https,
+    mailto) and pure anchors (#...) are skipped; everything else must
+    resolve, relative to the containing file, to an existing file or
+    directory (anchor fragments are stripped).
+  * Path-like tokens anywhere in the text, e.g. src/index/sid_ops.h or
+    tests/engine_test.cpp — anything with a directory separator and a
+    known source/doc extension must exist relative to the repository
+    root. Tokens containing wildcards (BENCH_*.json) are skipped.
+
+Exits nonzero listing every broken reference. No dependencies beyond the
+standard library; CI runs it as the docs job.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+PATH_TOKEN = re.compile(
+    r"(?<![\w/])((?:\.?[A-Za-z0-9_.-]+/)+[A-Za-z0-9_.-]+"
+    r"\.(?:h|hpp|cc|cpp|md|py|yml|yaml|json|txt))(?![\w/])"
+)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files(argv):
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    files += [Path(arg).resolve() for arg in argv]
+    return [f for f in files if f.exists()]
+
+
+def check_file(doc: Path):
+    errors = []
+    try:
+        name = str(doc.relative_to(REPO_ROOT))
+    except ValueError:
+        name = str(doc)
+    text = doc.read_text(encoding="utf-8")
+    for match in MD_LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (doc.parent / path).resolve()
+        if not resolved.exists():
+            errors.append(f"{name}: broken link -> {target}")
+    for match in PATH_TOKEN.finditer(text):
+        token = match.group(1)
+        if "*" in token:
+            continue
+        if not (REPO_ROOT / token).exists() and not (doc.parent / token).exists():
+            errors.append(f"{name}: reference to nonexistent file -> {token}")
+    return errors
+
+
+def main(argv):
+    errors = []
+    checked = doc_files(argv)
+    for doc in checked:
+        errors.extend(check_file(doc))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(checked)} file(s): "
+          f"{'FAIL' if errors else 'OK'} ({len(errors)} broken reference(s))")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
