@@ -141,6 +141,38 @@ int main(int argc, char** argv) {
          {"posting_bytes_compressed", static_cast<double>(posting_bytes)},
          {"posting_bytes_decoded_equiv", static_cast<double>(decoded_bytes)},
          {"index_bytes_total", static_cast<double>(index->MemoryUsage())}});
+    // Load-path telemetry: copy vs zero-copy mmap of the same v3 image.
+    // kMap skips the posting-payload copy entirely, so its entry reports
+    // ~0 resident posting bytes (the pages belong to the file mapping).
+    {
+      const std::string image = "bench_table2_scaleup_index.bin";
+      if (!index->Save(image).ok()) {
+        std::fprintf(stderr, "index save failed at %zu articles\n", articles);
+      } else {
+        for (LoadMode mode : {LoadMode::kCopy, LoadMode::kMap}) {
+          const char* mode_name = mode == LoadMode::kMap ? "map" : "copy";
+          WallTimer timer;
+          auto loaded = KokoIndex::Load(image, mode);
+          const double load_s = timer.ElapsedSeconds();
+          if (!loaded.ok()) {
+            std::fprintf(stderr, "%s load failed: %s\n", mode_name,
+                         loaded.status().ToString().c_str());
+            continue;
+          }
+          const size_t resident = (*loaded)->SidCacheMemoryUsage();
+          std::printf("   load (%s): %.3fs, resident postings %.2f MiB\n",
+                      mode_name, load_s,
+                      static_cast<double>(resident) / (1024.0 * 1024.0));
+          emitter.AddEntry(
+              "load/" + std::to_string(articles) + "/" + mode_name,
+              {{"load_mode", mode_name}},
+              {{"articles", static_cast<double>(articles)},
+               {"load_s", load_s},
+               {"resident_posting_bytes", static_cast<double>(resident)}});
+        }
+        std::remove(image.c_str());
+      }
+    }
     RunQuery("Chocolate", kChocolateQuery, corpus, *index, store, pipeline,
              embeddings, articles, &emitter);
     RunQuery("Title", kTitleQuery, corpus, *index, store, pipeline, embeddings,

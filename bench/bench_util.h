@@ -48,7 +48,15 @@ class JsonEmitter {
 
   void AddEntry(const std::string& name,
                 std::vector<std::pair<std::string, double>> values) {
-    entries_.push_back({name, std::move(values)});
+    entries_.push_back({name, {}, std::move(values)});
+  }
+
+  /// Entry with string-valued fields (e.g. `load_mode: "map"`) alongside
+  /// the numeric ones; strings are emitted first, escaped like names.
+  void AddEntry(const std::string& name,
+                std::vector<std::pair<std::string, std::string>> string_values,
+                std::vector<std::pair<std::string, double>> values) {
+    entries_.push_back({name, std::move(string_values), std::move(values)});
   }
 
   /// Writes the JSON file; default path is BENCH_<name>.json in the
@@ -67,9 +75,14 @@ class JsonEmitter {
       const Entry& e = entries_[i];
       out << (i == 0 ? "" : ",") << "\n    {\"name\": " << Quoted(e.name)
           << ", \"values\": {";
-      for (size_t j = 0; j < e.values.size(); ++j) {
-        out << (j == 0 ? "" : ", ") << Quoted(e.values[j].first)
-            << ": " << Number(e.values[j].second);
+      size_t emitted = 0;
+      for (const auto& [key, value] : e.strings) {
+        out << (emitted++ == 0 ? "" : ", ") << Quoted(key) << ": "
+            << Quoted(value);
+      }
+      for (const auto& [key, value] : e.values) {
+        out << (emitted++ == 0 ? "" : ", ") << Quoted(key) << ": "
+            << Number(value);
       }
       out << "}}";
     }
@@ -80,6 +93,7 @@ class JsonEmitter {
  private:
   struct Entry {
     std::string name;
+    std::vector<std::pair<std::string, std::string>> strings;
     std::vector<std::pair<std::string, double>> values;
   };
 

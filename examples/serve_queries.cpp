@@ -4,11 +4,16 @@
 //
 //   * admission queue (max_inflight / max_queue back-pressure),
 //   * one shared thread pool for every query's parallel sections,
-//   * the persistent score cache warming across repeated queries.
+//   * the persistent score cache warming across repeated queries,
+//   * serving off a zero-copy (mmap) index load — the production startup
+//     path: workers map the shipped image instead of deserializing it.
 //
 // Build: cmake --build build --target serve_queries && ./build/serve_queries
+// Pass "copy" as argv[1] to serve off a copy-loaded index instead.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,14 +24,37 @@
 
 using namespace koko;
 
-int main() {
-  // Corpus + sharded index + engine: built once, shared by every query.
+int main(int argc, char** argv) {
+  const LoadMode mode = argc > 1 && std::strcmp(argv[1], "copy") == 0
+                            ? LoadMode::kCopy
+                            : LoadMode::kMap;
+  // Corpus + sharded index: built once, persisted, then served from the
+  // on-disk image the way a production worker would receive it.
   Pipeline pipeline;
   auto docs = GenerateHappyMoments({.num_moments = 400, .seed = 11});
   AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
-  auto index = ShardedKokoIndex::Build(corpus, /*num_shards=*/4);
+  const std::string image = "serve_queries_index.bin";
+  {
+    auto built = ShardedKokoIndex::Build(corpus, /*num_shards=*/4);
+    if (!built->Save(image).ok()) {
+      std::printf("index save failed\n");
+      return 1;
+    }
+  }
+  ShardedKokoIndex::LoadOptions load_options;
+  load_options.mode = mode;
+  auto loaded = ShardedKokoIndex::Load(image, load_options);
+  if (!loaded.ok()) {
+    std::printf("index load failed: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  ShardedKokoIndex* index = loaded->get();
+  std::printf("serving a %s-loaded index (mapped=%d, resident posting "
+              "bytes=%zu)\n",
+              mode == LoadMode::kMap ? "mmap" : "copy",
+              index->mapped() ? 1 : 0, index->SidCacheMemoryUsage());
   EmbeddingModel embeddings;
-  Engine engine(&corpus, index.get(), &embeddings,
+  Engine engine(&corpus, index, &embeddings,
                 &const_cast<const Pipeline&>(pipeline).recognizer());
 
   // The service owns the shared pool and the persistent score cache. At
@@ -76,5 +104,6 @@ int main() {
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses),
       static_cast<unsigned long long>(cache.entries));
+  std::remove(image.c_str());
   return 0;
 }

@@ -488,10 +488,18 @@ void WriteBlockList(BinaryWriter* writer, const BlockList& list,
     WriteSidListV2(writer, list.Decode());
     return;
   }
+  // The parts are written through their borrowed views, so a mapped index
+  // (whose arrays alias another file) saves identically to an owning one.
   writer->WriteU32(static_cast<uint32_t>(list.size()));
-  writer->WriteVector(list.skip_first());
-  writer->WriteVector(list.skip_offset());
-  writer->WriteVector(list.bytes());
+  const U32View skip_first = list.skip_first();
+  writer->WriteU32(static_cast<uint32_t>(skip_first.size()));
+  writer->WriteBytes(skip_first.raw(), skip_first.raw_size());
+  const U32View skip_offset = list.skip_offset();
+  writer->WriteU32(static_cast<uint32_t>(skip_offset.size()));
+  writer->WriteBytes(skip_offset.raw(), skip_offset.raw_size());
+  const MemorySpan payload = list.bytes();
+  writer->WriteU32(static_cast<uint32_t>(payload.size()));
+  writer->WriteBytes(payload.data(), payload.size());
 }
 
 Result<BlockList> ReadBlockList(BinaryReader* reader, uint32_t version) {
@@ -507,6 +515,17 @@ Result<BlockList> ReadBlockList(BinaryReader* reader, uint32_t version) {
   KOKO_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, reader->ReadVector<uint8_t>());
   return BlockList::FromParts(count, std::move(skip_first),
                               std::move(skip_offset), std::move(bytes));
+}
+
+// The zero-copy counterpart of ReadBlockList for v3 images: the three
+// arrays come back as views into the mapped span (validated by FromMapped,
+// never copied).
+Result<BlockList> ReadBlockListMapped(SpanReader* reader) {
+  KOKO_ASSIGN_OR_RETURN(uint32_t count, reader->ReadU32());
+  KOKO_ASSIGN_OR_RETURN(U32View skip_first, reader->ReadU32Array());
+  KOKO_ASSIGN_OR_RETURN(U32View skip_offset, reader->ReadU32Array());
+  KOKO_ASSIGN_OR_RETURN(MemorySpan bytes, reader->ReadByteArray());
+  return BlockList::FromMapped(count, skip_first, skip_offset, bytes);
 }
 }  // namespace
 
@@ -635,6 +654,35 @@ Status KokoIndex::InitFromCatalog() {
   return Status::OK();
 }
 
+template <typename ReadU32, typename ReadString, typename ReadList>
+Status KokoIndex::LoadSidCacheSections(ReadU32&& read_u32,
+                                       ReadString&& read_string,
+                                       ReadList&& read_list) {
+  KOKO_ASSIGN_OR_RETURN(uint32_t num_words, read_u32());
+  word_sids_.clear();
+  // reserve() is an optimization, so cap it: a corrupt word count must
+  // fail at the first (remaining-bytes-bounded) read below, not allocate
+  // gigabytes of hash buckets first.
+  word_sids_.reserve(std::min<uint32_t>(num_words, 1u << 20));
+  for (uint32_t i = 0; i < num_words; ++i) {
+    KOKO_ASSIGN_OR_RETURN(std::string word, read_string());
+    KOKO_ASSIGN_OR_RETURN(BlockList sids, read_list());
+    word_sids_.emplace(std::move(word), std::move(sids));
+  }
+  for (Trie* trie : {&pl_trie_, &pos_trie_}) {
+    KOKO_ASSIGN_OR_RETURN(uint32_t num_nodes, read_u32());
+    if (num_nodes != trie->nodes.size()) {
+      return Status::ParseError("trie sid-cache section has wrong node count");
+    }
+    for (TrieNode& node : trie->nodes) {
+      KOKO_ASSIGN_OR_RETURN(node.sids, read_list());
+    }
+  }
+  RebuildEntitySidCaches();
+  sid_caches_from_disk_ = true;
+  return Status::OK();
+}
+
 Result<std::unique_ptr<KokoIndex>> KokoIndex::Load(BinaryReader* reader) {
   KOKO_ASSIGN_OR_RETURN(uint32_t magic, reader->ReadU32());
   if (magic != kIndexMagic) return Status::ParseError("bad index magic");
@@ -650,29 +698,74 @@ Result<std::unique_ptr<KokoIndex>> KokoIndex::Load(BinaryReader* reader) {
   // image holds the exact in-memory block layout (validated structurally
   // by BlockList::FromParts); a v2 image holds flat delta streams that are
   // re-encoded into blocks as they are read.
-  KOKO_ASSIGN_OR_RETURN(uint32_t num_words, reader->ReadU32());
-  index->word_sids_.clear();
-  index->word_sids_.reserve(num_words);
-  for (uint32_t i = 0; i < num_words; ++i) {
-    KOKO_ASSIGN_OR_RETURN(std::string word, reader->ReadString());
-    KOKO_ASSIGN_OR_RETURN(BlockList sids, ReadBlockList(reader, version));
-    index->word_sids_.emplace(std::move(word), std::move(sids));
-  }
-  for (Trie* trie : {&index->pl_trie_, &index->pos_trie_}) {
-    KOKO_ASSIGN_OR_RETURN(uint32_t num_nodes, reader->ReadU32());
-    if (num_nodes != trie->nodes.size()) {
-      return Status::ParseError("trie sid-cache section has wrong node count");
-    }
-    for (TrieNode& node : trie->nodes) {
-      KOKO_ASSIGN_OR_RETURN(node.sids, ReadBlockList(reader, version));
-    }
-  }
-  index->RebuildEntitySidCaches();
-  index->sid_caches_from_disk_ = true;
+  KOKO_RETURN_IF_ERROR(index->LoadSidCacheSections(
+      [&] { return reader->ReadU32(); },
+      [&] { return reader->ReadString(); },
+      [&] { return ReadBlockList(reader, version); }));
   return index;
 }
 
-Result<std::unique_ptr<KokoIndex>> KokoIndex::Load(const std::string& path) {
+Result<std::unique_ptr<KokoIndex>> KokoIndex::LoadMapped(
+    std::shared_ptr<MappedFile> file, MemorySpan span) {
+  // The catalog (tables, B-tree definitions) is inherently owned data and
+  // parses through the stream reader — directly over the mapping, no
+  // intermediate buffer. Only the posting sections are aliased.
+  SpanStreamBuf stream_buf(span);
+  std::istream in(&stream_buf);
+  BinaryReader reader(&in);
+  KOKO_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kIndexMagic) return Status::ParseError("bad index magic");
+  KOKO_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kIndexVersionBlocks && version != kIndexVersionFlatDeltas) {
+    return Status::ParseError("unsupported index version " +
+                              std::to_string(version));
+  }
+  if (version == kIndexVersionFlatDeltas) {
+    // v2 flat-delta lists have no aliasable layout: fall back to the
+    // copying stream loader over the same mapped bytes. The mapping is
+    // released once the copy completes.
+    in.clear();
+    in.seekg(0);
+    return Load(&reader);
+  }
+  auto index = std::unique_ptr<KokoIndex>(new KokoIndex());
+  KOKO_RETURN_IF_ERROR(index->catalog_.Load(&reader));
+  KOKO_RETURN_IF_ERROR(index->InitFromCatalog());
+  const std::streampos catalog_end = in.tellg();
+  if (catalog_end == std::streampos(-1)) {
+    return Status::IoError("cannot locate sid-cache section in mapped image");
+  }
+  // Posting sections: validate structure, then alias skip tables and
+  // delta-block payloads straight into the mapping ("validate before
+  // alias" — a corrupt image fails here, never at query time).
+  SpanReader mapped(span, static_cast<size_t>(catalog_end));
+  KOKO_RETURN_IF_ERROR(index->LoadSidCacheSections(
+      [&] { return mapped.ReadU32(); },
+      [&] { return mapped.ReadString(); },
+      [&] { return ReadBlockListMapped(&mapped); }));
+  index->mapping_ = std::move(file);
+  return index;
+}
+
+Result<std::unique_ptr<KokoIndex>> KokoIndex::Load(const std::string& path,
+                                                   LoadMode mode) {
+  if (mode == LoadMode::kMap) {
+    auto opened = MappedFile::Open(path);
+    // An Open failure (unsupported platform/filesystem) degrades to the
+    // copying loader below, which reports its own error if the file is
+    // genuinely unreadable — kMap never fails where kCopy would succeed.
+    if (opened.ok()) {
+      std::shared_ptr<MappedFile> file = std::move(*opened);
+      const MemorySpan span = file->span();
+      // A legacy catalog-only image has no "KIDX" magic and nothing to
+      // alias; hand it to the copying loader below.
+      SpanReader probe(span);
+      auto magic = probe.ReadU32();
+      if (magic.ok() && *magic == kIndexMagic) {
+        return LoadMapped(std::move(file), span);
+      }
+    }
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   BinaryReader reader(&in);

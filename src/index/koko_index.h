@@ -14,9 +14,23 @@
 #include "storage/table.h"
 #include "text/document.h"
 #include "util/interner.h"
+#include "util/mmap_file.h"
 #include "util/status.h"
 
 namespace koko {
+
+/// How Load materialises an index image.
+///
+///  * `kCopy` — deserialize into owned memory (the default; works for
+///    every image version).
+///  * `kMap` — mmap the file and, for v3 images, alias every posting
+///    payload (skip tables + delta blocks) into the mapping after the same
+///    structural validation the copy path runs. No posting byte is copied,
+///    load time drops to catalog parse + validation, and resident posting
+///    memory is page-cache-backed (shared across processes mapping the
+///    same image). Older images (v2 flat deltas, v1 catalog-only) have no
+///    aliasable layout and transparently fall back to a copying load.
+enum class LoadMode { kCopy, kMap };
 
 /// \brief KOKO's multi-indexing scheme (paper §3).
 ///
@@ -177,7 +191,22 @@ class KokoIndex {
   /// restores them with bounds-checked vector reads instead of
   /// re-projecting the W table or re-encoding.
   Status Save(const std::string& path) const;
-  static Result<std::unique_ptr<KokoIndex>> Load(const std::string& path);
+  static Result<std::unique_ptr<KokoIndex>> Load(const std::string& path) {
+    return Load(path, LoadMode::kCopy);
+  }
+  static Result<std::unique_ptr<KokoIndex>> Load(const std::string& path,
+                                                 LoadMode mode);
+
+  /// Zero-copy load of one v3 image occupying `span` inside `file`'s
+  /// mapping (the whole file, or one shard's extent of a sharded file).
+  /// The returned index holds `file` alive for its lifetime; v2 images
+  /// fall back to a copying parse of the mapped bytes.
+  static Result<std::unique_ptr<KokoIndex>> LoadMapped(
+      std::shared_ptr<MappedFile> file, MemorySpan span);
+
+  /// True when this index's posting payloads alias a file mapping (kMap
+  /// load of a v3 image) rather than owned memory.
+  bool mapped() const { return mapping_ != nullptr; }
 
   /// Stream-based variants (one shard's section of a ShardedKokoIndex file).
   /// `version` selects the image format: 3 (current, block layout) or 2
@@ -228,6 +257,13 @@ class KokoIndex {
   /// Post-catalog-load setup shared by both image formats: resolve W/E,
   /// rebuild tries from the closure tables, entity cache, stats.
   Status InitFromCatalog();
+  /// Parses the word/trie sid-cache sections — one protocol shared by the
+  /// stream (copy) and mapped (zero-copy) loaders, abstracted over the
+  /// reader via three callables so the two paths cannot drift apart.
+  /// Defined in koko_index.cpp; instantiated only there.
+  template <typename ReadU32, typename ReadString, typename ReadList>
+  Status LoadSidCacheSections(ReadU32&& read_u32, ReadString&& read_string,
+                              ReadList&& read_list);
   Status RebuildEntityCache();
   /// Fills the columnar sid caches (word/entity-type/trie-node lists) from
   /// the W and E tables; called at the end of Build and legacy Load.
@@ -248,6 +284,9 @@ class KokoIndex {
   BlockList all_entity_sids_;
   Stats stats_;
   bool sid_caches_from_disk_ = false;
+  /// Keeps the file mapping alive while any BlockList views point into it
+  /// (kMap loads only; shards of one sharded file share a single mapping).
+  std::shared_ptr<MappedFile> mapping_;
 };
 
 }  // namespace koko

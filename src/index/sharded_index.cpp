@@ -250,6 +250,20 @@ size_t ShardedKokoIndex::MemoryUsage() const {
   return bytes;
 }
 
+size_t ShardedKokoIndex::SidCacheMemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& shard : shards_) bytes += shard->SidCacheMemoryUsage();
+  return bytes;
+}
+
+bool ShardedKokoIndex::mapped() const {
+  if (shards_.empty()) return false;
+  for (const auto& shard : shards_) {
+    if (!shard->mapped()) return false;
+  }
+  return true;
+}
+
 Status ShardedKokoIndex::Save(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
@@ -343,9 +357,21 @@ Result<std::unique_ptr<ShardedKokoIndex>> ShardedKokoIndex::Load(
     cursor += extents[i];
   }
 
-  // Shards deserialize independently: each worker opens its own stream,
-  // seeks to its extent, and fills its slot. Results are position-
-  // independent, so the loaded index is identical for any worker count.
+  // kMap: one shared read-only mapping of the whole file; each shard
+  // parses (and aliases into) its own extent sub-span. An Open failure
+  // (unsupported platform/filesystem) leaves `mapping` null and the load
+  // degrades to the copying stream path — the file itself is readable,
+  // the manifest above already parsed from it.
+  std::shared_ptr<MappedFile> mapping;
+  if (options.mode == LoadMode::kMap) {
+    auto opened = MappedFile::Open(path);
+    if (opened.ok()) mapping = std::move(*opened);
+  }
+
+  // Shards deserialize independently: each worker opens its own stream
+  // (or slices the shared mapping), seeks to its extent, and fills its
+  // slot. Results are position-independent, so the loaded index is
+  // identical for any worker count.
   const size_t workers = std::min<size_t>(
       options.num_threads == 0 ? k : options.num_threads, k);
   std::atomic<size_t> next{0};
@@ -354,6 +380,21 @@ Result<std::unique_ptr<ShardedKokoIndex>> ShardedKokoIndex::Load(
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= k) return;
+      if (mapping != nullptr) {
+        auto span = mapping->span().Slice(offsets[i],
+                                          static_cast<size_t>(extents[i]));
+        if (!span.ok()) {
+          statuses[i] = span.status();
+          continue;
+        }
+        auto shard = KokoIndex::LoadMapped(mapping, *span);
+        if (!shard.ok()) {
+          statuses[i] = shard.status();
+          continue;
+        }
+        index->shards_[i] = std::move(*shard);
+        continue;
+      }
       std::ifstream shard_in(path, std::ios::binary);
       if (!shard_in) {
         statuses[i] = Status::IoError("cannot reopen " + path);

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <limits>
 #include <queue>
+
+#include "util/logging.h"
 
 namespace koko {
 
@@ -24,10 +27,43 @@ bool SidList::Contains(uint32_t sid) const {
   return std::binary_search(ids_.begin(), ids_.end(), sid);
 }
 
-size_t GallopTo(const uint32_t* xs, size_t n, size_t lo, uint32_t key) {
+namespace {
+
+// index-based lower/upper_bound and galloping advance over any indexable
+// u32 sequence — a raw pointer or a (possibly unaligned) U32View. One
+// implementation, instantiated for both, so the two access paths cannot
+// drift apart.
+template <typename Xs>
+size_t LowerBoundIdx(const Xs& xs, size_t lo, size_t hi, uint32_t key) {
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (xs[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+template <typename Xs>
+size_t UpperBoundIdx(const Xs& xs, size_t lo, size_t hi, uint32_t key) {
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (xs[mid] <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+template <typename Xs>
+size_t GallopToImpl(const Xs& xs, size_t n, size_t lo, uint32_t key) {
   if (lo >= n || xs[lo] >= key) return lo;
   // Exponential probe: bracket the first element >= key in
-  // (lo + step/2, lo + step].
+  // (lo + step/2, lo + step], then binary search in (prev, cur].
   size_t step = 1;
   size_t prev = lo;
   size_t cur = lo + 1;
@@ -37,9 +73,17 @@ size_t GallopTo(const uint32_t* xs, size_t n, size_t lo, uint32_t key) {
     cur = lo + step;
   }
   if (cur > n) cur = n;
-  // Binary search in (prev, cur].
-  return static_cast<size_t>(
-      std::lower_bound(xs + prev + 1, xs + cur, key) - xs);
+  return LowerBoundIdx(xs, prev + 1, cur, key);
+}
+
+}  // namespace
+
+size_t GallopTo(const uint32_t* xs, size_t n, size_t lo, uint32_t key) {
+  return GallopToImpl(xs, n, lo, key);
+}
+
+size_t GallopTo(const U32View& xs, size_t lo, uint32_t key) {
+  return GallopToImpl(xs, xs.size(), lo, key);
 }
 
 namespace {
@@ -171,6 +215,11 @@ void AppendVarint(std::vector<uint8_t>* out, uint32_t value) {
 }  // namespace
 
 void BlockList::Append(uint32_t sid) {
+  // Views are immutable: build into an owning list. A hard check in every
+  // build — growing size_ while the read API still serves the mapped
+  // views would corrupt block accounting (and overflow DecodeBlock's
+  // stack buffers), and dropping the sid would silently lose postings.
+  KOKO_CHECK(!viewed_);
   if (size_ > 0) {
     assert(sid >= last_);
     if (sid == last_) return;
@@ -201,9 +250,9 @@ void BlockList::ShrinkToFit() {
 
 size_t BlockList::DecodeBlock(size_t b, uint32_t* out) const {
   const size_t count = BlockSize(b);
-  uint32_t sid = skip_first_[b];
+  uint32_t sid = skip_first()[b];
   out[0] = sid;
-  const uint8_t* p = bytes_.data() + skip_offset_[b];
+  const uint8_t* p = bytes().data() + skip_offset()[b];
   for (size_t i = 1; i < count; ++i) {
     uint32_t gap = 0;
     int shift = 0;
@@ -232,32 +281,41 @@ SidList BlockList::Decode() const {
 
 bool BlockList::Contains(uint32_t sid) const {
   if (empty()) return false;
-  auto it = std::upper_bound(skip_first_.begin(), skip_first_.end(), sid);
-  if (it == skip_first_.begin()) return false;
-  const size_t b = static_cast<size_t>(it - skip_first_.begin()) - 1;
+  // The candidate block is the one before the first whose first sid
+  // exceeds `sid`.
+  const U32View firsts = skip_first();
+  const size_t at = UpperBoundIdx(firsts, 0, firsts.size(), sid);
+  if (at == 0) return false;
   uint32_t buf[kBlockSids];
-  const size_t n = DecodeBlock(b, buf);
+  const size_t n = DecodeBlock(at - 1, buf);
   return std::binary_search(buf, buf + n, sid);
 }
 
-Result<BlockList> BlockList::FromParts(uint32_t count,
-                                       std::vector<uint32_t> skip_first,
-                                       std::vector<uint32_t> skip_offset,
-                                       std::vector<uint8_t> bytes) {
+namespace {
+
+// The structural validation walk shared by FromParts (owning) and
+// FromMapped (aliasing): every invariant a corrupt image could violate is
+// checked here, before any byte is trusted at query time. On success
+// `*last_out` holds the final sid of the stream.
+Status ValidateBlockParts(uint32_t count, const U32View& skip_first,
+                          const U32View& skip_offset, const uint8_t* bytes,
+                          size_t num_bytes, uint32_t* last_out) {
   const size_t nb = skip_first.size();
   if (skip_offset.size() != nb) {
     return Status::ParseError("block list: skip table arrays disagree");
   }
   const size_t expected_blocks =
-      (static_cast<size_t>(count) + kBlockSids - 1) / kBlockSids;
+      (static_cast<size_t>(count) + BlockList::kBlockSids - 1) /
+      BlockList::kBlockSids;
   if (nb != expected_blocks) {
     return Status::ParseError("block list: wrong block count for sid count");
   }
+  *last_out = 0;
   if (count == 0) {
-    if (!bytes.empty()) {
+    if (num_bytes != 0) {
       return Status::ParseError("block list: empty list with payload bytes");
     }
-    return BlockList();
+    return Status::OK();
   }
   if (skip_offset[0] != 0) {
     return Status::ParseError("block list: first block offset not zero");
@@ -268,14 +326,15 @@ Result<BlockList> BlockList::FromParts(uint32_t count,
       return Status::ParseError("block list: non-monotone sids across blocks");
     }
     const size_t begin = skip_offset[b];
-    const size_t end = b + 1 < nb ? skip_offset[b + 1] : bytes.size();
-    if (begin > end || end > bytes.size()) {
+    const size_t end = b + 1 < nb ? skip_offset[b + 1] : num_bytes;
+    if (begin > end || end > num_bytes) {
       return Status::ParseError("block list: skip offsets out of bounds");
     }
     // Walk the payload: the block must hold exactly its sid count in
     // wellformed, nonzero, non-overflowing gaps and end on its boundary.
-    const size_t in_block =
-        b + 1 < nb ? kBlockSids : static_cast<size_t>(count) - b * kBlockSids;
+    const size_t in_block = b + 1 < nb ? BlockList::kBlockSids
+                                       : static_cast<size_t>(count) -
+                                             b * BlockList::kBlockSids;
     uint64_t sid = skip_first[b];
     size_t at = begin;
     for (size_t i = 1; i < in_block; ++i) {
@@ -306,13 +365,57 @@ Result<BlockList> BlockList::FromParts(uint32_t count,
     }
     prev_last = static_cast<uint32_t>(sid);
   }
+  *last_out = prev_last;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BlockList> BlockList::FromParts(uint32_t count,
+                                       std::vector<uint32_t> skip_first,
+                                       std::vector<uint32_t> skip_offset,
+                                       std::vector<uint8_t> bytes) {
+  uint32_t last = 0;
+  KOKO_RETURN_IF_ERROR(ValidateBlockParts(count, U32View(skip_first),
+                                          U32View(skip_offset), bytes.data(),
+                                          bytes.size(), &last));
   BlockList out;
   out.size_ = count;
-  out.last_ = prev_last;
+  out.last_ = last;
   out.skip_first_ = std::move(skip_first);
   out.skip_offset_ = std::move(skip_offset);
   out.bytes_ = std::move(bytes);
   return out;
+}
+
+Result<BlockList> BlockList::FromMapped(uint32_t count, U32View skip_first,
+                                        U32View skip_offset,
+                                        MemorySpan bytes) {
+  uint32_t last = 0;
+  KOKO_RETURN_IF_ERROR(ValidateBlockParts(count, skip_first, skip_offset,
+                                          bytes.data(), bytes.size(), &last));
+  BlockList out;
+  out.size_ = count;
+  out.last_ = last;
+  out.viewed_ = true;
+  out.vfirst_ = skip_first;
+  out.voffset_ = skip_offset;
+  out.vbytes_ = bytes;
+  return out;
+}
+
+bool operator==(const BlockList& a, const BlockList& b) {
+  if (a.size_ != b.size_) return false;
+  const U32View af = a.skip_first(), bf = b.skip_first();
+  const U32View ao = a.skip_offset(), bo = b.skip_offset();
+  if (af.size() != bf.size() || ao.size() != bo.size()) return false;
+  for (size_t i = 0; i < af.size(); ++i) {
+    if (af[i] != bf[i] || ao[i] != bo[i]) return false;
+  }
+  const MemorySpan ab = a.bytes(), bb = b.bytes();
+  return ab.size() == bb.size() &&
+         (ab.size() == 0 ||
+          std::memcmp(ab.data(), bb.data(), ab.size()) == 0);
 }
 
 // ---- In-place compressed intersection ---------------------------------------
@@ -331,7 +434,7 @@ class BlockCursor {
   /// across calls: a match advances the cursor past the matched sid, so
   /// repeating a key would miss it.
   bool AdvanceTo(uint32_t key) {
-    const std::vector<uint32_t>& firsts = list_.skip_first();
+    const U32View firsts = list_.skip_first();
     const size_t nb = firsts.size();
     if (nb == 0 || key < firsts[0]) return false;
     // Candidate block: the last one whose first sid is <= key, i.e. just
@@ -340,7 +443,7 @@ class BlockCursor {
     if (key == std::numeric_limits<uint32_t>::max()) {
       candidate = nb - 1;
     } else {
-      candidate = GallopTo(firsts.data(), nb, block_, key + 1) - 1;
+      candidate = GallopTo(firsts, block_, key + 1) - 1;
     }
     if (candidate != block_ || !decoded_) {
       block_ = candidate;
@@ -379,7 +482,7 @@ void IntersectMergeBlocks(const SidList& a, const BlockList& b,
                           std::vector<uint32_t>* out) {
   const uint32_t* xs = a.data();
   const size_t na = a.size();
-  const std::vector<uint32_t>& firsts = b.skip_first();
+  const U32View firsts = b.skip_first();
   uint32_t buf[BlockList::kBlockSids];
   size_t i = 0;
   for (size_t blk = 0; blk < b.NumBlocks() && i < na; ++blk) {
@@ -455,7 +558,7 @@ SidList Intersect(const BlockList& a, const BlockList& b) {
     // Comparable sizes: stream both block sequences through one merge,
     // decoding each block at most once. A block of `large` wholly below
     // the small side's cursor is skipped via the skip table, undecoded.
-    const std::vector<uint32_t>& firsts = large.skip_first();
+    const U32View firsts = large.skip_first();
     uint32_t lbuf[BlockList::kBlockSids];
     size_t lblk = 0;
     size_t ln = 0;  // decoded size of lbuf; 0 = not decoded yet

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/mmap_file.h"
 #include "util/status.h"
 
 namespace koko {
@@ -73,6 +74,10 @@ class SidList {
 /// intersection (Bentley & Yao / SVS "galloping" advance).
 size_t GallopTo(const uint32_t* xs, size_t n, size_t lo, uint32_t key);
 
+/// GallopTo over a (possibly unaligned) U32View — the skip-table variant
+/// used when the table aliases a memory-mapped image.
+size_t GallopTo(const U32View& xs, size_t lo, uint32_t key);
+
 // ---- Set operations ---------------------------------------------------------
 
 /// Ordered intersection. Adaptive: linear two-pointer merge when the sizes
@@ -121,6 +126,16 @@ SidList Difference(const SidList& a, const SidList& b);
 /// `Intersect(SidList, BlockList)` / `Intersect(BlockList, BlockList)`).
 /// Versus the decoded `std::vector<uint32_t>` this stores ~1-2 bytes per sid
 /// instead of 4 plus geometric vector slack.
+///
+/// **Ownership:** a list is either *owning* (skip table + payload live in
+/// its own vectors — the build path and `FromParts`) or a *view*
+/// (`FromMapped`: the three arrays alias externally-owned bytes, typically
+/// a `MappedFile` of a v3 image). Both forms expose the identical read API
+/// (`skip_first()`/`skip_offset()`/`bytes()` return borrowed views either
+/// way), so every intersection/lookup kernel runs unchanged over mapped
+/// memory. A view's `MemoryUsage()` is 0 — the pages belong to the mapping.
+/// Whoever creates a view keeps the backing memory alive and immutable for
+/// the list's lifetime (KokoIndex holds its mapping in a shared_ptr).
 class BlockList {
  public:
   /// Sids per block. 128 gaps fit L1 comfortably as a decode buffer and
@@ -146,15 +161,29 @@ class BlockList {
                                      std::vector<uint32_t> skip_offset,
                                      std::vector<uint8_t> bytes);
 
+  /// The zero-copy counterpart of FromParts: the same structural
+  /// validation walk over the same three arrays, but on success the list
+  /// *aliases* the given views instead of owning vectors — no posting byte
+  /// is copied. The backing memory (an mmap'ed v3 image) must stay alive
+  /// and unmodified for the list's lifetime; validation completes before
+  /// any alias is retained, so a corrupt image fails here and never at
+  /// query time ("validate before alias").
+  static Result<BlockList> FromMapped(uint32_t count, U32View skip_first,
+                                      U32View skip_offset, MemorySpan bytes);
+
+  /// True when this list is a non-owning view over mapped memory.
+  bool mapped() const { return viewed_; }
+
   size_t CountSids() const { return size_; }
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
-  size_t NumBlocks() const { return skip_first_.size(); }
+  size_t NumBlocks() const {
+    return viewed_ ? vfirst_.size() : skip_first_.size();
+  }
 
   /// Number of sids in block `b` (kBlockSids except possibly the last).
   size_t BlockSize(size_t b) const {
-    return b + 1 < skip_first_.size() ? kBlockSids
-                                      : size_ - b * kBlockSids;
+    return b + 1 < NumBlocks() ? kBlockSids : size_ - b * kBlockSids;
   }
 
   /// Decodes block `b` into `out` (capacity >= kBlockSids); returns the
@@ -169,32 +198,50 @@ class BlockList {
 
   bool Contains(uint32_t sid) const;
 
+  /// Heap bytes attributable to this list. A mapped view owns nothing —
+  /// its pages belong to the file mapping and the OS page cache — so it
+  /// reports 0; this is exactly the "resident posting bytes" the load
+  /// benches compare between copy and map modes.
   size_t MemoryUsage() const {
-    return bytes_.capacity() +
-           (skip_first_.capacity() + skip_offset_.capacity()) * sizeof(uint32_t);
+    return viewed_ ? 0
+                   : bytes_.capacity() + (skip_first_.capacity() +
+                                          skip_offset_.capacity()) *
+                                             sizeof(uint32_t);
   }
 
   /// Trims capacity slack after a build-time Append stream.
   void ShrinkToFit();
 
-  // Serialization views (the v3 image writes these verbatim).
-  const std::vector<uint32_t>& skip_first() const { return skip_first_; }
-  const std::vector<uint32_t>& skip_offset() const { return skip_offset_; }
-  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  // Serialization views (the v3 image writes these verbatim). Borrowed
+  // either from the owned vectors or from the mapping; valid while the
+  // list (and, for a view, its backing memory) lives.
+  U32View skip_first() const {
+    return viewed_ ? vfirst_ : U32View(skip_first_);
+  }
+  U32View skip_offset() const {
+    return viewed_ ? voffset_ : U32View(skip_offset_);
+  }
+  MemorySpan bytes() const {
+    return viewed_ ? vbytes_ : MemorySpan(bytes_.data(), bytes_.size());
+  }
 
   /// The encoder is canonical (one byte stream per sid set), so structural
-  /// equality is set equality.
-  friend bool operator==(const BlockList& a, const BlockList& b) {
-    return a.size_ == b.size_ && a.skip_first_ == b.skip_first_ &&
-           a.skip_offset_ == b.skip_offset_ && a.bytes_ == b.bytes_;
-  }
+  /// equality is set equality — compared element-wise so owning and mapped
+  /// lists over the same sid set are equal.
+  friend bool operator==(const BlockList& a, const BlockList& b);
 
  private:
   uint32_t size_ = 0;
   uint32_t last_ = 0;  // tail sid of the append stream
+  // Owned storage; empty when viewed_ (the views below alias external
+  // memory — never these vectors, so default copy/move stays correct).
   std::vector<uint32_t> skip_first_;
   std::vector<uint32_t> skip_offset_;
   std::vector<uint8_t> bytes_;
+  bool viewed_ = false;
+  U32View vfirst_;
+  U32View voffset_;
+  MemorySpan vbytes_;
 };
 
 /// \brief A borrowed sorted sid set: either a decoded `SidList` or a

@@ -139,7 +139,13 @@ class AdmissionQueue {
 /// Thread-safety: all public methods may be called from any number of
 /// threads. The borrowed Engine must outlive the service and must not be
 /// reconfigured (set_document_store / AddOntologySet) while queries run.
-/// See examples/serve_queries.cpp for an end-to-end snippet.
+/// The engine's index may be a zero-copy (`LoadMode::kMap`) load: mapped
+/// postings are immutable shared state held alive by the index itself, so
+/// concurrent queries read them without synchronization and the service
+/// needs no awareness of the load mode (see
+/// query_service_test's ConcurrentClientsOverMappedIndexMatchSerial).
+/// See examples/serve_queries.cpp for an end-to-end snippet, including
+/// serving off an mmap-loaded index.
 class QueryService {
  public:
   struct Options {

@@ -2,11 +2,14 @@
 #define KOKO_STORAGE_SERDE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <istream>
 #include <ostream>
+#include <streambuf>
 #include <string>
 #include <vector>
 
+#include "util/mmap_file.h"
 #include "util/status.h"
 
 namespace koko {
@@ -36,6 +39,12 @@ class BinaryWriter {
     static_assert(std::is_trivially_copyable_v<T>);
     WriteU32(static_cast<uint32_t>(v.size()));
     if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Raw bytes, no length prefix — for serializing borrowed views (e.g. a
+  /// mapped BlockList) whose element storage is not a std::vector.
+  void WriteBytes(const void* data, size_t size) {
+    if (size > 0) WriteRaw(data, size);
   }
 
   bool ok() const { return out_->good(); }
@@ -127,6 +136,111 @@ class BinaryReader {
   }
   std::istream* in_;
   std::streampos end_pos_ = std::streampos(-1);
+};
+
+/// \brief Seekable read-only std::streambuf over a MemorySpan.
+///
+/// Lets the stream-based deserializers (Catalog::Load and friends) parse a
+/// memory-mapped image without an intermediate copy of the stream itself:
+/// an `std::istream` constructed over this buffer reads straight from the
+/// mapping. Supports seeking so BinaryReader's remaining-bytes bound works.
+class SpanStreamBuf : public std::streambuf {
+ public:
+  explicit SpanStreamBuf(MemorySpan span) {
+    char* base = const_cast<char*>(reinterpret_cast<const char*>(span.data()));
+    setg(base, base, base + span.size());
+  }
+
+ protected:
+  pos_type seekoff(off_type off, std::ios_base::seekdir dir,
+                   std::ios_base::openmode which) override {
+    if (!(which & std::ios_base::in)) return pos_type(off_type(-1));
+    off_type base;
+    switch (dir) {
+      case std::ios_base::beg: base = 0; break;
+      case std::ios_base::cur: base = gptr() - eback(); break;
+      case std::ios_base::end: base = egptr() - eback(); break;
+      default: return pos_type(off_type(-1));
+    }
+    const off_type target = base + off;
+    if (target < 0 || target > egptr() - eback()) return pos_type(off_type(-1));
+    setg(eback(), eback() + target, egptr());
+    return pos_type(target);
+  }
+
+  pos_type seekpos(pos_type pos, std::ios_base::openmode which) override {
+    return seekoff(off_type(pos), std::ios_base::beg, which);
+  }
+};
+
+/// \brief Bounds-checked reader over a MemorySpan that can hand out *views*
+/// instead of copies.
+///
+/// The zero-copy load path's counterpart to BinaryReader: scalar reads and
+/// strings copy as usual, but length-prefixed arrays come back as
+/// `U32View`/`MemorySpan` aliases into the underlying span (the caller owns
+/// the backing memory — typically a MappedFile — and must keep it alive).
+/// Every read is bounded by the span, so a corrupt length prefix fails with
+/// an error instead of reading past the mapping.
+class SpanReader {
+ public:
+  explicit SpanReader(MemorySpan span, size_t offset = 0)
+      : span_(span), pos_(offset > span.size() ? span.size() : offset) {}
+
+  size_t offset() const { return pos_; }
+  size_t remaining() const { return span_.size() - pos_; }
+
+  Result<uint32_t> ReadU32() {
+    if (remaining() < sizeof(uint32_t)) return Eof();
+    uint32_t v;
+    std::memcpy(&v, span_.data() + pos_, sizeof(v));
+    pos_ += sizeof(v);
+    return v;
+  }
+
+  Result<uint64_t> ReadU64() {
+    if (remaining() < sizeof(uint64_t)) return Eof();
+    uint64_t v;
+    std::memcpy(&v, span_.data() + pos_, sizeof(v));
+    pos_ += sizeof(v);
+    return v;
+  }
+
+  Result<std::string> ReadString() {
+    KOKO_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+    if (len > remaining()) return Eof();
+    std::string s(reinterpret_cast<const char*>(span_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  /// u32 count, then `count` host-endian uint32s, returned as a view (the
+  /// bytes may be unaligned — U32View loads elements unaligned-safely).
+  Result<U32View> ReadU32Array() {
+    KOKO_ASSIGN_OR_RETURN(uint32_t count, ReadU32());
+    const uint64_t bytes = static_cast<uint64_t>(count) * sizeof(uint32_t);
+    if (bytes > remaining()) return Eof();
+    U32View view(span_.data() + pos_, count);
+    pos_ += static_cast<size_t>(bytes);
+    return view;
+  }
+
+  /// u32 count, then `count` raw bytes, returned as a view.
+  Result<MemorySpan> ReadByteArray() {
+    KOKO_ASSIGN_OR_RETURN(uint32_t count, ReadU32());
+    if (count > remaining()) return Eof();
+    MemorySpan view(span_.data() + pos_, count);
+    pos_ += count;
+    return view;
+  }
+
+ private:
+  Status Eof() const {
+    return Status::IoError("unexpected end of mapped image");
+  }
+
+  MemorySpan span_;
+  size_t pos_ = 0;
 };
 
 }  // namespace koko

@@ -1,0 +1,128 @@
+#ifndef KOKO_UTIL_MMAP_FILE_H_
+#define KOKO_UTIL_MMAP_FILE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace koko {
+
+/// \brief A borrowed, read-only byte range — the currency of the zero-copy
+/// load path.
+///
+/// A span never owns its memory: it points into an owned vector, a
+/// `MappedFile`, or any other buffer the caller keeps alive. Slicing is
+/// bounds-checked (`Slice` returns an error instead of a span past the
+/// end), so structures parsed out of an untrusted index image can never
+/// reference bytes outside the mapping.
+class MemorySpan {
+ public:
+  MemorySpan() = default;
+  MemorySpan(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Bounds-checked sub-range [offset, offset + length).
+  Result<MemorySpan> Slice(size_t offset, size_t length) const {
+    if (offset > size_ || length > size_ - offset) {
+      return Status::OutOfRange("span slice [" + std::to_string(offset) + ", +" +
+                                std::to_string(length) + ") exceeds " +
+                                std::to_string(size_) + " bytes");
+    }
+    return MemorySpan(data_ + offset, length);
+  }
+
+  /// Copies the viewed bytes out (tests, diagnostics).
+  std::vector<uint8_t> ToVector() const {
+    return std::vector<uint8_t>(data_, data_ + size_);
+  }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// \brief A borrowed array of uint32 values over possibly-unaligned bytes.
+///
+/// Index images carry no alignment padding (strings of arbitrary length
+/// precede the posting sections), so a uint32 array aliased straight out of
+/// an mmap'ed file generally starts at an odd byte. Dereferencing a
+/// misaligned `uint32_t*` is undefined behaviour; this view loads elements
+/// through `memcpy`, which every supported compiler folds into a plain
+/// (hardware-tolerated) unaligned load. Values are host-endian, matching
+/// `BinaryWriter`'s raw integer writes.
+class U32View {
+ public:
+  U32View() = default;
+  /// View over an owned, aligned vector.
+  explicit U32View(const std::vector<uint32_t>& v)
+      : data_(reinterpret_cast<const uint8_t*>(v.data())), size_(v.size()) {}
+  /// View over `count` uint32s starting at `bytes` (no alignment required).
+  U32View(const uint8_t* bytes, size_t count) : data_(bytes), size_(count) {}
+
+  uint32_t operator[](size_t i) const {
+    uint32_t v;
+    std::memcpy(&v, data_ + i * sizeof(uint32_t), sizeof(uint32_t));
+    return v;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Underlying bytes (serialization: the view is written back verbatim).
+  const uint8_t* raw() const { return data_; }
+  size_t raw_size() const { return size_ * sizeof(uint32_t); }
+
+  std::vector<uint32_t> ToVector() const {
+    std::vector<uint32_t> out(size_);
+    for (size_t i = 0; i < size_; ++i) out[i] = (*this)[i];
+    return out;
+  }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// \brief RAII read-only memory mapping of a whole file.
+///
+/// The zero-copy index load (`KokoIndex::Load` with `LoadMode::kMap`) maps
+/// the image once and aliases every posting payload into the mapping; the
+/// loaded index holds a `shared_ptr<MappedFile>` so the bytes outlive every
+/// structure pointing at them (shards of one sharded file share a single
+/// mapping). Pages are faulted in lazily by the OS and served from the page
+/// cache, so many worker processes mapping the same image share physical
+/// memory.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Fails with IoError when the file cannot be
+  /// opened, stat'ed, or mapped; an empty file maps to an empty span.
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  MemorySpan span() const {
+    return MemorySpan(static_cast<const uint8_t*>(data_), size_);
+  }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile(std::string path, void* data, size_t size)
+      : path_(std::move(path)), data_(data), size_(size) {}
+
+  std::string path_;
+  void* data_ = nullptr;  // nullptr iff the file is empty
+  size_t size_ = 0;
+};
+
+}  // namespace koko
+
+#endif  // KOKO_UTIL_MMAP_FILE_H_

@@ -67,6 +67,24 @@ TEST(JsonEmitterTest, NonFiniteValuesEmitNull) {
   EXPECT_EQ(json.find("inf,"), std::string::npos);
 }
 
+TEST(JsonEmitterTest, StringValuedFieldsEmitQuotedAndEscaped) {
+  // The load benches tag entries with load_mode: "copy" | "map"; string
+  // fields must emit as quoted JSON strings (escaped like names) next to
+  // the numeric fields.
+  bench::JsonEmitter emitter("shard_scaleup");
+  emitter.AddEntry("load/K=2",
+                   {{"load_mode", "map"}, {"odd \"label\"", "a\\b"}},
+                   {{"shards", 2}, {"load_s", 0.5}});
+  std::string json = WriteAndRead(emitter, "strings");
+  EXPECT_NE(json.find("\"load_mode\": \"map\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"odd \\\"label\\\"\": \"a\\\\b\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"shards\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"load_s\": 0.5"), std::string::npos);
+  // String fields precede numeric ones with a comma between.
+  EXPECT_LT(json.find("\"load_mode\""), json.find("\"shards\""));
+}
+
 TEST(JsonEmitterTest, ControlCharsBelowSpaceUseUnicodeEscapes) {
   bench::JsonEmitter emitter("serve");
   std::string name = "ctl";

@@ -423,6 +423,86 @@ TEST(EngineTest, ShardedMaxRowsTruncationIsDeterministic) {
   }
 }
 
+TEST(EngineTest, MappedIndexQueriesMatchCopyAcrossShardsAndThreads) {
+  // End-to-end parity for LoadMode::kMap: an engine over a mapped index
+  // (monolithic and sharded) returns byte-identical rows to the serial
+  // engine over the built index, for every (K, num_shards, num_threads)
+  // combination, including max_rows truncation.
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 120, .seed = 56});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto built = KokoIndex::Build(corpus);
+  EmbeddingModel embeddings;
+  const EntityRecognizer& recognizer =
+      const_cast<const Pipeline&>(pipeline).recognizer();
+  Engine reference(&corpus, built.get(), &embeddings, &recognizer);
+  const char* query =
+      "extract b:Str from \"t\" if ( /ROOT:{ a = //verb, b = a/dobj })";
+
+  // Monolithic mapped index.
+  std::string mono_path = ::testing::TempDir() + "/engine_mmap_mono.bin";
+  ASSERT_TRUE(built->Save(mono_path).ok());
+  auto mono_mapped = KokoIndex::Load(mono_path, LoadMode::kMap);
+  ASSERT_TRUE(mono_mapped.ok()) << mono_mapped.status().ToString();
+  ASSERT_TRUE((*mono_mapped)->mapped());
+  Engine mono_engine(&corpus, mono_mapped->get(), &embeddings, &recognizer);
+
+  for (size_t cap : {0u, 1u, 9u, 50000u}) {
+    EngineOptions serial;
+    serial.max_rows = cap;
+    auto want = reference.ExecuteText(query, serial);
+    ASSERT_TRUE(want.ok());
+    for (size_t threads : {1u, 4u}) {
+      EngineOptions options = serial;
+      options.num_threads = threads;
+      auto got = mono_engine.ExecuteText(query, options);
+      ASSERT_TRUE(got.ok());
+      ExpectIdenticalResults(*want, *got,
+                             "mono cap=" + std::to_string(cap) +
+                                 " threads=" + std::to_string(threads));
+    }
+  }
+  std::remove(mono_path.c_str());
+
+  // Sharded mapped index: sweep shard count x group fan-out x threads.
+  for (size_t k : {1u, 2u, 4u}) {
+    auto sharded_built = ShardedKokoIndex::Build(corpus, k);
+    std::string path = ::testing::TempDir() + "/engine_mmap_sharded_" +
+                       std::to_string(k) + ".bin";
+    ASSERT_TRUE(sharded_built->Save(path).ok());
+    ShardedKokoIndex::LoadOptions load_options;
+    load_options.mode = LoadMode::kMap;
+    auto mapped = ShardedKokoIndex::Load(path, load_options);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    ASSERT_TRUE((*mapped)->mapped());
+    Engine sharded(&corpus, mapped->get(), &embeddings, &recognizer);
+    for (size_t cap : {0u, 7u, 50000u}) {
+      EngineOptions serial;
+      serial.max_rows = cap;
+      auto want = reference.ExecuteText(query, serial);
+      ASSERT_TRUE(want.ok());
+      struct Config {
+        size_t num_shards;
+        size_t num_threads;
+      };
+      for (const Config& config :
+           {Config{0, 1}, Config{0, 4}, Config{2, 4}}) {
+        EngineOptions options = serial;
+        options.num_shards = config.num_shards;
+        options.num_threads = config.num_threads;
+        auto got = sharded.ExecuteText(query, options);
+        ASSERT_TRUE(got.ok());
+        ExpectIdenticalResults(
+            *want, *got,
+            "mapped K=" + std::to_string(k) + " cap=" + std::to_string(cap) +
+                " groups=" + std::to_string(config.num_shards) +
+                " threads=" + std::to_string(config.num_threads));
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
 TEST(EngineTest, ShardedSatisfyingQueryMatchesMonolithic) {
   Pipeline pipeline;
   auto docs = GenerateWikiArticles({.num_articles = 30, .seed = 55});

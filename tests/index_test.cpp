@@ -226,6 +226,119 @@ TEST(KokoIndexTest, SaveLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(KokoIndexTest, MmapLoadMatchesCopyLoad) {
+  // The parity property behind LoadMode::kMap: a mapped index must answer
+  // every lookup byte-identically to a copy-loaded (and a freshly built)
+  // one, while holding ~0 owned posting bytes.
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 200, .seed = 9});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  std::string path = ::testing::TempDir() + "/koko_index_mmap_test.bin";
+  ASSERT_TRUE(index->Save(path).ok());
+
+  auto copied = KokoIndex::Load(path, LoadMode::kCopy);
+  ASSERT_TRUE(copied.ok()) << copied.status().ToString();
+  auto mapped = KokoIndex::Load(path, LoadMode::kMap);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_FALSE((*copied)->mapped());
+  EXPECT_TRUE((*mapped)->mapped());
+  EXPECT_TRUE((*mapped)->sid_caches_from_disk());
+
+  // No posting-payload copy: the mapped index's sid caches attribute ~0
+  // heap bytes (only trie-node rows etc. remain owned), the copied one a
+  // strictly positive amount.
+  EXPECT_GT((*copied)->SidCacheMemoryUsage(), 0u);
+  EXPECT_LT((*mapped)->SidCacheMemoryUsage(),
+            (*copied)->SidCacheMemoryUsage() / 4);
+
+  // Every word's block list is equal across build / copy / map.
+  std::set<std::string> words;
+  for (uint32_t sid = 0; sid < corpus.NumSentences(); ++sid) {
+    for (const Token& token : corpus.sentence(sid).tokens) {
+      words.insert(token.text);
+    }
+  }
+  for (const std::string& word : words) {
+    const BlockList* built = index->WordSids(word);
+    const BlockList* copy = (*copied)->WordSids(word);
+    const BlockList* map = (*mapped)->WordSids(word);
+    ASSERT_NE(copy, nullptr) << word;
+    ASSERT_NE(map, nullptr) << word;
+    EXPECT_EQ(*map, *built) << word;
+    EXPECT_EQ(*map, *copy) << word;
+    EXPECT_TRUE(map->mapped()) << word;
+    EXPECT_EQ(map->Decode(), copy->Decode()) << word;
+    EXPECT_EQ((*mapped)->LookupWord(word), (*copied)->LookupWord(word)) << word;
+  }
+  PathQuery p = MakePath({{"/", "root"}, {"//", "dobj"}});
+  EXPECT_EQ((*mapped)->LookupParseLabelPath(p), index->LookupParseLabelPath(p));
+  EXPECT_EQ((*mapped)->PlPathSids(p), index->PlPathSids(p));
+  EXPECT_EQ((*mapped)->PosPathSids(MakePath({{"//", "verb"}})),
+            index->PosPathSids(MakePath({{"//", "verb"}})));
+  EXPECT_EQ((*mapped)->AllEntities(), index->AllEntities());
+  EXPECT_EQ((*mapped)->AllEntitySids(), index->AllEntitySids());
+
+  // A mapped index re-saves to a byte-identical image (the writer goes
+  // through the same borrowed views).
+  std::string resaved = ::testing::TempDir() + "/koko_index_mmap_resave.bin";
+  ASSERT_TRUE((*mapped)->Save(resaved).ok());
+  auto read_all = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  };
+  EXPECT_EQ(read_all(resaved), read_all(path));
+  std::remove(resaved.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(KokoIndexTest, MmapLoadFallsBackOnLegacyImages) {
+  // kMap on a v2 (flat-delta) or v1 (catalog-only) image must still load —
+  // transparently copying, since those layouts cannot be aliased.
+  AnnotatedCorpus corpus = PaperCorpus();
+  auto index = KokoIndex::Build(corpus);
+  std::string path = ::testing::TempDir() + "/koko_index_mmap_legacy.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    BinaryWriter writer(&out);
+    ASSERT_TRUE(index->Save(&writer, /*version=*/2).ok());
+  }
+  auto v2 = KokoIndex::Load(path, LoadMode::kMap);
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_FALSE((*v2)->mapped());  // copied, not aliased
+  EXPECT_TRUE((*v2)->sid_caches_from_disk());
+  EXPECT_EQ((*v2)->LookupWord("delicious"), index->LookupWord("delicious"));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    BinaryWriter writer(&out);
+    ASSERT_TRUE(index->catalog().Save(&writer).ok());
+  }
+  auto v1 = KokoIndex::Load(path, LoadMode::kMap);
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  EXPECT_FALSE((*v1)->mapped());
+  EXPECT_EQ((*v1)->LookupWord("delicious"), index->LookupWord("delicious"));
+  std::remove(path.c_str());
+}
+
+TEST(KokoIndexTest, MmapLoadErrorsAreClean) {
+  // Unmappable path: a clean error, not an abort.
+  auto missing = KokoIndex::Load(::testing::TempDir() + "/no_such_index.bin",
+                                 LoadMode::kMap);
+  EXPECT_FALSE(missing.ok());
+  // Empty and too-short files fail with an error in both modes.
+  std::string path = ::testing::TempDir() + "/koko_index_short.bin";
+  for (size_t bytes : {size_t{0}, size_t{3}, size_t{7}}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const char zeros[8] = {};
+    out.write(zeros, static_cast<long>(bytes));
+    out.close();
+    EXPECT_FALSE(KokoIndex::Load(path, LoadMode::kMap).ok()) << bytes;
+    EXPECT_FALSE(KokoIndex::Load(path, LoadMode::kCopy).ok()) << bytes;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(KokoIndexTest, CorruptImageFailsLoadCleanly) {
   AnnotatedCorpus corpus = PaperCorpus();
   auto index = KokoIndex::Build(corpus);
@@ -245,13 +358,16 @@ TEST(KokoIndexTest, CorruptImageFailsLoadCleanly) {
     out.write(bytes.data(), static_cast<long>(bytes.size()));
   };
 
-  // Truncations at several depths (mid-catalog, mid-sid-section).
+  // Truncations at several depths (mid-catalog, mid-sid-section), in both
+  // load modes: the mapped parser must bound every read by the mapping.
   for (size_t keep : {image.size() - 1, image.size() / 2, size_t{12}}) {
     std::vector<char> truncated(image.begin(),
                                 image.begin() + static_cast<long>(keep));
     write_image(truncated);
     auto loaded = KokoIndex::Load(path);
     EXPECT_FALSE(loaded.ok()) << "truncated to " << keep << " bytes";
+    auto mapped = KokoIndex::Load(path, LoadMode::kMap);
+    EXPECT_FALSE(mapped.ok()) << "mapped, truncated to " << keep << " bytes";
   }
 
   // Flip bytes in the trailing half (catalog tail + the v3 block-
@@ -263,21 +379,25 @@ TEST(KokoIndexTest, CorruptImageFailsLoadCleanly) {
   // another valid stream of the recorded length is indistinguishable
   // without a checksum, so the guarantee under test is "clean error or a
   // usable index", never a crash, hang, or out-of-bounds read (the suite
-  // runs under ASan in CI).
+  // runs under ASan in CI). The kMap path runs the same validation before
+  // aliasing anything, so it must agree flip for flip — and a mapped
+  // survivor must never read past its mapping when queried.
   for (size_t at = image.size() - image.size() / 2; at < image.size();
        at += 7) {
     std::vector<char> corrupt = image;
     corrupt[at] = static_cast<char>(corrupt[at] ^ 0xff);
     write_image(corrupt);
-    auto loaded = KokoIndex::Load(path);
-    if (!loaded.ok()) continue;  // clean failure: the desired outcome
-    (void)(*loaded)->LookupWord("delicious");
-    const BlockList* sids = (*loaded)->WordSids("delicious");
-    // A survivor must still be a structurally sound index: decoding any
-    // restored list must stay in bounds and sorted.
-    if (sids != nullptr) {
-      SidList decoded = sids->Decode();
-      EXPECT_TRUE(std::is_sorted(decoded.begin(), decoded.end()));
+    for (LoadMode mode : {LoadMode::kCopy, LoadMode::kMap}) {
+      auto loaded = KokoIndex::Load(path, mode);
+      if (!loaded.ok()) continue;  // clean failure: the desired outcome
+      (void)(*loaded)->LookupWord("delicious");
+      const BlockList* sids = (*loaded)->WordSids("delicious");
+      // A survivor must still be a structurally sound index: decoding any
+      // restored list must stay in bounds and sorted.
+      if (sids != nullptr) {
+        SidList decoded = sids->Decode();
+        EXPECT_TRUE(std::is_sorted(decoded.begin(), decoded.end()));
+      }
     }
   }
   std::remove(path.c_str());

@@ -131,6 +131,69 @@ TEST(QueryServiceTest, ConcurrentClientsMatchSerialByteForByte) {
   }
 }
 
+TEST(QueryServiceTest, ConcurrentClientsOverMappedIndexMatchSerial) {
+  // Lifetime + concurrency over the zero-copy load: many clients hammer a
+  // QueryService whose engine reads a kMap-loaded sharded index. Every
+  // query's parallel section (shard-parallel DPLI, extract fan-out) runs
+  // over the shared mapping concurrently; results must stay byte-identical
+  // to serial execution over the built index. Runs under TSan in CI —
+  // mapped postings are immutable shared state, so there is nothing to
+  // race on.
+  ServeWorld world(/*shards=*/3, /*moments=*/100, /*seed=*/73);
+  std::string path = ::testing::TempDir() + "/query_service_mmap_test.bin";
+  ASSERT_TRUE(world.sharded_index->Save(path).ok());
+  ShardedKokoIndex::LoadOptions load_options;
+  load_options.mode = LoadMode::kMap;
+  auto mapped = ShardedKokoIndex::Load(path, load_options);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_TRUE((*mapped)->mapped());
+  // The mapping must outlive the file: queries keep working after unlink.
+  std::remove(path.c_str());
+  const EntityRecognizer& recognizer =
+      const_cast<const Pipeline&>(world.pipeline).recognizer();
+  Engine engine(&world.corpus, mapped->get(), &world.embeddings, &recognizer);
+
+  const std::vector<std::string> workload = MixedWorkload();
+  std::vector<QueryResult> expected;
+  for (const std::string& query : workload) {
+    EngineOptions serial;
+    serial.max_rows = 20000;
+    auto want = world.mono->ExecuteText(query, serial);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    expected.push_back(std::move(*want));
+  }
+
+  QueryService::Options options;
+  options.num_threads = 3;
+  options.max_inflight = 3;
+  options.engine.max_rows = 20000;
+  QueryService service(&engine, options, (*mapped)->num_shards());
+  constexpr size_t kClients = 4;
+  constexpr size_t kRounds = 2;
+  std::vector<std::vector<Result<QueryResult>>> got(kClients);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        for (const std::string& query : workload) {
+          got[c].push_back(service.Run(query));
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (size_t c = 0; c < kClients; ++c) {
+    ASSERT_EQ(got[c].size(), kRounds * workload.size());
+    for (size_t i = 0; i < got[c].size(); ++i) {
+      ASSERT_TRUE(got[c][i].ok()) << got[c][i].status().ToString();
+      ExpectIdenticalResults(expected[i % workload.size()], *got[c][i],
+                             "mapped client=" + std::to_string(c) +
+                                 " call=" + std::to_string(i));
+    }
+  }
+  EXPECT_EQ(service.stats().completed, kClients * kRounds * workload.size());
+}
+
 TEST(QueryServiceTest, MaxRowsTruncationMatchesSerial) {
   ServeWorld world(/*shards=*/4, /*moments=*/150, /*seed=*/72);
   const std::string query =

@@ -246,6 +246,87 @@ TEST(ShardedKokoIndexTest, ParallelLoadMatchesSerialLoad) {
   std::remove(path.c_str());
 }
 
+TEST(ShardedKokoIndexTest, MmapLoadMatchesCopyLoad) {
+  // Property suite for LoadMode::kMap over the sharded file: for every
+  // (shard count, load worker count), the mapped index answers every
+  // lookup byte-identically to the copy-loaded one while all shards alias
+  // one shared mapping (~0 owned posting bytes).
+  AnnotatedCorpus corpus = MomentsCorpus(100, 77);
+  for (size_t k : {1u, 3u, 4u}) {
+    auto built = ShardedKokoIndex::Build(corpus, k);
+    std::string path = ::testing::TempDir() + "/sharded_index_mmap_" +
+                       std::to_string(k) + ".bin";
+    ASSERT_TRUE(built->Save(path).ok());
+
+    ShardedKokoIndex::LoadOptions copy;
+    copy.num_threads = 1;
+    auto want = ShardedKokoIndex::Load(path, copy);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    EXPECT_FALSE((*want)->mapped());
+    EXPECT_GT((*want)->SidCacheMemoryUsage(), 0u);
+
+    ThreadPool pool(3);
+    std::vector<ShardedKokoIndex::LoadOptions> variants(3);
+    variants[0].num_threads = 1;
+    variants[1].num_threads = 0;  // one worker per shard
+    variants[2].pool = &pool;     // shared serving pool
+    for (size_t v = 0; v < variants.size(); ++v) {
+      variants[v].mode = LoadMode::kMap;
+      auto got = ShardedKokoIndex::Load(path, variants[v]);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      const std::string context = "K=" + std::to_string(k) + " v=" +
+                                  std::to_string(v);
+      ASSERT_EQ((*got)->num_shards(), k) << context;
+      EXPECT_TRUE((*got)->mapped()) << context;
+      // No posting-payload copy across all shards.
+      EXPECT_LT((*got)->SidCacheMemoryUsage(),
+                (*want)->SidCacheMemoryUsage() / 4)
+          << context;
+      for (size_t i = 0; i < k; ++i) {
+        EXPECT_TRUE((*got)->shard(i).mapped()) << context;
+        EXPECT_TRUE((*got)->shard(i).sid_caches_from_disk()) << context;
+        EXPECT_EQ((*got)->shard_range(i).begin, built->shard_range(i).begin);
+        EXPECT_EQ((*got)->shard_range(i).end, built->shard_range(i).end);
+      }
+      for (const char* word : {"a", "delicious", "ate", "zzz-absent"}) {
+        EXPECT_EQ((*got)->LookupWord(word), (*want)->LookupWord(word))
+            << context << " word=" << word;
+        EXPECT_EQ((*got)->WordSids(word), (*want)->WordSids(word))
+            << context << " word=" << word;
+        EXPECT_EQ((*got)->CountWordSids(word), (*want)->CountWordSids(word))
+            << context << " word=" << word;
+      }
+      PathQuery path_q = DobjPath();
+      EXPECT_EQ((*got)->LookupParseLabelPath(path_q),
+                (*want)->LookupParseLabelPath(path_q))
+          << context;
+      EXPECT_EQ((*got)->PlPathSids(path_q), (*want)->PlPathSids(path_q))
+          << context;
+      EXPECT_EQ((*got)->AllEntities(), (*want)->AllEntities()) << context;
+      EXPECT_EQ((*got)->AllEntitySids(), (*want)->AllEntitySids()) << context;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ShardedKokoIndexTest, MmapLoadOutlivesFileRemoval) {
+  // POSIX mapping semantics the zero-copy path relies on: once mapped,
+  // the pages stay valid even after the file is unlinked — the index must
+  // keep answering queries for its whole lifetime.
+  AnnotatedCorpus corpus = MomentsCorpus(40, 78);
+  auto built = ShardedKokoIndex::Build(corpus, 2);
+  std::string path = ::testing::TempDir() + "/sharded_index_unlink_test.bin";
+  ASSERT_TRUE(built->Save(path).ok());
+  ShardedKokoIndex::LoadOptions options;
+  options.mode = LoadMode::kMap;
+  auto mapped = ShardedKokoIndex::Load(path, options);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  std::remove(path.c_str());
+  for (const char* word : {"a", "delicious", "ate"}) {
+    EXPECT_EQ((*mapped)->LookupWord(word), built->LookupWord(word)) << word;
+  }
+}
+
 TEST(ShardedKokoIndexTest, CorruptManifestExtentFailsLoadCleanly) {
   AnnotatedCorpus corpus = MomentsCorpus(30, 76);
   auto built = ShardedKokoIndex::Build(corpus, 2);
@@ -261,6 +342,31 @@ TEST(ShardedKokoIndexTest, CorruptManifestExtentFailsLoadCleanly) {
   file.close();
   auto loaded = ShardedKokoIndex::Load(path);
   EXPECT_FALSE(loaded.ok());
+  // kMap must reject it the same way — the bogus extent may not slice a
+  // sub-span past the mapping.
+  ShardedKokoIndex::LoadOptions map_options;
+  map_options.mode = LoadMode::kMap;
+  auto mapped = ShardedKokoIndex::Load(path, map_options);
+  EXPECT_FALSE(mapped.ok());
+  std::remove(path.c_str());
+}
+
+TEST(ShardedKokoIndexTest, MmapLoadErrorsAreClean) {
+  // Unmappable path and too-short files return errors, never abort.
+  ShardedKokoIndex::LoadOptions options;
+  options.mode = LoadMode::kMap;
+  auto missing = ShardedKokoIndex::Load(
+      ::testing::TempDir() + "/no_such_sharded.bin", options);
+  EXPECT_FALSE(missing.ok());
+  std::string path = ::testing::TempDir() + "/sharded_index_short.bin";
+  for (size_t bytes : {size_t{0}, size_t{6}, size_t{11}}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const char zeros[16] = {};
+    out.write(zeros, static_cast<long>(bytes));
+    out.close();
+    EXPECT_FALSE(ShardedKokoIndex::Load(path, options).ok()) << bytes;
+    EXPECT_FALSE(ShardedKokoIndex::Load(path).ok()) << bytes;
+  }
   std::remove(path.c_str());
 }
 

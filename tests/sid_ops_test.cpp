@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "util/rng.h"
@@ -274,9 +275,13 @@ TEST(BlockListTest, UnionAllBlocks) {
 // FromParts guards the v3 image: every structural invariant violation a
 // byte flip can produce must be rejected, never decoded into garbage sids.
 TEST(BlockListTest, FromPartsValidation) {
+  // The accessors hand out borrowed views; materialise owned vectors so
+  // the test can corrupt individual fields.
   auto parts_of = [](const BlockList& list) {
-    return std::make_tuple(static_cast<uint32_t>(list.size()), list.skip_first(),
-                           list.skip_offset(), list.bytes());
+    return std::make_tuple(static_cast<uint32_t>(list.size()),
+                           list.skip_first().ToVector(),
+                           list.skip_offset().ToVector(),
+                           list.bytes().ToVector());
   };
   std::vector<uint32_t> ids;
   for (uint32_t i = 0; i < 300; ++i) ids.push_back(i * 3);
@@ -334,6 +339,118 @@ TEST(BlockListTest, FromPartsValidation) {
   // Empty list: only the all-empty parts are valid.
   EXPECT_TRUE(BlockList::FromParts(0, {}, {}, {}).ok());
   EXPECT_FALSE(BlockList::FromParts(0, {}, {}, {0x01}).ok());
+}
+
+TEST(BlockListTest, FromMappedAliasesWithoutCopying) {
+  // A mapped view must behave identically to the owning list it was
+  // serialized from — same equality, same queries — while owning nothing.
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < 1000; ++i) ids.push_back(i * 7 + (i % 3));
+  BlockList owned = BlockList::FromSidList(SidList::FromUnsorted(ids));
+  const std::vector<uint32_t> skip_first = owned.skip_first().ToVector();
+  const std::vector<uint32_t> skip_offset = owned.skip_offset().ToVector();
+  const std::vector<uint8_t> payload = owned.bytes().ToVector();
+
+  auto mapped = BlockList::FromMapped(
+      static_cast<uint32_t>(owned.size()), U32View(skip_first),
+      U32View(skip_offset), MemorySpan(payload.data(), payload.size()));
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped->mapped());
+  EXPECT_FALSE(owned.mapped());
+  EXPECT_EQ(*mapped, owned);
+  EXPECT_EQ(mapped->MemoryUsage(), 0u);  // the backing memory is borrowed
+  EXPECT_GT(owned.MemoryUsage(), 0u);
+  // The view aliases, it does not copy.
+  EXPECT_EQ(mapped->bytes().data(), payload.data());
+  EXPECT_EQ(mapped->Decode(), owned.Decode());
+  for (uint32_t probe : {0u, 7u, 8u, 3500u, 6993u, 100000u}) {
+    EXPECT_EQ(mapped->Contains(probe), owned.Contains(probe)) << probe;
+  }
+  // Kernels run unchanged over the view: intersect it against decoded and
+  // compressed inputs.
+  SidList half = SidList::FromUnsorted(
+      std::vector<uint32_t>(ids.begin(), ids.begin() + 500));
+  EXPECT_EQ(Intersect(half, *mapped), Intersect(half, owned));
+  EXPECT_EQ(Intersect(*mapped, owned), owned.Decode());
+
+  // The mapped arrays also start at deliberately unaligned addresses in a
+  // real image (strings precede them); simulate that by re-basing the
+  // views one byte into a shifted buffer.
+  std::vector<uint8_t> shifted(1 + skip_first.size() * sizeof(uint32_t));
+  std::memcpy(shifted.data() + 1, skip_first.data(),
+              skip_first.size() * sizeof(uint32_t));
+  U32View unaligned(shifted.data() + 1, skip_first.size());
+  auto remapped = BlockList::FromMapped(
+      static_cast<uint32_t>(owned.size()), unaligned, U32View(skip_offset),
+      MemorySpan(payload.data(), payload.size()));
+  ASSERT_TRUE(remapped.ok()) << remapped.status().ToString();
+  EXPECT_EQ(*remapped, owned);
+}
+
+TEST(BlockListTest, FromMappedRejectsCorruptParts) {
+  // Every corruption FromParts rejects must fail FromMapped identically —
+  // nothing may be aliased out of a structurally unsound image.
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < 300; ++i) ids.push_back(i * 3);
+  BlockList good = BlockList::FromSidList(SidList::FromSorted(ids));
+  const uint32_t count = static_cast<uint32_t>(good.size());
+  std::vector<uint32_t> skip_first = good.skip_first().ToVector();
+  std::vector<uint32_t> skip_offset = good.skip_offset().ToVector();
+  std::vector<uint8_t> payload = good.bytes().ToVector();
+  auto map_with = [&](uint32_t n, const std::vector<uint32_t>& f,
+                      const std::vector<uint32_t>& o,
+                      const std::vector<uint8_t>& p) {
+    return BlockList::FromMapped(n, U32View(f), U32View(o),
+                                 MemorySpan(p.data(), p.size()));
+  };
+  ASSERT_TRUE(map_with(count, skip_first, skip_offset, payload).ok());
+
+  EXPECT_FALSE(map_with(count + 1, skip_first, skip_offset, payload).ok());
+  EXPECT_FALSE(map_with(0, skip_first, skip_offset, payload).ok());
+  {
+    auto f = skip_first;
+    f.pop_back();
+    EXPECT_FALSE(map_with(count, f, skip_offset, payload).ok());
+    f = skip_first;
+    f[1] = f[0];  // non-monotone across blocks
+    EXPECT_FALSE(map_with(count, f, skip_offset, payload).ok());
+  }
+  {
+    auto o = skip_offset;
+    o[1] = static_cast<uint32_t>(payload.size()) + 100;  // out of bounds
+    EXPECT_FALSE(map_with(count, skip_first, o, payload).ok());
+    o = skip_offset;
+    o[0] = 1;  // first block not at zero
+    EXPECT_FALSE(map_with(count, skip_first, o, payload).ok());
+    o = skip_offset;
+    std::swap(o[1], o[2]);  // non-monotone offsets
+    EXPECT_FALSE(map_with(count, skip_first, o, payload).ok());
+  }
+  {
+    auto p = payload;
+    p.pop_back();  // truncated mid-varint
+    EXPECT_FALSE(map_with(count, skip_first, skip_offset, p).ok());
+    p = payload;
+    p.push_back(0x01);  // trailing bytes
+    EXPECT_FALSE(map_with(count, skip_first, skip_offset, p).ok());
+    p = payload;
+    p[0] = 0x00;  // zero gap
+    EXPECT_FALSE(map_with(count, skip_first, skip_offset, p).ok());
+  }
+  // Overflow / overlong varints, mirrored from the FromParts suite.
+  std::vector<uint32_t> one_first = {0xfffffff0u};
+  std::vector<uint32_t> one_offset = {0};
+  std::vector<uint8_t> gap_overflow = {0xff, 0xff, 0xff, 0xff, 0x0f};
+  EXPECT_FALSE(map_with(2, one_first, one_offset, gap_overflow).ok());
+  std::vector<uint8_t> overlong = {0xff, 0xff, 0xff, 0xff, 0xff, 0x01};
+  std::vector<uint32_t> zero_first = {0};
+  EXPECT_FALSE(map_with(2, zero_first, one_offset, overlong).ok());
+  // Empty list: only the all-empty parts are valid.
+  EXPECT_TRUE(BlockList::FromMapped(0, {}, {}, {}).ok());
+  std::vector<uint8_t> stray = {0x01};
+  EXPECT_FALSE(BlockList::FromMapped(0, {}, {},
+                                     MemorySpan(stray.data(), stray.size()))
+                   .ok());
 }
 
 TEST(BlockListTest, FromPartsRejectsOverflowAndOverlongVarints) {

@@ -1,12 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 
+#include "storage/serde.h"
 #include "util/hash.h"
 #include "util/interner.h"
+#include "util/mmap_file.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -277,6 +283,150 @@ TEST(ThreadPoolTest, ParallelForInsideSubmittedTaskCompletes) {
   });
   while (!done.load()) std::this_thread::yield();
   EXPECT_EQ(inner.load(), 8);
+}
+
+// ---- MemorySpan / U32View / MappedFile / SpanReader -------------------------
+
+TEST(MemorySpanTest, SliceBoundsChecked) {
+  std::vector<uint8_t> bytes = {1, 2, 3, 4, 5};
+  MemorySpan span(bytes.data(), bytes.size());
+  auto mid = span.Slice(1, 3);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid->size(), 3u);
+  EXPECT_EQ(mid->data(), bytes.data() + 1);
+  EXPECT_TRUE(span.Slice(5, 0).ok());   // empty slice at the end is valid
+  EXPECT_FALSE(span.Slice(6, 0).ok());  // offset past the end
+  EXPECT_FALSE(span.Slice(3, 3).ok());  // length past the end
+  // Overflow-shaped arguments must not wrap around.
+  EXPECT_FALSE(span.Slice(1, SIZE_MAX).ok());
+  EXPECT_EQ(mid->ToVector(), (std::vector<uint8_t>{2, 3, 4}));
+}
+
+TEST(U32ViewTest, UnalignedLoads) {
+  // A view based one byte into a buffer exercises the unaligned path the
+  // mmap'ed skip tables hit (strings precede them in the image).
+  std::vector<uint32_t> values = {7, 0, 0xffffffffu, 123456789u};
+  std::vector<uint8_t> shifted(1 + values.size() * sizeof(uint32_t));
+  std::memcpy(shifted.data() + 1, values.data(),
+              values.size() * sizeof(uint32_t));
+  U32View view(shifted.data() + 1, values.size());
+  ASSERT_EQ(view.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) EXPECT_EQ(view[i], values[i]);
+  EXPECT_EQ(view.ToVector(), values);
+  U32View aligned(values);
+  EXPECT_EQ(aligned.raw(), reinterpret_cast<const uint8_t*>(values.data()));
+  EXPECT_EQ(aligned.raw_size(), values.size() * sizeof(uint32_t));
+}
+
+TEST(MappedFileTest, MapsReadsAndOutlivesUnlink) {
+  const std::string path = ::testing::TempDir() + "/mmap_util_test.bin";
+  const std::string payload = "mapped bytes survive unlink";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(payload.data(), static_cast<long>(payload.size()));
+  }
+  auto file = MappedFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ((*file)->size(), payload.size());
+  EXPECT_EQ((*file)->path(), path);
+  std::remove(path.c_str());  // POSIX: the mapping keeps the pages alive
+  const MemorySpan span = (*file)->span();
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(span.data()),
+                        span.size()),
+            payload);
+}
+
+TEST(MappedFileTest, OpenFailuresAreCleanErrors) {
+  auto missing = MappedFile::Open(::testing::TempDir() + "/no_such_file.bin");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+  // Directories are not mappable index images.
+  EXPECT_FALSE(MappedFile::Open(::testing::TempDir()).ok());
+  // An empty file maps to an empty span (the image parser then rejects it).
+  const std::string path = ::testing::TempDir() + "/mmap_empty_test.bin";
+  { std::ofstream out(path, std::ios::binary); }
+  auto empty = MappedFile::Open(path);
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  EXPECT_EQ((*empty)->size(), 0u);
+  EXPECT_TRUE((*empty)->span().empty());
+  std::remove(path.c_str());
+}
+
+TEST(SpanReaderTest, ReadsScalarsStringsAndViews) {
+  // Build a little stream with BinaryWriter, then parse it back with
+  // SpanReader and check the array reads alias instead of copying.
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(&out);
+  writer.WriteU32(42);
+  writer.WriteString("word");
+  const std::vector<uint32_t> u32s = {1, 2, 3};
+  writer.WriteVector(u32s);
+  const std::vector<uint8_t> raw = {9, 8};
+  writer.WriteVector(raw);
+  writer.WriteU64(7);
+  const std::string image = out.str();
+  const MemorySpan span(reinterpret_cast<const uint8_t*>(image.data()),
+                        image.size());
+
+  SpanReader reader(span);
+  auto a = reader.ReadU32();
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, 42u);
+  auto s = reader.ReadString();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, "word");
+  auto view = reader.ReadU32Array();
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->ToVector(), u32s);
+  EXPECT_GE(view->raw(), span.data());  // a view into the span, not a copy
+  EXPECT_LT(view->raw(), span.data() + span.size());
+  auto bytes = reader.ReadByteArray();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes->ToVector(), raw);
+  auto b = reader.ReadU64();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, 7u);
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_FALSE(reader.ReadU32().ok());  // past the end: clean error
+}
+
+TEST(SpanReaderTest, CorruptLengthPrefixesRejected) {
+  // A length prefix larger than the remaining bytes must fail, not read
+  // (or allocate) past the span.
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(&out);
+  writer.WriteU32(1000000);  // claims 1M entries, stream ends right after
+  const std::string image = out.str();
+  SpanReader reader(MemorySpan(
+      reinterpret_cast<const uint8_t*>(image.data()), image.size()));
+  EXPECT_FALSE(reader.ReadU32Array().ok());
+  SpanReader again(MemorySpan(
+      reinterpret_cast<const uint8_t*>(image.data()), image.size()));
+  EXPECT_FALSE(again.ReadByteArray().ok());
+  SpanReader str_reader(MemorySpan(
+      reinterpret_cast<const uint8_t*>(image.data()), image.size()));
+  EXPECT_FALSE(str_reader.ReadString().ok());
+}
+
+TEST(SpanStreamBufTest, SeekableIstreamOverSpan) {
+  const std::string payload = "0123456789";
+  SpanStreamBuf buf(MemorySpan(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size()));
+  std::istream in(&buf);
+  char c;
+  in.read(&c, 1);
+  EXPECT_EQ(c, '0');
+  in.seekg(5);
+  in.read(&c, 1);
+  EXPECT_EQ(c, '5');
+  in.seekg(0, std::ios::end);
+  EXPECT_EQ(static_cast<long>(in.tellg()), 10);
+  in.seekg(-2, std::ios::cur);
+  in.read(&c, 1);
+  EXPECT_EQ(c, '8');
+  // Seeking outside the span fails the stream.
+  in.seekg(42);
+  EXPECT_TRUE(in.fail());
 }
 
 }  // namespace
