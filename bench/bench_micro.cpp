@@ -16,6 +16,7 @@
 #include "regex/regex.h"
 #include "storage/btree.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace koko {
 namespace {
@@ -359,6 +360,59 @@ void BM_DpliPhaseEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_DpliPhaseEndToEnd);
 
+// ---- SIMD block-decode bandwidth -------------------------------------------
+//
+// Raw posting-block decode throughput (sids/sec) per available ISA, for
+// both payload forms (varint gaps and v4 bit-packed gaps). The ISA set is
+// a runtime property, so these are registered dynamically from main() with
+// the ISA in the benchmark name; each run forces its ISA explicitly so a
+// single invocation captures the whole matrix regardless of KOKO_SIMD.
+void BM_BlockDecodeBandwidth(benchmark::State& state, simd::Isa isa,
+                             bool packed_form) {
+  Rng rng(23);
+  std::vector<uint32_t> ids;
+  for (size_t i = 0; i < 200000; ++i) {
+    ids.push_back(static_cast<uint32_t>(rng.Next() % (1u << 22)));
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  BlockList list = BlockList::FromSidList(SidList::FromSorted(ids));
+  if (packed_form) {
+    PackedBlockParts parts = PackBlockList(list);
+    list = *BlockList::FromPackedParts(
+        static_cast<uint32_t>(ids.size()), std::move(parts.skip_first),
+        std::move(parts.skip_offset), std::move(parts.skip_width),
+        std::move(parts.payload));
+  }
+  const simd::Isa saved = simd::ActiveIsa();
+  simd::SetActiveIsa(isa);
+  uint32_t buf[BlockList::kBlockSids];
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (size_t b = 0; b < list.NumBlocks(); ++b) {
+      const size_t n = list.DecodeBlock(b, buf);
+      sum += buf[n - 1];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  simd::SetActiveIsa(saved);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ids.size()));
+}
+
+void RegisterSimdDecodeBenches() {
+  for (simd::Isa isa : simd::AvailableIsas()) {
+    for (bool packed_form : {false, true}) {
+      const std::string name =
+          std::string(packed_form ? "BM_BlockDecodePacked/"
+                                  : "BM_BlockDecodeVarint/") +
+          simd::IsaName(isa);
+      benchmark::RegisterBenchmark(name.c_str(), BM_BlockDecodeBandwidth, isa,
+                                   packed_form);
+    }
+  }
+}
+
 void BM_RegexPartialMatch(benchmark::State& state) {
   auto re = Regex::Compile("[0-9]+ [0-9A-Z a-z]+ [Ss]t.?");
   std::string input = "the new cafe at 123 Mission St. has espresso";
@@ -406,7 +460,18 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
       for (const auto& [name, counter] : run.counters) {
         values.emplace_back(name, counter.value);
       }
-      emitter_->AddEntry(run.benchmark_name(), std::move(values));
+      // The dispatch-selected ISA (native, or KOKO_SIMD's override) whose
+      // kernels the bench ran under. The per-ISA decode benches force
+      // their own ISA (its name is the suffix after '/'), and have already
+      // restored the dispatch choice by report time — recover theirs from
+      // the name so the field always states what actually ran.
+      const std::string name = run.benchmark_name();
+      std::string isa = koko::simd::ActiveIsaName();
+      if (name.rfind("BM_BlockDecode", 0) == 0) {
+        const size_t slash = name.rfind('/');
+        if (slash != std::string::npos) isa = name.substr(slash + 1);
+      }
+      emitter_->AddEntry(name, {{"simd_isa", isa}}, std::move(values));
     }
   }
 
@@ -419,6 +484,7 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  koko::RegisterSimdDecodeBenches();
   koko::bench::JsonEmitter emitter("micro");
   JsonCapturingReporter reporter(&emitter);
   benchmark::RunSpecifiedBenchmarks(&reporter);

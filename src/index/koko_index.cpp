@@ -451,21 +451,30 @@ size_t KokoIndex::SidCacheDecodedEquivalentBytes() const {
 
 // ---- Persistence ----------------------------------------------------------------
 //
-// File layout (version 3):
+// File layout (version 4, the current write format):
 //   u32 magic "KIDX" | u32 version | catalog (tables W, E, PL, POS) |
 //   word sid lists   | PL-trie node sid lists | POS-trie node sid lists
-// Every sid list is stored in its block-compressed form — u32 count, then
-// the skip-first / skip-offset / payload vectors exactly as BlockList holds
-// them in memory — so Load is three bounds-checked vector reads plus a
-// structural validation walk, never a re-encode, and the layout is
-// mmap-ready. Version-2 images (flat varint-delta lists) and legacy
-// catalog-only images (no "KIDX" magic) still load; v2 pays a re-encode
-// into blocks, legacy pays a full RebuildSidCaches.
+// Every sid list is stored in its *packed* block form — u32 count, the
+// skip-first / skip-offset / skip-width tables, then the bit-packed block
+// payloads behind an explicit alignment pad that puts them at a 4-byte
+// file offset (mmap is page-aligned, so file alignment is memory
+// alignment for the SIMD decode kernels). Load is bounds-checked vector
+// reads plus a structural validation walk, and the layout is mmap-ready.
+// Version-3 images (varint-delta blocks), version-2 images (flat
+// varint-delta lists), and legacy catalog-only images (no "KIDX" magic)
+// still load; v2 pays a re-encode into blocks, legacy a full
+// RebuildSidCaches. See docs/INDEX_FORMAT.md.
 
 namespace {
 constexpr uint32_t kIndexMagic = 0x4b494458;  // "KIDX"
+constexpr uint32_t kIndexVersionPacked = 4;
 constexpr uint32_t kIndexVersionBlocks = 3;
 constexpr uint32_t kIndexVersionFlatDeltas = 2;
+
+bool SupportedIndexVersion(uint32_t version) {
+  return version == kIndexVersionPacked || version == kIndexVersionBlocks ||
+         version == kIndexVersionFlatDeltas;
+}
 
 void WriteSidListV2(BinaryWriter* writer, const SidList& list) {
   writer->WriteU32(static_cast<uint32_t>(list.size()));
@@ -482,21 +491,64 @@ Result<SidList> ReadSidListV2(BinaryReader* reader) {
   return list;
 }
 
+void WriteU32Array(BinaryWriter* writer, const U32View& v) {
+  writer->WriteU32(static_cast<uint32_t>(v.size()));
+  writer->WriteBytes(v.raw(), v.raw_size());
+}
+
+// u32 length | u8 pad count | pad zeros | payload. The pad puts the
+// payload at a 4-byte absolute file offset (Position() is absolute even
+// inside a sharded image — all shards stream through one writer), so an
+// mmap'ed payload is 4-byte aligned in memory. On a non-seekable sink the
+// pad degrades to 0; the image stays valid, just unaligned (readers use
+// unaligned-tolerant loads — alignment is a performance property).
+void WritePackedPayload(BinaryWriter* writer, const uint8_t* payload,
+                        size_t size) {
+  writer->WriteU32(static_cast<uint32_t>(size));
+  const int64_t pos = writer->Position();
+  const uint8_t pad =
+      pos < 0 ? 0 : static_cast<uint8_t>((4 - ((pos + 1) % 4)) % 4);
+  writer->WriteU8(pad);
+  for (uint8_t i = 0; i < pad; ++i) writer->WriteU8(0);
+  writer->WriteBytes(payload, size);
+}
+
 void WriteBlockList(BinaryWriter* writer, const BlockList& list,
                     uint32_t version) {
   if (version == kIndexVersionFlatDeltas) {
     WriteSidListV2(writer, list.Decode());
     return;
   }
+  if (version == kIndexVersionPacked) {
+    if (list.packed()) {
+      // Already the wire form: write the views verbatim (a v4-mapped
+      // index re-saves byte-identically, like v3 lists under v3).
+      writer->WriteU32(static_cast<uint32_t>(list.size()));
+      WriteU32Array(writer, list.skip_first());
+      WriteU32Array(writer, list.skip_offset());
+      WriteU32Array(writer, list.skip_width());
+      const MemorySpan payload = list.bytes();
+      WritePackedPayload(writer, payload.data(), payload.size());
+    } else {
+      const PackedBlockParts parts = PackBlockList(list);
+      writer->WriteU32(static_cast<uint32_t>(list.size()));
+      WriteU32Array(writer, U32View(parts.skip_first));
+      WriteU32Array(writer, U32View(parts.skip_offset));
+      WriteU32Array(writer, U32View(parts.skip_width));
+      WritePackedPayload(writer, parts.payload.data(), parts.payload.size());
+    }
+    return;
+  }
+  // v3: a packed (v4-loaded) list re-encodes into the varint block form.
+  if (list.packed()) {
+    WriteBlockList(writer, BlockList::FromSidList(list.Decode()), version);
+    return;
+  }
   // The parts are written through their borrowed views, so a mapped index
   // (whose arrays alias another file) saves identically to an owning one.
   writer->WriteU32(static_cast<uint32_t>(list.size()));
-  const U32View skip_first = list.skip_first();
-  writer->WriteU32(static_cast<uint32_t>(skip_first.size()));
-  writer->WriteBytes(skip_first.raw(), skip_first.raw_size());
-  const U32View skip_offset = list.skip_offset();
-  writer->WriteU32(static_cast<uint32_t>(skip_offset.size()));
-  writer->WriteBytes(skip_offset.raw(), skip_offset.raw_size());
+  WriteU32Array(writer, list.skip_first());
+  WriteU32Array(writer, list.skip_offset());
   const MemorySpan payload = list.bytes();
   writer->WriteU32(static_cast<uint32_t>(payload.size()));
   writer->WriteBytes(payload.data(), payload.size());
@@ -512,29 +564,67 @@ Result<BlockList> ReadBlockList(BinaryReader* reader, uint32_t version) {
                         reader->ReadVector<uint32_t>());
   KOKO_ASSIGN_OR_RETURN(std::vector<uint32_t> skip_offset,
                         reader->ReadVector<uint32_t>());
+  if (version == kIndexVersionPacked) {
+    KOKO_ASSIGN_OR_RETURN(std::vector<uint32_t> skip_width,
+                          reader->ReadVector<uint32_t>());
+    KOKO_ASSIGN_OR_RETURN(uint32_t payload_len, reader->ReadU32());
+    KOKO_ASSIGN_OR_RETURN(uint8_t pad, reader->ReadU8());
+    if (pad > 3) {
+      return Status::ParseError("packed block list: bad alignment pad length");
+    }
+    for (uint8_t i = 0; i < pad; ++i) {
+      KOKO_ASSIGN_OR_RETURN(uint8_t zero, reader->ReadU8());
+      if (zero != 0) {
+        return Status::ParseError("packed block list: nonzero alignment pad");
+      }
+    }
+    KOKO_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          reader->ReadRawBytes(payload_len));
+    return BlockList::FromPackedParts(count, std::move(skip_first),
+                                      std::move(skip_offset),
+                                      std::move(skip_width),
+                                      std::move(payload));
+  }
   KOKO_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, reader->ReadVector<uint8_t>());
   return BlockList::FromParts(count, std::move(skip_first),
                               std::move(skip_offset), std::move(bytes));
 }
 
-// The zero-copy counterpart of ReadBlockList for v3 images: the three
-// arrays come back as views into the mapped span (validated by FromMapped,
-// never copied).
-Result<BlockList> ReadBlockListMapped(SpanReader* reader) {
+// The zero-copy counterpart of ReadBlockList for v3/v4 images: the arrays
+// come back as views into the mapped span (validated by
+// FromMapped/FromMappedPacked, never copied).
+Result<BlockList> ReadBlockListMapped(SpanReader* reader, uint32_t version) {
   KOKO_ASSIGN_OR_RETURN(uint32_t count, reader->ReadU32());
   KOKO_ASSIGN_OR_RETURN(U32View skip_first, reader->ReadU32Array());
   KOKO_ASSIGN_OR_RETURN(U32View skip_offset, reader->ReadU32Array());
+  if (version == kIndexVersionPacked) {
+    KOKO_ASSIGN_OR_RETURN(U32View skip_width, reader->ReadU32Array());
+    KOKO_ASSIGN_OR_RETURN(uint32_t payload_len, reader->ReadU32());
+    KOKO_ASSIGN_OR_RETURN(uint8_t pad, reader->ReadU8());
+    if (pad > 3) {
+      return Status::ParseError("packed block list: bad alignment pad length");
+    }
+    KOKO_ASSIGN_OR_RETURN(MemorySpan pad_bytes, reader->ReadRawSpan(pad));
+    for (size_t i = 0; i < pad_bytes.size(); ++i) {
+      if (pad_bytes.data()[i] != 0) {
+        return Status::ParseError("packed block list: nonzero alignment pad");
+      }
+    }
+    KOKO_ASSIGN_OR_RETURN(MemorySpan payload, reader->ReadRawSpan(payload_len));
+    return BlockList::FromMappedPacked(count, skip_first, skip_offset,
+                                       skip_width, payload);
+  }
   KOKO_ASSIGN_OR_RETURN(MemorySpan bytes, reader->ReadByteArray());
   return BlockList::FromMapped(count, skip_first, skip_offset, bytes);
 }
 }  // namespace
 
 Status KokoIndex::Save(BinaryWriter* writer) const {
-  return Save(writer, kIndexVersionBlocks);
+  return Save(writer, kIndexVersionPacked);
 }
 
 Status KokoIndex::Save(BinaryWriter* writer, uint32_t version) const {
-  if (version != kIndexVersionBlocks && version != kIndexVersionFlatDeltas) {
+  if (!SupportedIndexVersion(version)) {
     return Status::InvalidArgument("unsupported index image version " +
                                    std::to_string(version));
   }
@@ -687,17 +777,17 @@ Result<std::unique_ptr<KokoIndex>> KokoIndex::Load(BinaryReader* reader) {
   KOKO_ASSIGN_OR_RETURN(uint32_t magic, reader->ReadU32());
   if (magic != kIndexMagic) return Status::ParseError("bad index magic");
   KOKO_ASSIGN_OR_RETURN(uint32_t version, reader->ReadU32());
-  if (version != kIndexVersionBlocks && version != kIndexVersionFlatDeltas) {
+  if (!SupportedIndexVersion(version)) {
     return Status::ParseError("unsupported index version " +
                               std::to_string(version));
   }
   auto index = std::unique_ptr<KokoIndex>(new KokoIndex());
   KOKO_RETURN_IF_ERROR(index->catalog_.Load(reader));
   KOKO_RETURN_IF_ERROR(index->InitFromCatalog());
-  // Restore the compressed sid caches instead of re-projecting W. A v3
+  // Restore the compressed sid caches instead of re-projecting W. A v4/v3
   // image holds the exact in-memory block layout (validated structurally
-  // by BlockList::FromParts); a v2 image holds flat delta streams that are
-  // re-encoded into blocks as they are read.
+  // by BlockList::FromPackedParts/FromParts); a v2 image holds flat delta
+  // streams that are re-encoded into blocks as they are read.
   KOKO_RETURN_IF_ERROR(index->LoadSidCacheSections(
       [&] { return reader->ReadU32(); },
       [&] { return reader->ReadString(); },
@@ -716,7 +806,7 @@ Result<std::unique_ptr<KokoIndex>> KokoIndex::LoadMapped(
   KOKO_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
   if (magic != kIndexMagic) return Status::ParseError("bad index magic");
   KOKO_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
-  if (version != kIndexVersionBlocks && version != kIndexVersionFlatDeltas) {
+  if (!SupportedIndexVersion(version)) {
     return Status::ParseError("unsupported index version " +
                               std::to_string(version));
   }
@@ -742,7 +832,7 @@ Result<std::unique_ptr<KokoIndex>> KokoIndex::LoadMapped(
   KOKO_RETURN_IF_ERROR(index->LoadSidCacheSections(
       [&] { return mapped.ReadU32(); },
       [&] { return mapped.ReadString(); },
-      [&] { return ReadBlockListMapped(&mapped); }));
+      [&] { return ReadBlockListMapped(&mapped, version); }));
   index->mapping_ = std::move(file);
   return index;
 }

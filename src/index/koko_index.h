@@ -23,13 +23,13 @@ namespace koko {
 ///
 ///  * `kCopy` — deserialize into owned memory (the default; works for
 ///    every image version).
-///  * `kMap` — mmap the file and, for v3 images, alias every posting
-///    payload (skip tables + delta blocks) into the mapping after the same
-///    structural validation the copy path runs. No posting byte is copied,
-///    load time drops to catalog parse + validation, and resident posting
-///    memory is page-cache-backed (shared across processes mapping the
-///    same image). Older images (v2 flat deltas, v1 catalog-only) have no
-///    aliasable layout and transparently fall back to a copying load.
+///  * `kMap` — mmap the file and, for v4/v3 images, alias every posting
+///    payload (skip tables + block payloads) into the mapping after the
+///    same structural validation the copy path runs. No posting byte is
+///    copied, load time drops to catalog parse + validation, and resident
+///    posting memory is page-cache-backed (shared across processes mapping
+///    the same image). Older images (v2 flat deltas, v1 catalog-only) have
+///    no aliasable layout and transparently fall back to a copying load.
 enum class LoadMode { kCopy, kMap };
 
 /// \brief KOKO's multi-indexing scheme (paper §3).
@@ -186,10 +186,10 @@ class KokoIndex {
   const Catalog& catalog() const { return catalog_; }
 
   /// Persists the index: the relational catalog followed by the columnar
-  /// sid caches in their block-compressed form (v3: per-list skip table +
-  /// delta-block payload, byte-identical to the in-memory layout), so Load
-  /// restores them with bounds-checked vector reads instead of
-  /// re-projecting the W table or re-encoding.
+  /// sid caches in their block-compressed form (v4: per-list skip tables +
+  /// 4-byte-aligned bit-packed block payloads the SIMD kernels decode with
+  /// word-granular loads), so Load restores them with bounds-checked
+  /// vector reads instead of re-projecting the W table.
   Status Save(const std::string& path) const;
   static Result<std::unique_ptr<KokoIndex>> Load(const std::string& path) {
     return Load(path, LoadMode::kCopy);
@@ -197,7 +197,7 @@ class KokoIndex {
   static Result<std::unique_ptr<KokoIndex>> Load(const std::string& path,
                                                  LoadMode mode);
 
-  /// Zero-copy load of one v3 image occupying `span` inside `file`'s
+  /// Zero-copy load of one v4/v3 image occupying `span` inside `file`'s
   /// mapping (the whole file, or one shard's extent of a sharded file).
   /// The returned index holds `file` alive for its lifetime; v2 images
   /// fall back to a copying parse of the mapped bytes.
@@ -205,13 +205,14 @@ class KokoIndex {
       std::shared_ptr<MappedFile> file, MemorySpan span);
 
   /// True when this index's posting payloads alias a file mapping (kMap
-  /// load of a v3 image) rather than owned memory.
+  /// load of a v4/v3 image) rather than owned memory.
   bool mapped() const { return mapping_ != nullptr; }
 
   /// Stream-based variants (one shard's section of a ShardedKokoIndex file).
-  /// `version` selects the image format: 3 (current, block layout) or 2
-  /// (flat varint-delta lists) — writing v2 exists for legacy-load tests;
-  /// the no-version overload writes the current format.
+  /// `version` selects the image format: 4 (current, bit-packed blocks),
+  /// 3 (varint-delta blocks), or 2 (flat varint-delta lists) — writing the
+  /// older versions exists for legacy-load tests; the no-version overload
+  /// writes the current format.
   Status Save(BinaryWriter* writer) const;
   Status Save(BinaryWriter* writer, uint32_t version) const;
   static Result<std::unique_ptr<KokoIndex>> Load(BinaryReader* reader);

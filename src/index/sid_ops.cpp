@@ -1,12 +1,14 @@
 #include "index/sid_ops.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstring>
 #include <limits>
 #include <queue>
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace koko {
 
@@ -88,23 +90,22 @@ size_t GallopTo(const U32View& xs, size_t lo, uint32_t key) {
 
 namespace {
 
-// Linear two-pointer intersection for comparable sizes.
+// Appends intersect_sorted(xs, ys) to *out via the active SIMD kernel,
+// which needs kIntersectOutSlack spare elements past the possible matches
+// (it stores whole compacted vector registers at the output cursor).
+void IntersectRuns(const uint32_t* xs, size_t nx, const uint32_t* ys,
+                   size_t ny, std::vector<uint32_t>* out) {
+  const size_t old = out->size();
+  out->resize(old + std::min(nx, ny) + simd::kIntersectOutSlack);
+  const size_t n =
+      simd::ActiveKernels().intersect_sorted(xs, nx, ys, ny, out->data() + old);
+  out->resize(old + n);
+}
+
+// Vectorized merge intersection for comparable sizes.
 void IntersectMerge(const SidList& a, const SidList& b,
                     std::vector<uint32_t>* out) {
-  size_t i = 0, j = 0;
-  const size_t na = a.size(), nb = b.size();
-  while (i < na && j < nb) {
-    uint32_t x = a[i], y = b[j];
-    if (x < y) {
-      ++i;
-    } else if (y < x) {
-      ++j;
-    } else {
-      out->push_back(x);
-      ++i;
-      ++j;
-    }
-  }
+  IntersectRuns(a.data(), a.size(), b.data(), b.size(), out);
 }
 
 // Galloping intersection: walk the small list, gallop in the large one.
@@ -219,7 +220,9 @@ void BlockList::Append(uint32_t sid) {
   // build — growing size_ while the read API still serves the mapped
   // views would corrupt block accounting (and overflow DecodeBlock's
   // stack buffers), and dropping the sid would silently lose postings.
-  KOKO_CHECK(!viewed_);
+  // Packed (v4-loaded) lists are equally immutable: their payload is not
+  // the varint stream Append extends.
+  KOKO_CHECK(!viewed_ && !packed_);
   if (size_ > 0) {
     assert(sid >= last_);
     if (sid == last_) return;
@@ -246,24 +249,22 @@ void BlockList::ShrinkToFit() {
   bytes_.shrink_to_fit();
   skip_first_.shrink_to_fit();
   skip_offset_.shrink_to_fit();
+  skip_width_.shrink_to_fit();
 }
 
 size_t BlockList::DecodeBlock(size_t b, uint32_t* out) const {
   const size_t count = BlockSize(b);
-  uint32_t sid = skip_first()[b];
-  out[0] = sid;
+  // Belt and braces over the construction-time validation: a block can
+  // never claim more sids than `out`'s kBlockSids capacity. Catching it
+  // here stops a stack-buffer overflow even if a corrupt list somehow
+  // bypassed FromParts/FromMapped.
+  KOKO_CHECK(count >= 1 && count <= kBlockSids);
   const uint8_t* p = bytes().data() + skip_offset()[b];
-  for (size_t i = 1; i < count; ++i) {
-    uint32_t gap = 0;
-    int shift = 0;
-    uint8_t byte;
-    do {
-      byte = *p++;
-      gap |= static_cast<uint32_t>(byte & 0x7f) << shift;
-      shift += 7;
-    } while (byte & 0x80);
-    sid += gap;
-    out[i] = sid;
+  const simd::Kernels& kern = simd::ActiveKernels();
+  if (packed_) {
+    kern.unpack_block(p, skip_width()[b], skip_first()[b], count, out);
+  } else {
+    kern.decode_varint_block(p, skip_first()[b], count, out);
   }
   return count;
 }
@@ -335,6 +336,13 @@ Status ValidateBlockParts(uint32_t count, const U32View& skip_first,
     const size_t in_block = b + 1 < nb ? BlockList::kBlockSids
                                        : static_cast<size_t>(count) -
                                              b * BlockList::kBlockSids;
+    // Redundant with the expected_blocks equation above, but stated
+    // explicitly: a block claiming more sids than kBlockSids would
+    // overflow DecodeBlock's stack buffer, so reject it here no matter
+    // how the block arithmetic evolves.
+    if (in_block == 0 || in_block > BlockList::kBlockSids) {
+      return Status::ParseError("block list: block sid count out of range");
+    }
     uint64_t sid = skip_first[b];
     size_t at = begin;
     for (size_t i = 1; i < in_block; ++i) {
@@ -404,13 +412,225 @@ Result<BlockList> BlockList::FromMapped(uint32_t count, U32View skip_first,
   return out;
 }
 
+namespace {
+
+// ValidateBlockParts' counterpart for the packed (v4) form. The encoding
+// is canonical — minimal per-block width, zero slack bits, zero pad bytes
+// — so any corruption of a structurally-plausible image is detectable
+// here, and reads during validation stay inside the payload because sizes
+// are checked before any gap is extracted.
+Status ValidatePackedParts(uint32_t count, const U32View& skip_first,
+                           const U32View& skip_offset,
+                           const U32View& skip_width, const uint8_t* bytes,
+                           size_t num_bytes, uint32_t* last_out) {
+  const size_t nb = skip_first.size();
+  if (skip_offset.size() != nb || skip_width.size() != nb) {
+    return Status::ParseError("packed block list: skip table arrays disagree");
+  }
+  const size_t expected_blocks =
+      (static_cast<size_t>(count) + BlockList::kBlockSids - 1) /
+      BlockList::kBlockSids;
+  if (nb != expected_blocks) {
+    return Status::ParseError(
+        "packed block list: wrong block count for sid count");
+  }
+  *last_out = 0;
+  if (count == 0) {
+    if (num_bytes != 0) {
+      return Status::ParseError(
+          "packed block list: empty list with payload bytes");
+    }
+    return Status::OK();
+  }
+  if (skip_offset[0] != 0) {
+    return Status::ParseError("packed block list: first block offset not zero");
+  }
+  uint32_t prev_last = 0;
+  for (size_t b = 0; b < nb; ++b) {
+    if (b > 0 && skip_first[b] <= prev_last) {
+      return Status::ParseError(
+          "packed block list: non-monotone sids across blocks");
+    }
+    const size_t in_block = b + 1 < nb ? BlockList::kBlockSids
+                                       : static_cast<size_t>(count) -
+                                             b * BlockList::kBlockSids;
+    if (in_block == 0 || in_block > BlockList::kBlockSids) {
+      return Status::ParseError(
+          "packed block list: block sid count out of range");
+    }
+    const size_t begin = skip_offset[b];
+    const size_t end = b + 1 < nb ? skip_offset[b + 1] : num_bytes;
+    if (begin > end || end > num_bytes) {
+      return Status::ParseError("packed block list: skip offsets out of bounds");
+    }
+    if (begin % 4 != 0) {
+      return Status::ParseError(
+          "packed block list: block payload offset not 4-byte aligned");
+    }
+    const uint32_t width = skip_width[b];
+    if (width > 32) {
+      return Status::ParseError("packed block list: gap width exceeds 32 bits");
+    }
+    const size_t gaps = in_block - 1;
+    if ((gaps == 0) != (width == 0)) {
+      return Status::ParseError(
+          "packed block list: gap width and sid count disagree");
+    }
+    // Exact payload size: ceil(gaps * width / 8) rounded up to the 4-byte
+    // block padding. Checked before any gap is extracted, which keeps the
+    // word-granular ExtractPackedGap loads in bounds.
+    const uint64_t bits = static_cast<uint64_t>(gaps) * width;
+    const size_t expected_bytes =
+        static_cast<size_t>(((bits + 7) / 8 + 3) & ~uint64_t{3});
+    if (end - begin != expected_bytes) {
+      return Status::ParseError("packed block list: wrong block payload size");
+    }
+    const uint8_t* p = bytes + begin;
+    uint64_t sid = skip_first[b];
+    uint32_t max_gap = 0;
+    for (size_t i = 0; i < gaps; ++i) {
+      const uint32_t gap = simd::ExtractPackedGap(p, width, i);
+      if (gap == 0) {
+        return Status::ParseError(
+            "packed block list: zero gap (non-monotone ids)");
+      }
+      max_gap = std::max(max_gap, gap);
+      sid += gap;
+      if (sid > std::numeric_limits<uint32_t>::max()) {
+        return Status::ParseError("packed block list: sid overflows uint32");
+      }
+    }
+    if (gaps > 0 && (max_gap >> (width - 1)) == 0) {
+      return Status::ParseError(
+          "packed block list: gap width not minimal for block");
+    }
+    // The canonical form zero-fills everything past the last gap: the
+    // slack bits of the final partial byte and the alignment pad bytes.
+    size_t byte_at = static_cast<size_t>(bits / 8);
+    const unsigned rem_bits = static_cast<unsigned>(bits % 8);
+    if (rem_bits != 0) {
+      if ((p[byte_at] >> rem_bits) != 0) {
+        return Status::ParseError("packed block list: nonzero slack bits");
+      }
+      ++byte_at;
+    }
+    for (; byte_at < expected_bytes; ++byte_at) {
+      if (p[byte_at] != 0) {
+        return Status::ParseError("packed block list: nonzero pad bytes");
+      }
+    }
+    prev_last = static_cast<uint32_t>(sid);
+  }
+  *last_out = prev_last;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BlockList> BlockList::FromPackedParts(uint32_t count,
+                                             std::vector<uint32_t> skip_first,
+                                             std::vector<uint32_t> skip_offset,
+                                             std::vector<uint32_t> skip_width,
+                                             std::vector<uint8_t> bytes) {
+  uint32_t last = 0;
+  KOKO_RETURN_IF_ERROR(ValidatePackedParts(
+      count, U32View(skip_first), U32View(skip_offset), U32View(skip_width),
+      bytes.data(), bytes.size(), &last));
+  BlockList out;
+  out.size_ = count;
+  out.last_ = last;
+  out.packed_ = true;
+  out.skip_first_ = std::move(skip_first);
+  out.skip_offset_ = std::move(skip_offset);
+  out.skip_width_ = std::move(skip_width);
+  out.bytes_ = std::move(bytes);
+  return out;
+}
+
+Result<BlockList> BlockList::FromMappedPacked(uint32_t count,
+                                              U32View skip_first,
+                                              U32View skip_offset,
+                                              U32View skip_width,
+                                              MemorySpan bytes) {
+  uint32_t last = 0;
+  KOKO_RETURN_IF_ERROR(ValidatePackedParts(count, skip_first, skip_offset,
+                                           skip_width, bytes.data(),
+                                           bytes.size(), &last));
+  BlockList out;
+  out.size_ = count;
+  out.last_ = last;
+  out.viewed_ = true;
+  out.packed_ = true;
+  out.vfirst_ = skip_first;
+  out.voffset_ = skip_offset;
+  out.vwidth_ = skip_width;
+  out.vbytes_ = bytes;
+  return out;
+}
+
+PackedBlockParts PackBlockList(const BlockList& list) {
+  PackedBlockParts parts;
+  const size_t nb = list.NumBlocks();
+  parts.skip_first.reserve(nb);
+  parts.skip_offset.reserve(nb);
+  parts.skip_width.reserve(nb);
+  uint32_t buf[BlockList::kBlockSids];
+  for (size_t b = 0; b < nb; ++b) {
+    const size_t n = list.DecodeBlock(b, buf);
+    parts.skip_first.push_back(buf[0]);
+    parts.skip_offset.push_back(static_cast<uint32_t>(parts.payload.size()));
+    uint32_t max_gap = 0;
+    for (size_t i = 1; i < n; ++i) max_gap = std::max(max_gap, buf[i] - buf[i - 1]);
+    const uint32_t width =
+        n > 1 ? static_cast<uint32_t>(std::bit_width(max_gap)) : 0;
+    parts.skip_width.push_back(width);
+    // Gaps go LSB-first into a little-endian bitstream, zero-padded to the
+    // 4-byte block boundary (word-granular decode loads never cross it).
+    uint64_t acc = 0;
+    unsigned acc_bits = 0;
+    for (size_t i = 1; i < n; ++i) {
+      acc |= static_cast<uint64_t>(buf[i] - buf[i - 1]) << acc_bits;
+      acc_bits += width;
+      while (acc_bits >= 8) {
+        parts.payload.push_back(static_cast<uint8_t>(acc));
+        acc >>= 8;
+        acc_bits -= 8;
+      }
+    }
+    if (acc_bits > 0) parts.payload.push_back(static_cast<uint8_t>(acc));
+    while (parts.payload.size() % 4 != 0) parts.payload.push_back(0);
+  }
+  return parts;
+}
+
 bool operator==(const BlockList& a, const BlockList& b) {
   if (a.size_ != b.size_) return false;
+  if (a.packed_ != b.packed_) {
+    // Cross-form (varint vs packed): both encodings are canonical within
+    // themselves but their bytes differ, so compare the decoded sids
+    // blockwise (block boundaries agree — they are count-derived).
+    const size_t nb = a.NumBlocks();
+    if (b.NumBlocks() != nb) return false;
+    uint32_t abuf[BlockList::kBlockSids], bbuf[BlockList::kBlockSids];
+    for (size_t blk = 0; blk < nb; ++blk) {
+      const size_t an = a.DecodeBlock(blk, abuf);
+      const size_t bn = b.DecodeBlock(blk, bbuf);
+      if (an != bn || !std::equal(abuf, abuf + an, bbuf)) return false;
+    }
+    return true;
+  }
   const U32View af = a.skip_first(), bf = b.skip_first();
   const U32View ao = a.skip_offset(), bo = b.skip_offset();
-  if (af.size() != bf.size() || ao.size() != bo.size()) return false;
+  const U32View aw = a.skip_width(), bw = b.skip_width();
+  if (af.size() != bf.size() || ao.size() != bo.size() ||
+      aw.size() != bw.size()) {
+    return false;
+  }
   for (size_t i = 0; i < af.size(); ++i) {
     if (af[i] != bf[i] || ao[i] != bo[i]) return false;
+  }
+  for (size_t i = 0; i < aw.size(); ++i) {
+    if (aw[i] != bw[i]) return false;
   }
   const MemorySpan ab = a.bytes(), bb = b.bytes();
   return ab.size() == bb.size() &&
@@ -474,34 +694,34 @@ class BlockCursor {
   size_t pos_ = 0;
 };
 
-// Linear two-pointer merge between a decoded list and a block list,
-// decoding one block at a time into a stack buffer. A block whose entire
-// sid range lies below the decoded cursor (its successor's first sid
-// bounds it from above) is skipped without decoding.
+// Blockwise merge between a decoded list and a block list: decode one
+// block at a time into a stack buffer, bound the decoded side's
+// overlapping run by the block's last sid, and hand both runs to the
+// vectorized intersection kernel. A block whose entire sid range lies
+// below the decoded cursor (its successor's first sid bounds it from
+// above) is skipped without decoding.
 void IntersectMergeBlocks(const SidList& a, const BlockList& b,
                           std::vector<uint32_t>* out) {
   const uint32_t* xs = a.data();
   const size_t na = a.size();
+  // At comparable sizes nearly every block overlaps the decoded side's
+  // span, so the per-block pairing (skip test, decode, gallop for the
+  // fragment bound) costs more than the decodes it avoids: clamp to the
+  // block window overlapping [xs[0], xs[na-1]] via the skip table,
+  // bulk-decode it, and run a single vector intersection.
   const U32View firsts = b.skip_first();
-  uint32_t buf[BlockList::kBlockSids];
-  size_t i = 0;
-  for (size_t blk = 0; blk < b.NumBlocks() && i < na; ++blk) {
-    if (blk + 1 < b.NumBlocks() && firsts[blk + 1] <= xs[i]) continue;
-    const size_t n = b.DecodeBlock(blk, buf);
-    size_t j = 0;
-    while (i < na && j < n) {
-      const uint32_t x = xs[i], y = buf[j];
-      if (x < y) {
-        ++i;
-      } else if (y < x) {
-        ++j;
-      } else {
-        out->push_back(x);
-        ++i;
-        ++j;
-      }
-    }
+  const size_t nb = b.NumBlocks();
+  const uint32_t lo = xs[0], hi = xs[na - 1];
+  size_t b0 = 0;
+  while (b0 + 1 < nb && firsts[b0 + 1] <= lo) ++b0;
+  size_t b1 = b0;
+  while (b1 < nb && firsts[b1] <= hi) ++b1;
+  std::vector<uint32_t> decoded((b1 - b0) * BlockList::kBlockSids);
+  size_t at = 0;
+  for (size_t blk = b0; blk < b1; ++blk) {
+    at += b.DecodeBlock(blk, decoded.data() + at);
   }
+  IntersectRuns(xs, na, decoded.data(), at, out);
 }
 
 }  // namespace
@@ -555,40 +775,35 @@ SidList Intersect(const BlockList& a, const BlockList& b) {
   out.reserve(small.size());
   uint32_t buf[BlockList::kBlockSids];
   if (large.size() / small.size() < kGallopSkewRatio) {
-    // Comparable sizes: stream both block sequences through one merge,
-    // decoding each block at most once. A block of `large` wholly below
-    // the small side's cursor is skipped via the skip table, undecoded.
-    const U32View firsts = large.skip_first();
-    uint32_t lbuf[BlockList::kBlockSids];
-    size_t lblk = 0;
-    size_t ln = 0;  // decoded size of lbuf; 0 = not decoded yet
-    size_t j = 0;
-    for (size_t blk = 0; blk < small.NumBlocks(); ++blk) {
-      const size_t count = small.DecodeBlock(blk, buf);
-      size_t i = 0;
-      while (i < count) {
-        if (j == ln) {
-          if (ln != 0) ++lblk;  // current large block exhausted
-          while (lblk + 1 < large.NumBlocks() && firsts[lblk + 1] <= buf[i]) {
-            ++lblk;
-          }
-          if (lblk >= large.NumBlocks()) break;
-          ln = large.DecodeBlock(lblk, lbuf);
-          j = 0;
-        }
-        const uint32_t x = buf[i], y = lbuf[j];
-        if (x < y) {
-          ++i;
-        } else if (y < x) {
-          ++j;
-        } else {
-          out.push_back(x);
-          ++i;
-          ++j;
-        }
+    // Comparable sizes: nearly every block of each side overlaps the
+    // other's span, so per-block pairing (skip to the candidate block,
+    // decode, intersect the fragment) costs more in bookkeeping than the
+    // decodes it avoids. Clamp each side to the other's sid span via the
+    // skip table, bulk-decode the two block windows, and run a single
+    // vector intersection over the decoded runs.
+    const uint32_t lo =
+        std::max(small.skip_first()[0], large.skip_first()[0]);
+    const uint32_t hi = std::min(small.last_sid(), large.last_sid());
+    if (lo > hi) return SidList();
+    auto decode_window = [](const BlockList& list, uint32_t win_lo,
+                            uint32_t win_hi, std::vector<uint32_t>* dst) {
+      const U32View firsts = list.skip_first();
+      const size_t nb = list.NumBlocks();
+      size_t b0 = 0;
+      while (b0 + 1 < nb && firsts[b0 + 1] <= win_lo) ++b0;
+      size_t b1 = b0;
+      while (b1 < nb && firsts[b1] <= win_hi) ++b1;
+      dst->resize((b1 - b0) * BlockList::kBlockSids);
+      size_t at = 0;
+      for (size_t b = b0; b < b1; ++b) {
+        at += list.DecodeBlock(b, dst->data() + at);
       }
-      if (lblk >= large.NumBlocks()) break;
-    }
+      dst->resize(at);
+    };
+    std::vector<uint32_t> sdec, ldec;
+    decode_window(small, lo, hi, &sdec);
+    decode_window(large, lo, hi, &ldec);
+    IntersectRuns(sdec.data(), sdec.size(), ldec.data(), ldec.size(), &out);
   } else {
     BlockCursor cursor(large);
     for (size_t blk = 0; blk < small.NumBlocks() && !cursor.AtEnd(); ++blk) {

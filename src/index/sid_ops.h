@@ -127,15 +127,29 @@ SidList Difference(const SidList& a, const SidList& b);
 /// Versus the decoded `std::vector<uint32_t>` this stores ~1-2 bytes per sid
 /// instead of 4 plus geometric vector slack.
 ///
+/// **Payload encodings:** blocks come in two wire forms, decoded behind the
+/// same `DecodeBlock` API (which dispatches to the SIMD kernels of
+/// src/util/simd.h either way):
+///
+///   * *varint* — the build-time and v3-image form described above;
+///   * *packed* (`packed() == true`) — the v4-image form: each block's gaps
+///     are fixed-width bit-packed (per-block minimal width in the
+///     `skip_width` table, gaps LSB-first in a little-endian bitstream,
+///     each block's payload zero-padded to a multiple of 4 bytes), which
+///     vector kernels decode with word-granular loads. Packed lists exist
+///     only by loading a v4 image (`FromPackedParts`/`FromMappedPacked`);
+///     `Append` on one is a programming error.
+///
 /// **Ownership:** a list is either *owning* (skip table + payload live in
-/// its own vectors — the build path and `FromParts`) or a *view*
-/// (`FromMapped`: the three arrays alias externally-owned bytes, typically
-/// a `MappedFile` of a v3 image). Both forms expose the identical read API
-/// (`skip_first()`/`skip_offset()`/`bytes()` return borrowed views either
-/// way), so every intersection/lookup kernel runs unchanged over mapped
-/// memory. A view's `MemoryUsage()` is 0 — the pages belong to the mapping.
-/// Whoever creates a view keeps the backing memory alive and immutable for
-/// the list's lifetime (KokoIndex holds its mapping in a shared_ptr).
+/// its own vectors — the build path and `FromParts`/`FromPackedParts`) or a
+/// *view* (`FromMapped`/`FromMappedPacked`: the arrays alias
+/// externally-owned bytes, typically a `MappedFile` of a v3/v4 image). Both
+/// forms expose the identical read API (`skip_first()`/`skip_offset()`/
+/// `skip_width()`/`bytes()` return borrowed views either way), so every
+/// intersection/lookup kernel runs unchanged over mapped memory. A view's
+/// `MemoryUsage()` is 0 — the pages belong to the mapping. Whoever creates
+/// a view keeps the backing memory alive and immutable for the list's
+/// lifetime (KokoIndex holds its mapping in a shared_ptr).
 class BlockList {
  public:
   /// Sids per block. 128 gaps fit L1 comfortably as a decode buffer and
@@ -171,12 +185,38 @@ class BlockList {
   static Result<BlockList> FromMapped(uint32_t count, U32View skip_first,
                                       U32View skip_offset, MemorySpan bytes);
 
+  /// Reassembles a list from the *packed* (v4) wire form, validating every
+  /// structural invariant: per-block minimal bit width (<= 32), nonzero
+  /// gaps, no uint32 overflow, 4-byte-aligned offsets, exact payload sizes,
+  /// and zero padding/slack bits (the encoding is canonical, so corruption
+  /// is detectable). Mirrors FromParts.
+  static Result<BlockList> FromPackedParts(uint32_t count,
+                                           std::vector<uint32_t> skip_first,
+                                           std::vector<uint32_t> skip_offset,
+                                           std::vector<uint32_t> skip_width,
+                                           std::vector<uint8_t> bytes);
+
+  /// The zero-copy counterpart of FromPackedParts ("validate before
+  /// alias"), mirroring FromMapped.
+  static Result<BlockList> FromMappedPacked(uint32_t count, U32View skip_first,
+                                            U32View skip_offset,
+                                            U32View skip_width,
+                                            MemorySpan bytes);
+
   /// True when this list is a non-owning view over mapped memory.
   bool mapped() const { return viewed_; }
+
+  /// True when the payload is the fixed-width bit-packed (v4) form.
+  bool packed() const { return packed_; }
 
   size_t CountSids() const { return size_; }
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  /// Largest sid in the list (0 when empty) — with skip_first()[0] this
+  /// bounds the list's span without decoding, letting intersection clamp
+  /// to the overlapping block window.
+  uint32_t last_sid() const { return last_; }
   size_t NumBlocks() const {
     return viewed_ ? vfirst_.size() : skip_first_.size();
   }
@@ -205,7 +245,8 @@ class BlockList {
   size_t MemoryUsage() const {
     return viewed_ ? 0
                    : bytes_.capacity() + (skip_first_.capacity() +
-                                          skip_offset_.capacity()) *
+                                          skip_offset_.capacity() +
+                                          skip_width_.capacity()) *
                                              sizeof(uint32_t);
   }
 
@@ -221,13 +262,19 @@ class BlockList {
   U32View skip_offset() const {
     return viewed_ ? voffset_ : U32View(skip_offset_);
   }
+  /// Per-block gap bit width (packed lists only; empty for varint lists).
+  U32View skip_width() const {
+    return viewed_ ? vwidth_ : U32View(skip_width_);
+  }
   MemorySpan bytes() const {
     return viewed_ ? vbytes_ : MemorySpan(bytes_.data(), bytes_.size());
   }
 
-  /// The encoder is canonical (one byte stream per sid set), so structural
-  /// equality is set equality — compared element-wise so owning and mapped
-  /// lists over the same sid set are equal.
+  /// Both encoders are canonical (one byte stream per sid set per form), so
+  /// structural equality within one form is a byte compare; across forms
+  /// (varint vs packed) blocks are decoded and compared as sid sets —
+  /// owning, mapped, varint, and packed lists over the same sids are all
+  /// equal.
   friend bool operator==(const BlockList& a, const BlockList& b);
 
  private:
@@ -237,12 +284,31 @@ class BlockList {
   // memory — never these vectors, so default copy/move stays correct).
   std::vector<uint32_t> skip_first_;
   std::vector<uint32_t> skip_offset_;
+  std::vector<uint32_t> skip_width_;  // packed form only
   std::vector<uint8_t> bytes_;
   bool viewed_ = false;
+  bool packed_ = false;
   U32View vfirst_;
   U32View voffset_;
+  U32View vwidth_;
   MemorySpan vbytes_;
 };
+
+/// The packed (v4) wire parts of a BlockList — what `PackBlockList`
+/// produces and `KokoIndex::Save` writes for a v4 image. `skip_first` and
+/// `skip_offset` have the same meaning as the varint form; `skip_width[b]`
+/// is block b's gap bit width and `payload` the concatenated bit-packed
+/// block payloads (each 4-byte padded, offsets 4-byte aligned).
+struct PackedBlockParts {
+  std::vector<uint32_t> skip_first;
+  std::vector<uint32_t> skip_offset;
+  std::vector<uint32_t> skip_width;
+  std::vector<uint8_t> payload;
+};
+
+/// Re-encodes any BlockList (varint or packed, owning or mapped) into the
+/// canonical packed wire form.
+PackedBlockParts PackBlockList(const BlockList& list);
 
 /// \brief A borrowed sorted sid set: either a decoded `SidList` or a
 /// compressed `BlockList`.

@@ -47,6 +47,16 @@ class BinaryWriter {
     if (size > 0) WriteRaw(data, size);
   }
 
+  /// Absolute write position, or -1 when the stream is not seekable. The
+  /// v4 image uses it to pad packed block payloads to a 4-byte file
+  /// offset (an mmap'ed image is page-aligned, so file alignment is
+  /// memory alignment); on a non-seekable sink the pad degrades to 0 and
+  /// the image stays valid, just unaligned.
+  int64_t Position() const {
+    const std::streampos pos = out_->tellp();
+    return pos == std::streampos(-1) ? -1 : static_cast<int64_t>(pos);
+  }
+
   bool ok() const { return out_->good(); }
 
  private:
@@ -105,6 +115,18 @@ class BinaryReader {
     std::vector<T> v(*len);
     if (*len > 0 && !ReadRaw(v.data(), v.size() * sizeof(T))) {
       return Fail<std::vector<T>>();
+    }
+    return v;
+  }
+
+  /// `size` raw bytes with no length prefix — the counterpart of
+  /// WriteBytes, for payloads whose length was serialized separately.
+  /// Bounded like ReadVector: a corrupt external length must fail cleanly.
+  Result<std::vector<uint8_t>> ReadRawBytes(size_t size) {
+    if (size > RemainingBytes()) return Fail<std::vector<uint8_t>>();
+    std::vector<uint8_t> v(size);
+    if (size > 0 && !ReadRaw(v.data(), size)) {
+      return Fail<std::vector<uint8_t>>();
     }
     return v;
   }
@@ -190,6 +212,18 @@ class SpanReader {
   size_t offset() const { return pos_; }
   size_t remaining() const { return span_.size() - pos_; }
 
+  Result<uint8_t> ReadU8() {
+    if (remaining() < 1) return Eof();
+    return span_.data()[pos_++];
+  }
+
+  /// Skips `n` bytes (alignment padding in the v4 image).
+  Status Skip(size_t n) {
+    if (n > remaining()) return Eof();
+    pos_ += n;
+    return Status::OK();
+  }
+
   Result<uint32_t> ReadU32() {
     if (remaining() < sizeof(uint32_t)) return Eof();
     uint32_t v;
@@ -228,6 +262,12 @@ class SpanReader {
   /// u32 count, then `count` raw bytes, returned as a view.
   Result<MemorySpan> ReadByteArray() {
     KOKO_ASSIGN_OR_RETURN(uint32_t count, ReadU32());
+    return ReadRawSpan(count);
+  }
+
+  /// `count` raw bytes with no length prefix, returned as a view — for
+  /// payloads whose length was serialized before an alignment pad.
+  Result<MemorySpan> ReadRawSpan(size_t count) {
     if (count > remaining()) return Eof();
     MemorySpan view(span_.data() + pos_, count);
     pos_ += count;

@@ -321,6 +321,57 @@ TEST(KokoIndexTest, MmapLoadFallsBackOnLegacyImages) {
   std::remove(path.c_str());
 }
 
+TEST(KokoIndexTest, SaveVersionKnobWritesLoadableV3AndV4) {
+  // The explicit version knob: 4 (current, bit-packed blocks) and 3
+  // (varint blocks) both round-trip through kCopy and kMap, answer
+  // identically, and the no-version overload writes exactly v4.
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 120, .seed = 31});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  auto read_all = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  };
+  std::string default_path = ::testing::TempDir() + "/koko_ver_default.bin";
+  ASSERT_TRUE(index->Save(default_path).ok());
+  for (uint32_t version : {3u, 4u}) {
+    std::string path = ::testing::TempDir() + "/koko_ver_" +
+                       std::to_string(version) + ".bin";
+    {
+      std::ofstream out(path, std::ios::binary);
+      BinaryWriter writer(&out);
+      ASSERT_TRUE(index->Save(&writer, version).ok());
+    }
+    for (LoadMode mode : {LoadMode::kCopy, LoadMode::kMap}) {
+      auto loaded = KokoIndex::Load(path, mode);
+      ASSERT_TRUE(loaded.ok())
+          << "v" << version << ": " << loaded.status().ToString();
+      EXPECT_EQ((*loaded)->mapped(), mode == LoadMode::kMap) << version;
+      EXPECT_TRUE((*loaded)->sid_caches_from_disk()) << version;
+      const BlockList* sids = (*loaded)->WordSids("happy");
+      ASSERT_NE(sids, nullptr) << version;
+      // v4 images hold packed payloads, v3 varint payloads.
+      EXPECT_EQ(sids->packed(), version == 4) << version;
+      EXPECT_EQ((*loaded)->LookupWord("happy"), index->LookupWord("happy"))
+          << version;
+      PathQuery p = MakePath({{"/", "root"}, {"//", "dobj"}});
+      EXPECT_EQ((*loaded)->LookupParseLabelPath(p),
+                index->LookupParseLabelPath(p))
+          << version;
+      EXPECT_EQ((*loaded)->AllEntitySids(), index->AllEntitySids()) << version;
+    }
+    if (version == 4) {
+      EXPECT_EQ(read_all(path), read_all(default_path));  // default is v4
+    } else {
+      EXPECT_NE(read_all(path), read_all(default_path));
+    }
+    std::remove(path.c_str());
+  }
+  std::remove(default_path.c_str());
+}
+
 TEST(KokoIndexTest, MmapLoadErrorsAreClean) {
   // Unmappable path: a clean error, not an abort.
   auto missing = KokoIndex::Load(::testing::TempDir() + "/no_such_index.bin",

@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace koko {
 namespace {
@@ -467,6 +469,433 @@ TEST(BlockListTest, FromPartsRejectsOverflowAndOverlongVarints) {
   auto max_ok = BlockList::FromParts(2, {0}, offsets, max_gap);
   ASSERT_TRUE(max_ok.ok()) << max_ok.status().ToString();
   EXPECT_EQ(max_ok->Decode().ids(), (std::vector<uint32_t>{0, 0xffffffffu}));
+}
+
+// ---------------------------------------------------------------------------
+// Packed (v4) form: round trips, canonical-encoding corruption rejection.
+// ---------------------------------------------------------------------------
+
+// Gap patterns the packed and SIMD paths must all handle: dense runs
+// (1-bit gaps), sparse lists (wide gaps), adversarial mixes that defeat
+// the varint fast path mid-block, and block-boundary sizes.
+std::vector<std::vector<uint32_t>> PatternLists() {
+  std::vector<std::vector<uint32_t>> lists;
+  lists.push_back({});                            // empty
+  lists.push_back({42});                          // single sid, zero gaps
+  lists.push_back({0, 0xffffffffu});              // maximum gap (width 32)
+  for (size_t n : {2u, 127u, 128u, 129u, 255u, 256u, 1000u}) {
+    std::vector<uint32_t> dense, sparse, mixed;
+    for (uint32_t i = 0; i < n; ++i) {
+      dense.push_back(1000 + i);
+      sparse.push_back(i * 3000017u);
+      // Alternating 1-byte and multi-byte varint gaps: breaks the SIMD
+      // all-single-byte probe inside a block, not just at its edges.
+      mixed.push_back(mixed.empty() ? 7u
+                                    : mixed.back() + (i % 3 == 0 ? 300000u
+                                                     : i % 3 == 1 ? 1u
+                                                                  : 200u));
+    }
+    lists.push_back(std::move(dense));
+    lists.push_back(std::move(sparse));
+    lists.push_back(std::move(mixed));
+  }
+  Rng rng(1234);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<uint32_t> ids;
+    const size_t n = 1 + rng.Next() % 700;
+    for (size_t i = 0; i < n; ++i) {
+      ids.push_back(static_cast<uint32_t>(rng.Next() % (1u << 24)));
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    lists.push_back(std::move(ids));
+  }
+  return lists;
+}
+
+TEST(BlockListTest, PackedRoundTripMatchesVarintForm) {
+  for (const auto& ids : PatternLists()) {
+    BlockList varint = BlockList::FromSidList(SidList::FromSorted(ids));
+    PackedBlockParts parts = PackBlockList(varint);
+    auto packed = BlockList::FromPackedParts(
+        static_cast<uint32_t>(varint.size()), parts.skip_first,
+        parts.skip_offset, parts.skip_width, parts.payload);
+    ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+    EXPECT_TRUE(packed->packed());
+    EXPECT_FALSE(varint.packed());
+    // Cross-form equality decodes blockwise; both directions.
+    EXPECT_EQ(*packed, varint);
+    EXPECT_EQ(varint, *packed);
+    EXPECT_EQ(packed->Decode().ids(), ids);
+    // Re-packing a packed list is the identity: the encoding is canonical.
+    PackedBlockParts again = PackBlockList(*packed);
+    EXPECT_EQ(again.skip_width, parts.skip_width);
+    EXPECT_EQ(again.payload, parts.payload);
+    // Every block payload starts 4-byte aligned and the widths are minimal.
+    for (size_t b = 0; b < parts.skip_offset.size(); ++b) {
+      EXPECT_EQ(parts.skip_offset[b] % 4, 0u) << b;
+      EXPECT_LE(parts.skip_width[b], 32u) << b;
+    }
+    // Queries agree across forms, including the packed gallop path.
+    for (uint32_t probe : {0u, 7u, 1000u, 3000017u, 0xffffffffu}) {
+      EXPECT_EQ(packed->Contains(probe), varint.Contains(probe)) << probe;
+    }
+    EXPECT_EQ(Intersect(*packed, varint), varint.Decode());
+  }
+}
+
+TEST(BlockListTest, FromMappedPackedAliasesWithoutCopying) {
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < 1000; ++i) ids.push_back(i * 7 + (i % 3));
+  BlockList owned = BlockList::FromSidList(SidList::FromUnsorted(ids));
+  PackedBlockParts parts = PackBlockList(owned);
+  const uint32_t count = static_cast<uint32_t>(owned.size());
+
+  auto mapped = BlockList::FromMappedPacked(
+      count, U32View(parts.skip_first), U32View(parts.skip_offset),
+      U32View(parts.skip_width),
+      MemorySpan(parts.payload.data(), parts.payload.size()));
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped->mapped());
+  EXPECT_TRUE(mapped->packed());
+  EXPECT_EQ(mapped->MemoryUsage(), 0u);
+  EXPECT_EQ(mapped->bytes().data(), parts.payload.data());  // aliases
+  EXPECT_EQ(*mapped, owned);
+  EXPECT_EQ(mapped->Decode(), owned.Decode());
+
+  // A real image may hand the view unaligned base addresses (the payload
+  // itself is file-aligned, but the skip arrays follow strings): re-base
+  // the width table one byte into a shifted buffer.
+  std::vector<uint8_t> shifted(1 + parts.skip_width.size() * sizeof(uint32_t));
+  std::memcpy(shifted.data() + 1, parts.skip_width.data(),
+              parts.skip_width.size() * sizeof(uint32_t));
+  auto remapped = BlockList::FromMappedPacked(
+      count, U32View(parts.skip_first), U32View(parts.skip_offset),
+      U32View(shifted.data() + 1, parts.skip_width.size()),
+      MemorySpan(parts.payload.data(), parts.payload.size()));
+  ASSERT_TRUE(remapped.ok()) << remapped.status().ToString();
+  EXPECT_EQ(*remapped, owned);
+}
+
+TEST(BlockListTest, FromPackedPartsValidation) {
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < 300; ++i) ids.push_back(i * 3);
+  BlockList good = BlockList::FromSidList(SidList::FromSorted(ids));
+  PackedBlockParts parts = PackBlockList(good);
+  const uint32_t count = static_cast<uint32_t>(good.size());
+  auto make = [&](uint32_t n, const std::vector<uint32_t>& f,
+                  const std::vector<uint32_t>& o,
+                  const std::vector<uint32_t>& w,
+                  const std::vector<uint8_t>& p) {
+    return BlockList::FromPackedParts(n, f, o, w, p);
+  };
+  ASSERT_TRUE(make(count, parts.skip_first, parts.skip_offset,
+                   parts.skip_width, parts.payload)
+                  .ok());
+
+  // Count / skip-table shape mismatches.
+  EXPECT_FALSE(make(count + 1, parts.skip_first, parts.skip_offset,
+                    parts.skip_width, parts.payload)
+                   .ok());
+  EXPECT_FALSE(make(0, parts.skip_first, parts.skip_offset, parts.skip_width,
+                    parts.payload)
+                   .ok());
+  {
+    auto w = parts.skip_width;
+    w.pop_back();  // width table disagrees with the other skip arrays
+    EXPECT_FALSE(make(count, parts.skip_first, parts.skip_offset, w,
+                      parts.payload)
+                     .ok());
+    w = parts.skip_width;
+    w[0] = 33;  // width beyond uint32
+    EXPECT_FALSE(make(count, parts.skip_first, parts.skip_offset, w,
+                      parts.payload)
+                     .ok());
+    w = parts.skip_width;
+    w[0] += 1;  // non-minimal (and payload size no longer matches)
+    EXPECT_FALSE(make(count, parts.skip_first, parts.skip_offset, w,
+                      parts.payload)
+                     .ok());
+  }
+  {
+    auto f = parts.skip_first;
+    f[1] = f[0];  // non-monotone across blocks
+    EXPECT_FALSE(make(count, f, parts.skip_offset, parts.skip_width,
+                      parts.payload)
+                     .ok());
+  }
+  {
+    auto o = parts.skip_offset;
+    o[0] = 4;  // first block not at zero
+    EXPECT_FALSE(make(count, parts.skip_first, o, parts.skip_width,
+                      parts.payload)
+                     .ok());
+    o = parts.skip_offset;
+    o[1] += 2;  // unaligned / wrong block size
+    EXPECT_FALSE(make(count, parts.skip_first, o, parts.skip_width,
+                      parts.payload)
+                     .ok());
+    o = parts.skip_offset;
+    o[1] = static_cast<uint32_t>(parts.payload.size()) + 4;  // out of bounds
+    EXPECT_FALSE(make(count, parts.skip_first, o, parts.skip_width,
+                      parts.payload)
+                     .ok());
+  }
+  // Every truncation of the payload is rejected (sizes are exact).
+  for (size_t cut = 1; cut <= 8 && cut <= parts.payload.size(); ++cut) {
+    std::vector<uint8_t> p(parts.payload.begin(), parts.payload.end() - cut);
+    EXPECT_FALSE(make(count, parts.skip_first, parts.skip_offset,
+                      parts.skip_width, p)
+                     .ok())
+        << cut;
+  }
+  {
+    auto p = parts.payload;
+    p.push_back(0);  // trailing bytes, even zero ones
+    EXPECT_FALSE(make(count, parts.skip_first, parts.skip_offset,
+                      parts.skip_width, p)
+                     .ok());
+  }
+
+  // Hand-crafted single-block cases pinning the canonical-form rules.
+  // Two sids {0, 1}: gap 1, width 1, one payload word.
+  EXPECT_TRUE(make(2, {0}, {0}, {1}, {0x01, 0, 0, 0}).ok());
+  // Zero gap encodes a duplicate sid.
+  EXPECT_FALSE(make(2, {0}, {0}, {1}, {0x00, 0, 0, 0}).ok());
+  // Nonzero slack bits past the last gap.
+  EXPECT_FALSE(make(2, {0}, {0}, {1}, {0x03, 0, 0, 0}).ok());
+  // Nonzero alignment pad byte.
+  EXPECT_FALSE(make(2, {0}, {0}, {1}, {0x01, 0, 0, 1}).ok());
+  // Width 2 for a gap of 1 is not minimal (same payload size, so this
+  // isolates the minimal-width rule).
+  EXPECT_FALSE(make(2, {0}, {0}, {2}, {0x01, 0, 0, 0}).ok());
+  // A single-sid block must have width 0 and no payload.
+  EXPECT_TRUE(make(1, {9}, {0}, {0}, {}).ok());
+  EXPECT_FALSE(make(1, {9}, {0}, {1}, {0, 0, 0, 0}).ok());
+  // Gap pushing past uint32: 0xfffffff0 + 0xff overflows.
+  EXPECT_FALSE(make(2, {0xfffffff0u}, {0}, {8}, {0xff, 0, 0, 0}).ok());
+  // The canonical maximum still validates: 0 then +0xffffffff (width 32,
+  // exactly one unpadded word).
+  auto max_ok = make(2, {0}, {0}, {32}, {0xff, 0xff, 0xff, 0xff});
+  ASSERT_TRUE(max_ok.ok()) << max_ok.status().ToString();
+  EXPECT_EQ(max_ok->Decode().ids(), (std::vector<uint32_t>{0, 0xffffffffu}));
+  // Empty list: only the all-empty parts are valid.
+  EXPECT_TRUE(make(0, {}, {}, {}, {}).ok());
+  EXPECT_FALSE(make(0, {}, {}, {}, {0}).ok());
+}
+
+TEST(BlockListTest, RejectsBlockClaimingMoreThanBlockSids) {
+  // A count implying more sids than kBlockSids in one block would overflow
+  // DecodeBlock's stack buffer; both forms must reject it at validation,
+  // whatever the payload claims.
+  std::vector<uint8_t> gaps129(129, 0x01);  // 129 one-byte varint gaps
+  EXPECT_FALSE(BlockList::FromParts(130, {0}, {0}, gaps129).ok());
+  EXPECT_FALSE(
+      BlockList::FromPackedParts(130, {0}, {0}, {1}, {0xff, 0xff, 0, 0}).ok());
+  // kBlockSids exactly still fits.
+  std::vector<uint8_t> gaps127(127, 0x01);
+  auto full = BlockList::FromParts(128, {0}, {0}, gaps127);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full->Decode().size(), 128u);
+}
+
+TEST(BlockListTest, FromMappedPackedRejectsCorruptParts) {
+  // Every corruption FromPackedParts rejects must fail FromMappedPacked
+  // identically — nothing is aliased out of a structurally unsound image.
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < 300; ++i) ids.push_back(i * 3);
+  PackedBlockParts parts =
+      PackBlockList(BlockList::FromSidList(SidList::FromSorted(ids)));
+  const uint32_t count = 300;
+  auto map_with = [&](uint32_t n, const std::vector<uint32_t>& f,
+                      const std::vector<uint32_t>& o,
+                      const std::vector<uint32_t>& w,
+                      const std::vector<uint8_t>& p) {
+    return BlockList::FromMappedPacked(n, U32View(f), U32View(o), U32View(w),
+                                       MemorySpan(p.data(), p.size()));
+  };
+  ASSERT_TRUE(map_with(count, parts.skip_first, parts.skip_offset,
+                       parts.skip_width, parts.payload)
+                  .ok());
+  EXPECT_FALSE(map_with(count + 1, parts.skip_first, parts.skip_offset,
+                        parts.skip_width, parts.payload)
+                   .ok());
+  {
+    auto w = parts.skip_width;
+    w[0] = 33;
+    EXPECT_FALSE(map_with(count, parts.skip_first, parts.skip_offset, w,
+                          parts.payload)
+                     .ok());
+  }
+  {
+    auto p = parts.payload;
+    p.pop_back();
+    EXPECT_FALSE(map_with(count, parts.skip_first, parts.skip_offset,
+                          parts.skip_width, p)
+                     .ok());
+    p = parts.payload;
+    p.back() ^= 0x80;  // flip a pad/slack bit
+    EXPECT_FALSE(map_with(count, parts.skip_first, parts.skip_offset,
+                          parts.skip_width, p)
+                     .ok());
+  }
+  {
+    auto f = parts.skip_first;
+    f[1] = f[0];
+    EXPECT_FALSE(map_with(count, f, parts.skip_offset, parts.skip_width,
+                          parts.payload)
+                     .ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch: every available ISA must be byte-for-byte equivalent to
+// the scalar kernels on every input shape.
+// ---------------------------------------------------------------------------
+
+// Restores the process-wide active ISA on scope exit so test order cannot
+// leak a non-default kernel table into unrelated suites.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(simd::Isa isa) : saved_(simd::ActiveIsa()) {
+    simd::SetActiveIsa(isa);
+  }
+  ~ScopedIsa() { simd::SetActiveIsa(saved_); }
+
+ private:
+  simd::Isa saved_;
+};
+
+TEST(SimdTest, ScalarAlwaysAvailableAndNamed) {
+  auto isas = simd::AvailableIsas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), simd::Isa::kScalar);
+  ASSERT_NE(simd::KernelsFor(simd::Isa::kScalar), nullptr);
+  EXPECT_STREQ(simd::IsaName(simd::Isa::kScalar), "scalar");
+  for (simd::Isa isa : isas) {
+    EXPECT_NE(simd::KernelsFor(isa), nullptr) << simd::IsaName(isa);
+    EXPECT_NE(std::string(simd::IsaName(isa)), "");
+  }
+  EXPECT_STREQ(simd::ActiveIsaName(), simd::IsaName(simd::ActiveIsa()));
+}
+
+TEST(SimdTest, DifferentialDecodeAcrossIsas) {
+  // Decode every pattern list under every available ISA, in both payload
+  // forms, from owned and byte-shifted (unaligned) mapped parts; all must
+  // match the scalar decode exactly.
+  const auto lists = PatternLists();
+  for (const auto& ids : PatternLists()) {
+    BlockList varint = BlockList::FromSidList(SidList::FromSorted(ids));
+    PackedBlockParts pp = PackBlockList(varint);
+    const uint32_t n = static_cast<uint32_t>(varint.size());
+    auto packed = BlockList::FromPackedParts(n, pp.skip_first, pp.skip_offset,
+                                             pp.skip_width, pp.payload);
+    ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+    // Unaligned mapped variants: payload re-based one byte into a shifted
+    // buffer, mimicking kMap aliases whose spans are not naturally aligned.
+    std::vector<uint8_t> vshift(1 + varint.bytes().size());
+    if (!varint.bytes().empty()) {
+      std::memcpy(vshift.data() + 1, varint.bytes().data(),
+                  varint.bytes().size());
+    }
+    const std::vector<uint32_t> vfirst = varint.skip_first().ToVector();
+    const std::vector<uint32_t> voffset = varint.skip_offset().ToVector();
+    auto vmapped = BlockList::FromMapped(
+        n, U32View(vfirst), U32View(voffset),
+        MemorySpan(vshift.data() + 1, varint.bytes().size()));
+    ASSERT_TRUE(vmapped.ok()) << vmapped.status().ToString();
+
+    std::vector<std::vector<uint32_t>> scalar_decodes;
+    for (simd::Isa isa : simd::AvailableIsas()) {
+      ScopedIsa guard(isa);
+      std::vector<std::vector<uint32_t>> decodes;
+      decodes.push_back(varint.Decode().ids());
+      decodes.push_back(packed->Decode().ids());
+      decodes.push_back(vmapped->Decode().ids());
+      if (isa == simd::Isa::kScalar) {
+        for (const auto& d : decodes) EXPECT_EQ(d, ids);
+        scalar_decodes = std::move(decodes);
+      } else {
+        ASSERT_EQ(decodes.size(), scalar_decodes.size());
+        for (size_t i = 0; i < decodes.size(); ++i) {
+          EXPECT_EQ(decodes[i], scalar_decodes[i])
+              << simd::IsaName(isa) << " form " << i << " n=" << ids.size();
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdTest, DifferentialIntersectAcrossIsas) {
+  // Intersections under each ISA — both the raw kernel against a reference
+  // std::set_intersection and the full BlockList paths — must agree with
+  // scalar exactly, across skews that hit the merge and gallop strategies.
+  Rng rng(4242);
+  for (int round = 0; round < 60; ++round) {
+    const size_t na = 1 + rng.Next() % 400;
+    const size_t skew = 1 + rng.Next() % 100;
+    const size_t nb = 1 + (rng.Next() % 400) * skew;
+    SidList a = RandomList(&rng, na, 1u << 18);
+    SidList b = RandomList(&rng, nb, 1u << 18);
+    const std::vector<uint32_t> expected = ReferenceIntersect(a, b);
+
+    BlockList ba = BlockList::FromSidList(a);
+    BlockList bb = BlockList::FromSidList(b);
+    for (simd::Isa isa : simd::AvailableIsas()) {
+      ScopedIsa guard(isa);
+      // Raw kernel, both argument orders.
+      const simd::Kernels& k = simd::ActiveKernels();
+      std::vector<uint32_t> out(std::min(a.size(), b.size()) +
+                                simd::kIntersectOutSlack);
+      size_t got = k.intersect_sorted(a.ids().data(), a.size(),
+                                      b.ids().data(), b.size(), out.data());
+      ASSERT_EQ(got, expected.size()) << simd::IsaName(isa);
+      EXPECT_TRUE(std::equal(expected.begin(), expected.end(), out.begin()))
+          << simd::IsaName(isa);
+      got = k.intersect_sorted(b.ids().data(), b.size(), a.ids().data(),
+                               a.size(), out.data());
+      ASSERT_EQ(got, expected.size()) << simd::IsaName(isa);
+      EXPECT_TRUE(std::equal(expected.begin(), expected.end(), out.begin()))
+          << simd::IsaName(isa);
+      // Full paths: decoded×decoded, block×block, decoded×block.
+      EXPECT_EQ(Intersect(a, b).ids(), expected) << simd::IsaName(isa);
+      EXPECT_EQ(Intersect(ba, bb).ids(), expected) << simd::IsaName(isa);
+      EXPECT_EQ(Intersect(a, bb).ids(), expected) << simd::IsaName(isa);
+    }
+  }
+}
+
+TEST(SimdTest, IntersectKernelEdgeCases) {
+  // Empty inputs, no matches, all matches, and runs crossing the vector
+  // width — per ISA, against the scalar kernel's contract.
+  for (simd::Isa isa : simd::AvailableIsas()) {
+    ScopedIsa guard(isa);
+    const simd::Kernels& k = simd::ActiveKernels();
+    std::vector<uint32_t> out(64 + simd::kIntersectOutSlack);
+    std::vector<uint32_t> empty;
+    std::vector<uint32_t> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+    EXPECT_EQ(k.intersect_sorted(empty.data(), 0, xs.data(), xs.size(),
+                                 out.data()),
+              0u);
+    EXPECT_EQ(k.intersect_sorted(xs.data(), xs.size(), empty.data(), 0,
+                                 out.data()),
+              0u);
+    // Identical arrays: all elements survive, in order.
+    const size_t all = k.intersect_sorted(xs.data(), xs.size(), xs.data(),
+                                          xs.size(), out.data());
+    ASSERT_EQ(all, xs.size());
+    EXPECT_TRUE(std::equal(xs.begin(), xs.end(), out.begin()));
+    // Interleaved disjoint values: zero matches across window boundaries.
+    std::vector<uint32_t> odd, even;
+    for (uint32_t i = 0; i < 40; ++i) {
+      odd.push_back(2 * i + 1);
+      even.push_back(2 * i);
+    }
+    EXPECT_EQ(k.intersect_sorted(odd.data(), odd.size(), even.data(),
+                                 even.size(), out.data()),
+              0u)
+        << simd::IsaName(isa);
+  }
 }
 
 TEST(DeltaCodecTest, RoundTrip) {

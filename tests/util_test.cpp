@@ -197,8 +197,8 @@ TEST(TimerTest, ScopedPhaseCharges) {
   PhaseStats stats;
   {
     ScopedPhase phase(&stats, "x");
-    volatile int sink = 0;
-    for (int i = 0; i < 100000; ++i) sink = sink + i;
+    volatile unsigned sink = 0;
+    for (unsigned i = 0; i < 100000; ++i) sink = sink + i;
   }
   EXPECT_GT(stats.Get("x"), 0.0);
 }
