@@ -136,34 +136,45 @@ int main(int argc, char** argv) {
 
     WorkloadStats cold = RunWorkload(service, workload);
     ScoreCache::Stats cache_cold = service.score_cache().stats();
+    PlanCache::Stats plans_cold = service.plan_cache().stats();
     WorkloadStats warm = RunWorkload(service, workload);
     ScoreCache::Stats cache_warm = service.score_cache().stats();
+    PlanCache::Stats plans_warm = service.plan_cache().stats();
     ok &= cold.ok && warm.ok && cold.rows == warm.rows;
 
     const double agg_speedup =
         warm.satisfying_s > 0 ? cold.satisfying_s / warm.satisfying_s : 0;
     std::printf(
         "-- warm-cache repeat --\n"
-        "  cold: total=%.4fs satisfying=%.4fs rows=%zu (cache: %llu misses)\n"
-        "  warm: total=%.4fs satisfying=%.4fs rows=%zu (cache: +%llu hits)\n"
+        "  cold: total=%.4fs satisfying=%.4fs rows=%zu (scores: %llu misses, "
+        "plans: %llu built)\n"
+        "  warm: total=%.4fs satisfying=%.4fs rows=%zu (scores: +%llu hits, "
+        "plans: +%llu hits)\n"
         "  satisfying speedup: %.2fx %s\n\n",
         cold.wall_s, cold.satisfying_s, cold.rows,
-        static_cast<unsigned long long>(cache_cold.misses), warm.wall_s,
+        static_cast<unsigned long long>(cache_cold.misses),
+        static_cast<unsigned long long>(plans_cold.misses), warm.wall_s,
         warm.satisfying_s, warm.rows,
         static_cast<unsigned long long>(cache_warm.hits - cache_cold.hits),
+        static_cast<unsigned long long>(plans_warm.hits - plans_cold.hits),
         agg_speedup, agg_speedup > 1.0 ? "[warm beats cold]" : "");
     emitter.AddEntry("warm_cache/cold",
                      {{"total_s", cold.wall_s},
                       {"satisfying_s", cold.satisfying_s},
                       {"rows", static_cast<double>(cold.rows)},
-                      {"cache_misses", static_cast<double>(cache_cold.misses)}});
+                      {"score_cache_misses",
+                       static_cast<double>(cache_cold.misses)},
+                      {"plan_cache_misses",
+                       static_cast<double>(plans_cold.misses)}});
     emitter.AddEntry(
         "warm_cache/warm",
         {{"total_s", warm.wall_s},
          {"satisfying_s", warm.satisfying_s},
          {"rows", static_cast<double>(warm.rows)},
-         {"cache_hits",
+         {"score_cache_hits",
           static_cast<double>(cache_warm.hits - cache_cold.hits)},
+         {"plan_cache_hits",
+          static_cast<double>(plans_warm.hits - plans_cold.hits)},
          {"satisfying_speedup", agg_speedup}});
   }
 
@@ -218,7 +229,11 @@ int main(int argc, char** argv) {
          {"queries", static_cast<double>(queries)},
          {"wall_s", wall_s},
          {"qps", qps},
-         {"peak_inflight", static_cast<double>(stats.peak_inflight)}});
+         {"peak_inflight", static_cast<double>(stats.peak_inflight)},
+         {"score_cache_hits", static_cast<double>(stats.score_cache.hits)},
+         {"score_cache_misses", static_cast<double>(stats.score_cache.misses)},
+         {"plan_cache_hits", static_cast<double>(stats.plan_cache.hits)},
+         {"plan_cache_misses", static_cast<double>(stats.plan_cache.misses)}});
   }
 
   if (!emitter.WriteFile()) {

@@ -406,6 +406,22 @@ SidList KokoIndex::PosPathSids(const PathQuery& path) const {
   return UnionAllBlocks(lists);
 }
 
+size_t KokoIndex::EstimatePlPathSids(const PathQuery& path) const {
+  size_t total = 0;
+  for (uint32_t node : pl_trie_.Match(path, /*use_pos=*/false)) {
+    total += pl_trie_.nodes[node].sids.size();
+  }
+  return total;
+}
+
+size_t KokoIndex::EstimatePosPathSids(const PathQuery& path) const {
+  size_t total = 0;
+  for (uint32_t node : pos_trie_.Match(path, /*use_pos=*/true)) {
+    total += pos_trie_.nodes[node].sids.size();
+  }
+  return total;
+}
+
 size_t KokoIndex::CountPlPathNodes(const PathQuery& path) const {
   return pl_trie_.Match(path, /*use_pos=*/false).size();
 }

@@ -140,6 +140,16 @@ class KokoIndex {
   /// Same over the POS trie.
   SidList PosPathSids(const PathQuery& path) const;
 
+  /// Upper-bound estimate of |PlPathSids(path)|: the sum of the matched
+  /// trie nodes' stored sid-list lengths (the union can only be smaller,
+  /// so pruning plans built on it stay complete). O(matched nodes) skip
+  /// table reads, no block decoded, no union materialised — the planner's
+  /// path-selectivity input (koko/planner.h).
+  size_t EstimatePlPathSids(const PathQuery& path) const;
+
+  /// Same over the POS trie.
+  size_t EstimatePosPathSids(const PathQuery& path) const;
+
   // ---- Hierarchy-index lookups --------------------------------------------
 
   /// Union of posting lists of all PL-trie nodes matched by `path`, whose

@@ -202,7 +202,8 @@ PathLookupResult KokoPathLookup(const KokoIndex& index, const PathQuery& path,
 }
 
 PathSidLookupResult KokoPathSidLookup(const KokoIndex& index,
-                                      const PathQuery& path) {
+                                      const PathQuery& path,
+                                      bool use_semi_join) {
   PathSidLookupResult result;
   if (path.empty()) {
     result.unconstrained = true;
@@ -231,6 +232,15 @@ PathSidLookupResult KokoPathSidLookup(const KokoIndex& index,
     return result;
   }
   // Cross-index joins (or word-path depth filters) operate on quintuples.
+  if (!use_semi_join) {
+    // Quintuple fallback without the sid-level pre-filter: correct (the
+    // §4.2.2 joins are self-contained) and cheaper when the projections
+    // barely prune — the plan choice the planner makes per query.
+    PathLookupResult full = KokoPathLookup(index, path);
+    result.unconstrained = full.unconstrained;
+    result.sids = SidList::FromSorted(SidsOfPostings(full.postings));
+    return result;
+  }
   // Sid-level semi-join first: the answer's sids lie in the intersection
   // of every consulted index's sid projection (PL path, POS path, each
   // word's list), which is cheap to compute from the precomputed lists.

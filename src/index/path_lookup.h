@@ -54,8 +54,20 @@ struct PathSidLookupResult {
 /// trie nodes' precomputed sid lists. Paths needing cross-index joins fall
 /// back to the quintuple-level lookup and project its (sid-sorted) result
 /// with one linear dedup scan.
+///
+/// `use_semi_join` governs the cross-index fallback only (single-index
+/// paths never build quintuples either way). When true — the default — the
+/// per-index sid projections are intersected first and the result filters
+/// every posting fetch (an empty intersection proves the answer empty with
+/// no quintuple materialised). When false the quintuple joins run
+/// unfiltered — cheaper when the projections barely prune (their
+/// intersection is ≈ the shard), because it skips materialising the big
+/// projections and their intersection. The planner (koko/planner.h)
+/// decides per query from the projection-size estimates; the sid set
+/// returned is identical either way.
 PathSidLookupResult KokoPathSidLookup(const KokoIndex& index,
-                                      const PathQuery& path);
+                                      const PathQuery& path,
+                                      bool use_semi_join = true);
 
 /// Extracts the parse-label / POS-tag projection of `path` (non-matching
 /// constraints become wildcards). Returns an empty optional when the

@@ -343,6 +343,43 @@ SidList Intersect(const SidList& a, const BlockList& b);
 SidList Intersect(const BlockList& a, const SidList& b);
 SidList Intersect(const BlockList& a, const BlockList& b);
 
+/// How a decoded-list x compressed-list intersection executes. The two
+/// strategies are result-identical (both equal Intersect over the decoded
+/// lists); they differ only in cost shape, which crosses over with the size
+/// skew between the sides — the planner (koko/planner.h) picks per clause
+/// pair from the skew crossover measured by bench_micro's skew sweep.
+enum class IntersectRep : uint8_t {
+  /// Run Intersect(a, b) directly over the compressed form: blockwise
+  /// bulk-decode merge at comparable sizes, per-key skip-gallop cursor at
+  /// skew (at most one block decoded per probe; blocks the keys skip over
+  /// are never decoded).
+  kBlockInPlace,
+  /// Decode the compressed side once (sequential bulk SIMD decode), then
+  /// intersect the two plain arrays. Wins in the mid-skew band where the
+  /// probe keys touch most blocks anyway: one streaming decode beats
+  /// per-key block bookkeeping, while at extreme skew the cursor's skipped
+  /// blocks win again.
+  kDecodeThenGallop,
+};
+
+/// Intersect with the representation forced — the planner's execution
+/// primitive. Result equals Intersect(a, b) for either rep.
+SidList IntersectWithRep(const SidList& a, const BlockList& b,
+                         IntersectRep rep);
+
+/// Per-list statistics derivable from a BlockList's skip/width tables with
+/// no payload decode — the planner's cost-model inputs (all O(1) reads).
+struct BlockListStats {
+  uint64_t sids = 0;       ///< list length
+  uint64_t blocks = 0;     ///< skip-table entries
+  uint32_t min_sid = 0;    ///< first sid (0 when empty)
+  uint32_t max_sid = 0;    ///< last sid (0 when empty)
+  double avg_gap = 0.0;    ///< (max-min)/(sids-1): mean inter-sid distance
+};
+
+/// Reads a list's stats from its skip table (no block decoded).
+BlockListStats StatsOf(const BlockList& list);
+
 /// Multi-way intersection over mixed decoded/compressed views,
 /// smallest-first with short-circuit on empty — the DPLI kernel.
 SidList IntersectAllViews(std::vector<SidSetView> views);

@@ -681,11 +681,28 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
   std::vector<uint32_t> candidates;
   {
     ScopedPhase phase(&result.phases, "DPLI");
+    // Planner dispatch: cost-based atom ordering + per-clause representation
+    // (koko/planner.h) against one (shard) index. The candidate set is
+    // byte-identical to the legacy fixed-order CollectCandidates — plans
+    // change cost, not results. `salt` keys the plan cache per target index
+    // (the shard ordinal); shard 0's plan is surfaced in the result.
+    auto collect = [&](const KokoIndex& index,
+                       uint64_t salt) -> CandidateResult {
+      if (!options.use_planner) return CollectCandidates(index, cq);
+      std::shared_ptr<const QueryPlan> plan = GetOrBuildPlan(
+          index, cq, options.planner, options.plan_cache, salt);
+      PlannedCandidates planned = CollectPlannedCandidates(index, cq, *plan);
+      if (salt == 0) result.plan = std::move(plan);
+      CandidateResult collected;
+      collected.pruned = planned.pruned;
+      collected.sids = std::move(planned.sids);
+      return collected;
+    };
     if (!options.use_index) {
       candidates.resize(corpus_->NumSentences());
       for (uint32_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
     } else if (sharded_ == nullptr) {
-      CandidateResult collected = CollectCandidates(*index_, cq);
+      CandidateResult collected = collect(*index_, 0);
       if (collected.pruned) {
         candidates = collected.sids.TakeIds();
       } else {
@@ -707,7 +724,11 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
       auto run_group = [&](size_t g) {
         std::vector<uint32_t>& out = group_candidates[g];
         for (size_t s = g * k / groups; s < (g + 1) * k / groups; ++s) {
-          CandidateResult collected = CollectCandidates(sharded_->shard(s), cq);
+          // Per-shard plans (salt = shard ordinal): shard statistics differ,
+          // so the atom order and representations may too. Only shard 0
+          // (always in group 0) writes result.plan — a single writer whose
+          // store the ParallelFor join orders before the read below.
+          CandidateResult collected = collect(sharded_->shard(s), s);
           if (collected.pruned) {
             std::vector<uint32_t> ids = collected.sids.TakeIds();
             out.insert(out.end(), ids.begin(), ids.end());
@@ -738,194 +759,117 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
     }
   }
   result.candidate_sentences = candidates.size();
+  result.scanned_candidates = candidates.size();
 
   // ---- LoadArticle: materialise candidate documents ----
+  //
+  // Incremental: the streaming path loads each candidate chunk's documents
+  // as the scan reaches it (documents behind an early-terminated tail are
+  // never deserialised); the full path loads everything up front.
   std::map<uint32_t, Document> loaded;
-  {
+  auto load_docs = [&](size_t begin, size_t end) {
     ScopedPhase phase(&result.phases, "LoadArticle");
     std::set<uint32_t> doc_ids;
-    for (uint32_t sid : candidates) doc_ids.insert(corpus_->refs[sid].doc);
+    for (size_t i = begin; i < end; ++i) {
+      doc_ids.insert(corpus_->refs[candidates[i]].doc);
+    }
     for (uint32_t doc : doc_ids) {
+      if (loaded.count(doc) > 0) continue;
       loaded.emplace(doc, store_ != nullptr ? store_->LoadDocument(doc)
                                             : corpus_->docs[doc]);
     }
-  }
+  };
 
-  // ---- GSP + extract: per-sentence evaluation ----
   struct PendingRow {
     uint32_t doc;
     uint32_t sid;
     std::vector<std::string> tracked_values;
   };
-  std::vector<PendingRow> pending;
-  {
-    ScopedPhase phase(&result.phases, "extract");
 
-    // Evaluates one candidate sentence, appending its (deduplicated) rows
-    // to *out until out holds `budget` rows. Returns false when the budget
-    // was hit. Safe to call concurrently with distinct `phases`/`out`.
-    auto evaluate = [&](uint32_t sid, size_t budget, PhaseStats* phases,
-                        std::vector<PendingRow>* out) {
-      const SentenceRef& ref = corpus_->refs[sid];
-      const Sentence& s = loaded.at(ref.doc).sentences[ref.sent];
-      std::unordered_set<std::vector<std::string>, ValuesHash> seen;
-      SentenceEvaluator evaluator(cq, s, options, phases);
-      return evaluator.Run([&](const std::vector<Binding>& assignment) {
-        std::vector<std::string> values;
-        values.reserve(tracked.size());
-        for (int var : tracked) {
-          values.push_back(BindingText(s, assignment[static_cast<size_t>(var)]));
-        }
-        if (!seen.insert(values).second) return true;
-        out->push_back({ref.doc, sid, std::move(values)});
-        return out->size() < budget;
-      });
-    };
+  // ---- Aggregate machinery: satisfying / excluding over whole documents.
+  // Hoisted above extraction so the streaming path can finalise rows
+  // incrementally per chunk; the full path applies it in one final pass.
+  Aggregator::Options agg_options;
+  agg_options.use_descriptors = options.use_descriptors;
+  Aggregator aggregator(embeddings_, recognizer_, agg_options);
+  for (const auto& set : ontology_sets_) aggregator.AddOntologySet(set);
 
-    const size_t num_workers = std::min(parallelism, candidates.size());
-    if (num_workers <= 1) {
-      // Sequential: rows accumulate directly into `pending`, so the budget
-      // check spans sentences and stops the scan exactly at max_rows.
-      for (uint32_t sid : candidates) {
-        if (!evaluate(sid, options.max_rows, &result.phases, &pending)) break;
+  // Score cache: (doc, clause, value) -> score. A shared cross-query
+  // cache (options.score_cache) is consulted first when present; entries
+  // are keyed by clause *content* salted with this engine's scoring
+  // configuration (use_descriptors, ontology sets), so a hit is
+  // guaranteed to equal recomputation and queries with different options
+  // can share one cache. The query-local cache still fronts the shared
+  // one to avoid re-locking stripes for values repeated within one query.
+  std::vector<uint64_t> clause_keys;
+  if (options.score_cache != nullptr) {
+    uint64_t salt = Mix64(options.use_descriptors ? 1 : 2);
+    for (const auto& set : ontology_sets_) {
+      // Set boundaries matter: {"good","happy"} relates the two phrases,
+      // {"good"} + {"happy"} does not — the flat phrase sequence alone
+      // must not collide across different partitions.
+      salt = HashCombine(salt, Mix64(set.size()));
+      for (const std::string& phrase : set) {
+        salt = HashCombine(salt, Fnv1a64(phrase));
       }
-    } else {
-      // Parallel: workers draw candidates from an atomic cursor (ascending,
-      // no stealing) and append each sentence's rows — capped at max_rows,
-      // the most any sentence can contribute — to their own buffer.
-      struct WorkerOutput {
-        std::vector<std::pair<size_t, std::vector<PendingRow>>> per_candidate;
-        PhaseStats phases;
-      };
-      // Exactly num_workers slots — a wide serving pool doesn't enqueue
-      // no-op closures for a section with little work.
-      std::vector<WorkerOutput> outputs(num_workers);
-      std::atomic<size_t> cursor{0};
-      shared_pool().ParallelFor(num_workers, [&](size_t w) {
-        WorkerOutput& out = outputs[w];
-        for (;;) {
-          size_t idx = cursor.fetch_add(1, std::memory_order_relaxed);
-          if (idx >= candidates.size()) return;
-          std::vector<PendingRow> rows;
-          evaluate(candidates[idx], options.max_rows, &out.phases, &rows);
-          if (!rows.empty()) out.per_candidate.push_back({idx, std::move(rows)});
-        }
-      });
-      // Deterministic sid-ordered merge: each worker drew ascending
-      // candidate indices, so its buffer is sorted; k-way merge by index
-      // and re-apply the global cap where the sequential scan would stop.
-      std::vector<size_t> heads(num_workers, 0);
-      bool full = false;
-      while (!full) {
-        size_t best_w = num_workers;
-        size_t best_idx = std::numeric_limits<size_t>::max();
-        for (size_t w = 0; w < num_workers; ++w) {
-          if (heads[w] < outputs[w].per_candidate.size() &&
-              outputs[w].per_candidate[heads[w]].first < best_idx) {
-            best_idx = outputs[w].per_candidate[heads[w]].first;
-            best_w = w;
-          }
-        }
-        if (best_w == num_workers) break;
-        for (PendingRow& row :
-             outputs[best_w].per_candidate[heads[best_w]].second) {
-          pending.push_back(std::move(row));
-          // Push-then-check mirrors the sequential emit exactly (a
-          // max_rows of 0 still admits the first row).
-          if (pending.size() >= options.max_rows) {
-            full = true;
-            break;
-          }
-        }
-        ++heads[best_w];
-      }
-      for (const WorkerOutput& out : outputs) {
-        for (const auto& [name, seconds] : out.phases.all()) {
-          result.phases.Add(name, seconds);
-        }
-      }
+    }
+    clause_keys.reserve(cq.satisfying.size());
+    for (const SatisfyingClause& clause : cq.satisfying) {
+      clause_keys.push_back(
+          HashCombine(salt, ScoreCache::ClauseFingerprint(clause)));
     }
   }
-
-  // ---- Aggregate: satisfying / excluding over whole documents ----
-  {
-    ScopedPhase phase(&result.phases, "satisfying");
-    Aggregator::Options agg_options;
-    agg_options.use_descriptors = options.use_descriptors;
-    Aggregator aggregator(embeddings_, recognizer_, agg_options);
-    for (const auto& set : ontology_sets_) aggregator.AddOntologySet(set);
-
-    // Score cache: (doc, clause, value) -> score. A shared cross-query
-    // cache (options.score_cache) is consulted first when present; entries
-    // are keyed by clause *content* salted with this engine's scoring
-    // configuration (use_descriptors, ontology sets), so a hit is
-    // guaranteed to equal recomputation and queries with different options
-    // can share one cache. The query-local cache still fronts the shared
-    // one to avoid re-locking stripes for values repeated within one query.
-    std::vector<uint64_t> clause_keys;
+  std::unordered_map<std::tuple<uint32_t, size_t, std::string>, double,
+                     ScoreKeyHash>
+      cache;
+  auto score_of = [&](uint32_t doc, size_t clause_idx,
+                      const std::string& value) {
+    auto key = std::make_tuple(doc, clause_idx, value);
+    auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
     if (options.score_cache != nullptr) {
-      uint64_t salt = Mix64(options.use_descriptors ? 1 : 2);
-      for (const auto& set : ontology_sets_) {
-        // Set boundaries matter: {"good","happy"} relates the two phrases,
-        // {"good"} + {"happy"} does not — the flat phrase sequence alone
-        // must not collide across different partitions.
-        salt = HashCombine(salt, Mix64(set.size()));
-        for (const std::string& phrase : set) {
-          salt = HashCombine(salt, Fnv1a64(phrase));
-        }
-      }
-      clause_keys.reserve(cq.satisfying.size());
-      for (const SatisfyingClause& clause : cq.satisfying) {
-        clause_keys.push_back(
-            HashCombine(salt, ScoreCache::ClauseFingerprint(clause)));
+      if (auto hit =
+              options.score_cache->Lookup(clause_keys[clause_idx], doc, value)) {
+        cache.emplace(std::move(key), *hit);
+        return *hit;
       }
     }
-    std::unordered_map<std::tuple<uint32_t, size_t, std::string>, double,
-                       ScoreKeyHash>
-        cache;
-    auto score_of = [&](uint32_t doc, size_t clause_idx,
-                        const std::string& value) {
-      auto key = std::make_tuple(doc, clause_idx, value);
-      auto it = cache.find(key);
-      if (it != cache.end()) return it->second;
-      if (options.score_cache != nullptr) {
-        if (auto hit =
-                options.score_cache->Lookup(clause_keys[clause_idx], doc, value)) {
-          cache.emplace(std::move(key), *hit);
-          return *hit;
-        }
-      }
-      double s = aggregator.Score(loaded.at(doc), value,
-                                  cq.satisfying[clause_idx]);
-      if (options.score_cache != nullptr) {
-        options.score_cache->Insert(clause_keys[clause_idx], doc, value, s);
-      }
-      cache.emplace(std::move(key), s);
-      return s;
-    };
+    double s = aggregator.Score(loaded.at(doc), value,
+                                cq.satisfying[clause_idx]);
+    if (options.score_cache != nullptr) {
+      options.score_cache->Insert(clause_keys[clause_idx], doc, value, s);
+    }
+    cache.emplace(std::move(key), s);
+    return s;
+  };
 
-    auto tracked_pos = [&](const std::string& name) {
-      int idx = cq.VarIndex(name);
-      for (size_t i = 0; i < tracked.size(); ++i) {
-        if (tracked[i] == idx) return i;
-      }
-      KOKO_CHECK(false);
-      return size_t{0};
-    };
+  auto tracked_pos = [&](const std::string& name) {
+    int idx = cq.VarIndex(name);
+    for (size_t i = 0; i < tracked.size(); ++i) {
+      if (tracked[i] == idx) return i;
+    }
+    KOKO_CHECK(false);
+    return size_t{0};
+  };
 
-    for (PendingRow& row : pending) {
-      bool keep = true;
-      std::vector<double> scores;
-      for (size_t ci = 0; ci < cq.satisfying.size(); ++ci) {
-        const std::string& value = row.tracked_values[tracked_pos(cq.satisfying[ci].var)];
-        double s = score_of(row.doc, ci, value);
-        scores.push_back(s);
-        if (s < cq.satisfying[ci].threshold) {
-          keep = false;
-          break;
-        }
+  // Applies the aggregate filters to one pending row; survivors append to
+  // result.rows and stream to the sink immediately. Rows arrive here in
+  // ascending-sid order (both paths preserve it), so sink delivery order
+  // always equals result.rows order.
+  auto finalize_row = [&](PendingRow& row) {
+    bool keep = true;
+    std::vector<double> scores;
+    for (size_t ci = 0; ci < cq.satisfying.size(); ++ci) {
+      const std::string& value =
+          row.tracked_values[tracked_pos(cq.satisfying[ci].var)];
+      double s = score_of(row.doc, ci, value);
+      scores.push_back(s);
+      if (s < cq.satisfying[ci].threshold) {
+        keep = false;
+        break;
       }
-      if (!keep) continue;
+    }
+    if (keep) {
       for (const SatCondition& cond : cq.excluding) {
         const std::string& value = row.tracked_values[tracked_pos(cond.var)];
         if (aggregator.Excluded(loaded.at(row.doc), value, cond)) {
@@ -933,16 +877,226 @@ Result<QueryResult> Engine::ExecuteCompiled(const CompiledQuery& cq,
           break;
         }
       }
-      if (!keep) continue;
-      ResultRow out;
-      out.doc = row.doc;
-      out.sid = row.sid;
-      out.values.assign(row.tracked_values.begin(),
-                        row.tracked_values.begin() +
-                            static_cast<long>(cq.output_vars.size()));
-      out.scores = std::move(scores);
-      result.rows.push_back(std::move(out));
     }
+    if (!keep) return;
+    ResultRow out;
+    out.doc = row.doc;
+    out.sid = row.sid;
+    out.values.assign(row.tracked_values.begin(),
+                      row.tracked_values.begin() +
+                          static_cast<long>(cq.output_vars.size()));
+    out.scores = std::move(scores);
+    result.rows.push_back(std::move(out));
+    if (options.sink != nullptr) (*options.sink)(result.rows.back());
+  };
+
+  // ---- GSP + extract: per-sentence evaluation ----
+
+  // Evaluates one candidate sentence, appending its (deduplicated) rows
+  // to *out until out holds `budget` rows. Returns false when the budget
+  // was hit. Safe to call concurrently with distinct `phases`/`out`.
+  auto evaluate = [&](uint32_t sid, size_t budget, PhaseStats* phases,
+                      std::vector<PendingRow>* out) {
+    const SentenceRef& ref = corpus_->refs[sid];
+    const Sentence& s = loaded.at(ref.doc).sentences[ref.sent];
+    std::unordered_set<std::vector<std::string>, ValuesHash> seen;
+    SentenceEvaluator evaluator(cq, s, options, phases);
+    return evaluator.Run([&](const std::vector<Binding>& assignment) {
+      std::vector<std::string> values;
+      values.reserve(tracked.size());
+      for (int var : tracked) {
+        values.push_back(BindingText(s, assignment[static_cast<size_t>(var)]));
+      }
+      if (!seen.insert(values).second) return true;
+      out->push_back({ref.doc, sid, std::move(values)});
+      return out->size() < budget;
+    });
+  };
+
+  // Per-worker extraction buffer: rows of the candidates one worker drew
+  // (ascending draw order), merged back deterministically by candidate
+  // index.
+  struct WorkerOutput {
+    std::vector<std::pair<size_t, std::vector<PendingRow>>> per_candidate;
+    PhaseStats phases;
+  };
+
+  // Streaming execution kicks in when a sink wants rows as they appear, or
+  // when a finite row budget allows the candidate scan to stop early.
+  const bool streaming =
+      options.sink != nullptr ||
+      (options.early_terminate &&
+       options.max_rows != std::numeric_limits<size_t>::max());
+
+  if (!streaming) {
+    // ---- Full pipeline: load everything, extract everything, aggregate
+    // at the end. With a finite max_rows this is evaluate-then-truncate —
+    // the baseline streaming is benchmarked against.
+    load_docs(0, candidates.size());
+    std::vector<PendingRow> pending;
+    {
+      ScopedPhase phase(&result.phases, "extract");
+      const size_t num_workers = std::min(parallelism, candidates.size());
+      if (num_workers <= 1) {
+        // Sequential: rows accumulate directly into `pending`, so the budget
+        // check spans sentences and stops the scan exactly at max_rows.
+        for (uint32_t sid : candidates) {
+          if (!evaluate(sid, options.max_rows, &result.phases, &pending)) break;
+        }
+      } else {
+        // Parallel: workers draw candidates from an atomic cursor (ascending,
+        // no stealing) and append each sentence's rows — capped at max_rows,
+        // the most any sentence can contribute — to their own buffer.
+        // Exactly num_workers slots — a wide serving pool doesn't enqueue
+        // no-op closures for a section with little work.
+        std::vector<WorkerOutput> outputs(num_workers);
+        std::atomic<size_t> cursor{0};
+        shared_pool().ParallelFor(num_workers, [&](size_t w) {
+          WorkerOutput& out = outputs[w];
+          for (;;) {
+            size_t idx = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (idx >= candidates.size()) return;
+            std::vector<PendingRow> rows;
+            evaluate(candidates[idx], options.max_rows, &out.phases, &rows);
+            if (!rows.empty()) out.per_candidate.push_back({idx, std::move(rows)});
+          }
+        });
+        // Deterministic sid-ordered merge: each worker drew ascending
+        // candidate indices, so its buffer is sorted; k-way merge by index
+        // and re-apply the global cap where the sequential scan would stop.
+        std::vector<size_t> heads(num_workers, 0);
+        bool full = false;
+        while (!full) {
+          size_t best_w = num_workers;
+          size_t best_idx = std::numeric_limits<size_t>::max();
+          for (size_t w = 0; w < num_workers; ++w) {
+            if (heads[w] < outputs[w].per_candidate.size() &&
+                outputs[w].per_candidate[heads[w]].first < best_idx) {
+              best_idx = outputs[w].per_candidate[heads[w]].first;
+              best_w = w;
+            }
+          }
+          if (best_w == num_workers) break;
+          for (PendingRow& row :
+               outputs[best_w].per_candidate[heads[best_w]].second) {
+            pending.push_back(std::move(row));
+            // Push-then-check mirrors the sequential emit exactly (a
+            // max_rows of 0 still admits the first row).
+            if (pending.size() >= options.max_rows) {
+              full = true;
+              break;
+            }
+          }
+          ++heads[best_w];
+        }
+        for (const WorkerOutput& out : outputs) {
+          for (const auto& [name, seconds] : out.phases.all()) {
+            result.phases.Add(name, seconds);
+          }
+        }
+      }
+    }
+    {
+      ScopedPhase phase(&result.phases, "satisfying");
+      for (PendingRow& row : pending) finalize_row(row);
+    }
+  } else {
+    // ---- Streaming: load / extract / aggregate in candidate-ordered
+    // chunks, emitting rows to the sink as each chunk finalises and
+    // stopping the scan once the row budget is provably satisfied (the
+    // budget counts pending rows — the stream max_rows truncates — so a
+    // full budget admits no further row anywhere). Byte-identical to the
+    // full pipeline for every (num_shards, num_threads, max_rows): chunks
+    // partition the same ascending-sid candidate stream, per-chunk budgets
+    // subtract rows already committed, and the per-chunk merge re-applies
+    // the cap exactly where the sequential scan would stop. Works across
+    // shard groups unchanged — DPLI already merged the groups' candidates
+    // into one ascending stream, and the cut point is a property of that
+    // stream alone.
+    const size_t chunk_size =
+        std::max<size_t>(8 * std::max<size_t>(parallelism, 1), 32);
+    size_t committed = 0;  // pending rows produced by finished chunks
+    size_t scanned = 0;    // candidates drawn before the budget closed
+    bool full = false;
+    for (size_t next = 0; next < candidates.size() && !full;) {
+      const size_t chunk_end = std::min(candidates.size(), next + chunk_size);
+      // Rows this chunk may still produce. A single candidate can
+      // contribute at most budget_left rows to the truncated stream, so it
+      // also serves as the per-candidate evaluation budget below.
+      const size_t budget_left =
+          options.max_rows > committed ? options.max_rows - committed : 0;
+      load_docs(next, chunk_end);
+      std::vector<PendingRow> chunk_pending;
+      {
+        ScopedPhase phase(&result.phases, "extract");
+        const size_t num_workers = std::min(parallelism, chunk_end - next);
+        if (num_workers <= 1) {
+          for (size_t i = next; i < chunk_end; ++i) {
+            scanned = i + 1;
+            if (!evaluate(candidates[i], budget_left, &result.phases,
+                          &chunk_pending)) {
+              full = true;
+              break;
+            }
+          }
+        } else {
+          std::vector<WorkerOutput> outputs(num_workers);
+          std::atomic<size_t> cursor{next};
+          shared_pool().ParallelFor(num_workers, [&](size_t w) {
+            WorkerOutput& out = outputs[w];
+            for (;;) {
+              size_t idx = cursor.fetch_add(1, std::memory_order_relaxed);
+              if (idx >= chunk_end) return;
+              std::vector<PendingRow> rows;
+              evaluate(candidates[idx], budget_left, &out.phases, &rows);
+              if (!rows.empty()) {
+                out.per_candidate.push_back({idx, std::move(rows)});
+              }
+            }
+          });
+          scanned = chunk_end;
+          std::vector<size_t> heads(num_workers, 0);
+          while (!full) {
+            size_t best_w = num_workers;
+            size_t best_idx = std::numeric_limits<size_t>::max();
+            for (size_t w = 0; w < num_workers; ++w) {
+              if (heads[w] < outputs[w].per_candidate.size() &&
+                  outputs[w].per_candidate[heads[w]].first < best_idx) {
+                best_idx = outputs[w].per_candidate[heads[w]].first;
+                best_w = w;
+              }
+            }
+            if (best_w == num_workers) break;
+            for (PendingRow& row :
+                 outputs[best_w].per_candidate[heads[best_w]].second) {
+              chunk_pending.push_back(std::move(row));
+              if (chunk_pending.size() >= budget_left) {
+                full = true;
+                // Report the sequential scan's stop point, not the chunk's
+                // speculative tail, so the count is thread-count-invariant.
+                scanned = std::min(scanned, best_idx + 1);
+                break;
+              }
+            }
+            ++heads[best_w];
+          }
+          for (const WorkerOutput& out : outputs) {
+            for (const auto& [name, seconds] : out.phases.all()) {
+              result.phases.Add(name, seconds);
+            }
+          }
+        }
+      }
+      {
+        ScopedPhase phase(&result.phases, "satisfying");
+        for (PendingRow& row : chunk_pending) finalize_row(row);
+      }
+      committed += chunk_pending.size();
+      if (committed >= options.max_rows) full = true;
+      next = chunk_end;
+    }
+    result.scanned_candidates = scanned;
+    result.early_terminated = scanned < candidates.size();
   }
   return result;
 }

@@ -1,7 +1,9 @@
 #ifndef KOKO_KOKO_ENGINE_H_
 #define KOKO_KOKO_ENGINE_H_
 
+#include <functional>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,7 @@
 #include "koko/aggregate.h"
 #include "koko/ast.h"
 #include "koko/compile.h"
+#include "koko/planner.h"
 #include "koko/score_cache.h"
 #include "ner/entity_recognizer.h"
 #include "storage/doc_store.h"
@@ -31,6 +34,13 @@ struct ResultRow {
   std::vector<double> scores;
 };
 
+/// Streaming row consumer (EngineOptions::sink): invoked once per final
+/// result row, in row order, as soon as the row survives the aggregate
+/// filters — before later candidates are evaluated. The rows delivered are
+/// exactly `QueryResult::rows` (same rows, same order); the sink runs on
+/// the calling thread, so it needs no synchronisation of its own.
+using RowSink = std::function<void(const ResultRow&)>;
+
 struct QueryResult {
   std::vector<std::string> output_names;
   std::vector<ResultRow> rows;
@@ -38,6 +48,19 @@ struct QueryResult {
   /// satisfying — the Table 2 breakdown.
   PhaseStats phases;
   size_t candidate_sentences = 0;
+  /// Candidates the extract scan drew before the row budget provably
+  /// closed (the sequential stop point — thread-count-invariant; parallel
+  /// chunks may speculatively evaluate a few more). Equals
+  /// `candidate_sentences` unless streaming top-k stopped early, in which
+  /// case `early_terminated` is set and the tail candidates were never
+  /// loaded or evaluated (DPLI still counted them — the candidate set is a
+  /// pruning property, identical with or without early termination).
+  size_t scanned_candidates = 0;
+  bool early_terminated = false;
+  /// The query plan executed (planner-enabled runs against an index;
+  /// shard 0's plan when sharded). Null when the planner was off or the
+  /// query bypassed the index. See koko/explain.h's ExplainPlan.
+  std::shared_ptr<const QueryPlan> plan;
 };
 
 struct EngineOptions {
@@ -97,6 +120,37 @@ struct EngineOptions {
   /// heterogeneous option sets against one corpus. Never share a cache
   /// across different corpora.
   ScoreCache* score_cache = nullptr;
+  /// Cost-based clause planning for the DPLI phase (koko/planner.h): order
+  /// clause intersections by estimated selectivity, pick the per-clause-pair
+  /// representation (in-place block intersect vs decode-then-gallop) from
+  /// the measured skew crossover, and decide sid-semi-join vs quintuple
+  /// fallback per cross-index path. Candidate sets are **byte-identical**
+  /// with the planner on or off — plans change cost, never results — so
+  /// this defaults on; `false` forces the legacy fixed-order pipeline (the
+  /// parity baseline).
+  bool use_planner = true;
+  /// Cost-model thresholds (calibrated by bench_micro's skew sweep).
+  PlannerOptions planner;
+  /// Cross-query compiled-plan cache keyed by clause fingerprint (borrowed,
+  /// thread-safe; must outlive the call). Null — the default — rebuilds the
+  /// (cheap, statistics-only) plan per query. QueryService owns one and
+  /// threads it through here. Never share across corpora; Clear() on index
+  /// rebuild.
+  PlanCache* plan_cache = nullptr;
+  /// Streaming sink: when non-null, every final row is delivered to it as
+  /// extraction produces it (ascending-sid order preserved), before later
+  /// candidates are evaluated — a consumer needing only the first rows can
+  /// act before the query finishes. `QueryResult::rows` is still returned
+  /// in full. Borrowed; invoked on the calling thread.
+  const RowSink* sink = nullptr;
+  /// Streaming top-k early termination: with a finite `max_rows`, stop
+  /// drawing candidates once the row budget is provably satisfied — the
+  /// tail candidates are never loaded or evaluated. Rows are byte-identical
+  /// to the full run for every (num_shards, num_threads, max_rows): the
+  /// budget cuts the same ascending-sid row stream at the same point; only
+  /// `scanned_candidates`/`early_terminated` reveal the saving. `false`
+  /// restores full evaluation followed by truncation (the bench baseline).
+  bool early_terminate = true;
 };
 
 /// \brief The KOKO query evaluation engine (Figure 2).

@@ -44,6 +44,56 @@ std::string ClauseExplanation::ToString() const {
   return out;
 }
 
+std::string ExplainPlan(const QueryPlan& plan) {
+  if (!plan.pruned) {
+    return "plan: unpruned (no prunable clause; full sentence scan)\n";
+  }
+  std::string out = "plan: " + std::to_string(plan.atoms.size()) +
+                    " clause(s), ascending estimated selectivity over " +
+                    std::to_string(plan.index_sentences) + " sentences\n";
+  for (size_t i = 0; i < plan.atoms.size(); ++i) {
+    const PlannedAtom& atom = plan.atoms[i];
+    out += "  " + std::to_string(i + 1) + ". " + atom.label + "  est=" +
+           std::to_string(atom.estimate) + (atom.exact ? "" : " (upper bound)");
+    if (atom.block_backed) {
+      out += std::string("  rep=") + (atom.rep == IntersectRep::kBlockInPlace
+                                          ? "in-place"
+                                          : "decode+gallop");
+      out += "  blocks=" + std::to_string(atom.stats.blocks) +
+             " avg-gap=" + FormatDouble(atom.stats.avg_gap, 1);
+    }
+    if (atom.kind == PlannedAtom::Kind::kPath && atom.cross_index) {
+      out += atom.use_semi_join ? "  cross-index: semi-join"
+                                : "  cross-index: quintuple fallback";
+    }
+    out += "\n";
+  }
+  out += "  fingerprint=" + std::to_string(plan.fingerprint) +
+         "  thresholds: decode+gallop ratio in [" +
+         std::to_string(plan.options.decode_gallop_min_ratio) + ", " +
+         std::to_string(plan.options.decode_gallop_max_ratio) +
+         "), semi-join <= " +
+         FormatDouble(plan.options.semi_join_max_fraction, 2) + " of corpus\n";
+  return out;
+}
+
+std::string ExplainExecution(const QueryResult& result) {
+  std::string out =
+      result.plan != nullptr ? ExplainPlan(*result.plan) : "plan: none\n";
+  out += "execution: " + std::to_string(result.candidate_sentences) +
+         " candidate(s) after DPLI, " +
+         std::to_string(result.scanned_candidates) + " scanned";
+  if (result.early_terminated) {
+    out += " -> early termination after candidate " +
+           std::to_string(result.scanned_candidates) + " (" +
+           std::to_string(result.candidate_sentences -
+                          result.scanned_candidates) +
+           " never evaluated)";
+  }
+  out += ", " + std::to_string(result.rows.size()) + " row(s)\n";
+  return out;
+}
+
 Explainer::Explainer(const EmbeddingModel* model,
                      const EntityRecognizer* recognizer, bool use_descriptors)
     : aggregator_(model, recognizer,

@@ -7,6 +7,8 @@
 #include "embed/embedding.h"
 #include "koko/aggregate.h"
 #include "koko/ast.h"
+#include "koko/engine.h"
+#include "koko/planner.h"
 #include "ner/entity_recognizer.h"
 #include "text/document.h"
 
@@ -54,6 +56,21 @@ class Explainer {
 /// Renders a SatCondition back to (approximately) its query syntax; shared
 /// by the explainer and the query printer.
 std::string SatConditionToString(const SatCondition& cond);
+
+/// \brief EXPLAIN of a compiled query plan (koko/planner.h).
+///
+/// One line per atom in execution order: kind + label, estimated
+/// selectivity (with exact/upper-bound marker), and the per-clause choices
+/// — intersection representation for compressed atoms (`in-place` vs
+/// `decode+gallop`) and `semi-join`/`quintuple` for cross-index paths.
+/// Ends with the plan fingerprint and the thresholds it was built with.
+std::string ExplainPlan(const QueryPlan& plan);
+
+/// \brief EXPLAIN of an executed query: the plan (when one ran) plus the
+/// execution's pruning and early-termination figures — candidates after
+/// DPLI, candidates actually scanned, and whether/where streaming top-k
+/// cut the scan short.
+std::string ExplainExecution(const QueryResult& result);
 
 }  // namespace koko
 

@@ -1,0 +1,369 @@
+#include "koko/planner.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "index/path_lookup.h"
+#include "text/annotations.h"
+#include "util/hash.h"
+
+namespace koko {
+
+namespace {
+
+// Decomposition flags of one absolute path — the same predicate
+// KokoPathSidLookup evaluates, reproduced at plan time so the plan's
+// single-index/cross-index classification always matches execution.
+struct PathShape {
+  bool unconstrained = true;
+  bool has_pl = false;
+  bool has_pos = false;
+  std::vector<const std::string*> words;  // in step order
+};
+
+PathShape ShapeOf(const PathQuery& path) {
+  PathShape shape;
+  if (path.empty()) return shape;
+  for (const PathStep& step : path.steps) {
+    if (step.constraint.dep) shape.has_pl = true;
+    if (step.constraint.pos) shape.has_pos = true;
+    if (step.constraint.word) shape.words.push_back(&*step.constraint.word);
+  }
+  shape.unconstrained = !shape.has_pl && !shape.has_pos && shape.words.empty();
+  return shape;
+}
+
+uint64_t OptionsFingerprint(const PlannerOptions& options) {
+  uint64_t h = Mix64(options.decode_gallop_min_ratio);
+  h = HashCombine(h, Mix64(options.decode_gallop_max_ratio));
+  uint64_t frac_bits = 0;
+  static_assert(sizeof(frac_bits) == sizeof(options.semi_join_max_fraction));
+  std::memcpy(&frac_bits, &options.semi_join_max_fraction, sizeof(frac_bits));
+  return HashCombine(h, Mix64(frac_bits));
+}
+
+std::string QuoteWords(const std::vector<std::string>& words) {
+  std::string out;
+  for (const std::string& word : words) {
+    if (!out.empty()) out += ' ';
+    out += word;
+  }
+  return "\"" + out + "\"";
+}
+
+}  // namespace
+
+uint64_t PlanFingerprint(const CompiledQuery& cq) {
+  // Salted per atom kind so e.g. a literal "X" and an entity named X can
+  // never collide; atoms hashed in the same order BuildQueryPlan visits.
+  uint64_t h = Fnv1a64("koko-plan-v1");
+  for (int dom : cq.DominantPathVars()) {
+    h = HashCombine(h, Mix64(1));
+    h = HashCombine(
+        h, Fnv1a64(cq.vars[static_cast<size_t>(dom)].abs_path.ToString()));
+  }
+  for (const CompiledVar& v : cq.vars) {
+    if (v.kind == CompiledVar::Kind::kEntity) {
+      h = HashCombine(h, Mix64(2));
+      h = HashCombine(
+          h, Mix64(v.etype ? 1 + static_cast<uint64_t>(*v.etype) : 0));
+    } else if (v.kind == CompiledVar::Kind::kLiteral) {
+      h = HashCombine(h, Mix64(3));
+      h = HashCombine(h, Mix64(v.literal.size()));
+      for (const std::string& word : v.literal) {
+        h = HashCombine(h, Fnv1a64(word));
+      }
+    }
+  }
+  return h;
+}
+
+IntersectRep ChooseIntersectRep(uint64_t list_estimate,
+                                uint64_t block_estimate,
+                                const PlannerOptions& options) {
+  // A compressed side no larger than the accumulator: the in-place kernel
+  // is already the bulk-decode merge (or walks the block side as the
+  // smaller), so there is nothing for a wholesale decode to win.
+  if (block_estimate <= list_estimate) return IntersectRep::kBlockInPlace;
+  const uint64_t ratio =
+      block_estimate / std::max<uint64_t>(list_estimate, 1);
+  if (ratio >= options.decode_gallop_min_ratio &&
+      ratio < options.decode_gallop_max_ratio) {
+    return IntersectRep::kDecodeThenGallop;
+  }
+  return IntersectRep::kBlockInPlace;
+}
+
+std::shared_ptr<const QueryPlan> BuildQueryPlan(const KokoIndex& index,
+                                                const CompiledQuery& cq,
+                                                const PlannerOptions& options) {
+  auto plan = std::make_shared<QueryPlan>();
+  plan->fingerprint = PlanFingerprint(cq);
+  plan->index_sentences = index.stats().num_sentences;
+  plan->options = options;
+
+  // ---- Classify + estimate, mirroring CollectCandidates' atom set ----
+  for (int dom : cq.DominantPathVars()) {
+    const PathQuery& path = cq.vars[static_cast<size_t>(dom)].abs_path;
+    PathShape shape = ShapeOf(path);
+    if (shape.unconstrained) continue;  // contributes no pruning, as at exec
+    PlannedAtom atom;
+    atom.kind = PlannedAtom::Kind::kPath;
+    atom.var = dom;
+    atom.label = "path " + path.ToString();
+    const int indices_used = (shape.has_pl ? 1 : 0) + (shape.has_pos ? 1 : 0) +
+                             (shape.words.empty() ? 0 : 1);
+    atom.cross_index = indices_used > 1 || !shape.words.empty();
+    if (!atom.cross_index) {
+      // Single hierarchy index: the lookup is a trie-node sid union; its
+      // size is bounded by the sum of the matched nodes' list lengths.
+      atom.estimate = shape.has_pl ? index.EstimatePlPathSids(
+                                         ProjectParseLabelPath(path))
+                                   : index.EstimatePosPathSids(
+                                         ProjectPosPath(path));
+    } else {
+      // Cross-index: the answer's sids lie inside every consulted index's
+      // projection, so the smallest projection bounds the result. An
+      // absent word proves it empty (estimate 0, exact).
+      uint64_t min_proj = std::numeric_limits<uint64_t>::max();
+      if (shape.has_pl) {
+        min_proj = std::min<uint64_t>(
+            min_proj, index.EstimatePlPathSids(ProjectParseLabelPath(path)));
+      }
+      if (shape.has_pos) {
+        min_proj = std::min<uint64_t>(
+            min_proj, index.EstimatePosPathSids(ProjectPosPath(path)));
+      }
+      bool word_absent = false;
+      for (const std::string* word : shape.words) {
+        const size_t count = index.CountWordSids(*word);
+        if (count == 0) word_absent = true;
+        min_proj = std::min<uint64_t>(min_proj, count);
+      }
+      atom.estimate = word_absent ? 0 : min_proj;
+      atom.exact = word_absent;
+      // Semi-join only while the best projection can actually prune the
+      // quintuple joins; near the corpus size it is pure overhead.
+      atom.use_semi_join =
+          static_cast<double>(atom.estimate) <=
+          options.semi_join_max_fraction *
+              static_cast<double>(std::max<size_t>(plan->index_sentences, 1));
+    }
+    plan->atoms.push_back(std::move(atom));
+  }
+  for (size_t i = 0; i < cq.vars.size(); ++i) {
+    const CompiledVar& v = cq.vars[i];
+    if (v.kind == CompiledVar::Kind::kEntity) {
+      PlannedAtom atom;
+      atom.kind = PlannedAtom::Kind::kEntity;
+      atom.var = static_cast<int>(i);
+      const BlockList& sids =
+          v.etype ? index.EntityTypeSids(*v.etype) : index.AllEntitySids();
+      atom.estimate = sids.size();
+      atom.exact = true;
+      atom.block_backed = true;
+      atom.stats = StatsOf(sids);
+      atom.label = v.etype ? "entity " + std::string(EntityTypeName(*v.etype))
+                           : "entity *";
+      plan->atoms.push_back(std::move(atom));
+    } else if (v.kind == CompiledVar::Kind::kLiteral) {
+      PlannedAtom atom;
+      atom.kind = PlannedAtom::Kind::kLiteral;
+      atom.var = static_cast<int>(i);
+      atom.label = "literal " + QuoteWords(v.literal);
+      uint64_t min_words = std::numeric_limits<uint64_t>::max();
+      bool word_absent = false;
+      for (const std::string& word : v.literal) {
+        const size_t count = index.CountWordSids(word);
+        if (count == 0) word_absent = true;
+        min_words = std::min<uint64_t>(min_words, count);
+      }
+      atom.estimate = word_absent ? 0 : min_words;
+      // A single stored word list is served verbatim (exact, compressed);
+      // a multi-word conjunction decodes to at most the smallest list.
+      if (v.literal.size() == 1 && !word_absent) {
+        atom.exact = true;
+        atom.block_backed = true;
+        atom.stats = StatsOf(*index.WordSids(v.literal[0]));
+      } else {
+        atom.exact = word_absent;
+      }
+      plan->atoms.push_back(std::move(atom));
+    }
+  }
+  plan->pruned = !plan->atoms.empty();
+  if (!plan->pruned) return plan;
+
+  // ---- Order: ascending estimated selectivity (stable, so equal
+  // estimates keep compile order and plans stay deterministic) ----
+  std::stable_sort(plan->atoms.begin(), plan->atoms.end(),
+                   [](const PlannedAtom& a, const PlannedAtom& b) {
+                     return a.estimate < b.estimate;
+                   });
+
+  // ---- Per-pair representation: the accumulator after step 0 is bounded
+  // by the smallest estimate, so every later compressed atom is costed
+  // against it. Atom 0's rep only matters when it stays a deferred block
+  // meeting a decoded atom 1 — there the block is the smaller side.
+  const uint64_t acc_estimate = plan->atoms[0].estimate;
+  for (size_t i = 0; i < plan->atoms.size(); ++i) {
+    PlannedAtom& atom = plan->atoms[i];
+    if (!atom.block_backed) continue;
+    atom.rep = i == 0 ? ChooseIntersectRep(
+                            plan->atoms.size() > 1 ? plan->atoms[1].estimate
+                                                   : atom.estimate,
+                            atom.estimate, options)
+                      : ChooseIntersectRep(acc_estimate, atom.estimate, options);
+  }
+  return plan;
+}
+
+PlannedCandidates CollectPlannedCandidates(const KokoIndex& index,
+                                           const CompiledQuery& cq,
+                                           const QueryPlan& plan) {
+  PlannedCandidates result;
+  result.pruned = plan.pruned;
+  if (!plan.pruned) return result;
+
+  SidList acc;
+  bool have_list = false;  // acc holds the decoded accumulator
+  // Step-0 compressed atom: held un-decoded until the second source fixes
+  // the cheapest join (block x block stays fully in place).
+  const BlockList* pending_block = nullptr;
+  IntersectRep pending_rep = IntersectRep::kBlockInPlace;
+
+  for (const PlannedAtom& atom : plan.atoms) {
+    SidList src;
+    bool src_is_list = false;
+    const BlockList* src_block = nullptr;
+    switch (atom.kind) {
+      case PlannedAtom::Kind::kPath: {
+        PathSidLookupResult lookup = KokoPathSidLookup(
+            index, cq.vars[static_cast<size_t>(atom.var)].abs_path,
+            atom.use_semi_join);
+        if (lookup.unconstrained) continue;  // planner never emits these
+        src = std::move(lookup.sids);
+        src_is_list = true;
+        break;
+      }
+      case PlannedAtom::Kind::kEntity: {
+        const CompiledVar& v = cq.vars[static_cast<size_t>(atom.var)];
+        src_block =
+            v.etype ? &index.EntityTypeSids(*v.etype) : &index.AllEntitySids();
+        break;
+      }
+      case PlannedAtom::Kind::kLiteral: {
+        const CompiledVar& v = cq.vars[static_cast<size_t>(atom.var)];
+        if (v.literal.size() == 1) {
+          src_block = index.WordSids(v.literal[0]);
+          if (src_block == nullptr) return result;  // absent -> empty answer
+        } else {
+          std::vector<SidSetView> word_lists;
+          for (const std::string& word : v.literal) {
+            const BlockList* sids = index.WordSids(word);
+            if (sids == nullptr) return result;
+            word_lists.push_back(sids);
+          }
+          src = IntersectAllViews(std::move(word_lists));
+          src_is_list = true;
+        }
+        break;
+      }
+    }
+
+    if (src_is_list) {
+      if (pending_block != nullptr) {
+        acc = IntersectWithRep(src, *pending_block, pending_rep);
+        pending_block = nullptr;
+        have_list = true;
+      } else if (have_list) {
+        acc = Intersect(acc, src);
+      } else {
+        acc = std::move(src);
+        have_list = true;
+      }
+    } else {
+      if (pending_block != nullptr) {
+        acc = Intersect(*pending_block, *src_block);
+        pending_block = nullptr;
+        have_list = true;
+      } else if (have_list) {
+        acc = IntersectWithRep(acc, *src_block, atom.rep);
+      } else {
+        pending_block = src_block;
+        pending_rep = atom.rep;
+      }
+    }
+    // Short-circuit: an empty accumulator proves the (shard's) answer
+    // empty — the remaining (larger) atoms are never materialised.
+    if (have_list && acc.empty()) return result;
+    if (pending_block != nullptr && pending_block->empty()) return result;
+  }
+  if (pending_block != nullptr) {
+    // Single-source plan over a stored compressed list: the candidate set
+    // is the list itself.
+    acc = pending_block->Decode();
+  }
+  result.sids = std::move(acc);
+  return result;
+}
+
+std::shared_ptr<const QueryPlan> PlanCache::Lookup(uint64_t key) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void PlanCache::Insert(uint64_t key, std::shared_ptr<const QueryPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.emplace(key, std::move(plan));
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.entries = plans_.size();
+  }
+  return stats;
+}
+
+std::shared_ptr<const QueryPlan> GetOrBuildPlan(const KokoIndex& index,
+                                                const CompiledQuery& cq,
+                                                const PlannerOptions& options,
+                                                PlanCache* cache,
+                                                uint64_t salt) {
+  if (cache == nullptr) return BuildQueryPlan(index, cq, options);
+  const uint64_t key =
+      HashCombine(HashCombine(PlanFingerprint(cq),
+                              Mix64(salt ^ 0xcbf29ce484222325ULL)),
+                  OptionsFingerprint(options));
+  if (auto hit = cache->Lookup(key)) return hit;
+  auto plan = BuildQueryPlan(index, cq, options);
+  cache->Insert(key, plan);
+  return plan;
+}
+
+}  // namespace koko

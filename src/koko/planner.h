@@ -1,0 +1,190 @@
+#ifndef KOKO_KOKO_PLANNER_H_
+#define KOKO_KOKO_PLANNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/koko_index.h"
+#include "index/sid_ops.h"
+#include "koko/compile.h"
+
+namespace koko {
+
+/// Cost-model thresholds. The defaults are *measured* constants, calibrated
+/// by bench_micro's skew sweep (BM_SkewIntersect*; the crossover lands in
+/// BENCH_micro.json meta) — see docs/QUERY_PLANNING.md for the methodology.
+/// Every value only changes *how* an intersection or path lookup executes,
+/// never its result, so any setting preserves the parity contract.
+struct PlannerOptions {
+  /// Skew band [min, max) — ratio of the compressed side's estimated size
+  /// to the decoded accumulator's — in which the planner picks
+  /// IntersectRep::kDecodeThenGallop over the in-place block kernel.
+  /// Calibration (bench_micro's BM_SkewIntersect* sweep, 1:1 through
+  /// 1:1000) measured the SIMD in-place cursor winning at every skew on
+  /// both the native and the pinned-scalar dispatch arm — full decode
+  /// touches every block of the large side, while the skip-gallop cursor
+  /// decodes only the blocks probe keys land in — so the default band is
+  /// *empty* (min == max: always in-place). BENCH_micro.json meta records
+  /// the measured `skew_crossover_{min,max}_ratio` per run; set min < max
+  /// to re-enable decode+gallop in that band on hardware where the decoded
+  /// gallop wins (e.g. no vector units and cold skip tables).
+  size_t decode_gallop_min_ratio = 0;
+  size_t decode_gallop_max_ratio = 0;
+  /// Cross-index path lookups run the sid semi-join only while the
+  /// smallest index projection is estimated below this fraction of the
+  /// (shard) corpus; a projection that covers nearly every sentence cannot
+  /// prune, so the plan falls straight back to the quintuple joins and
+  /// saves materialising the projections and their intersection.
+  double semi_join_max_fraction = 0.5;
+};
+
+/// One prunable atom of a compiled query, annotated with the statistics
+/// and per-clause choices the planner derived for it.
+struct PlannedAtom {
+  enum class Kind : uint8_t { kPath, kEntity, kLiteral };
+  Kind kind = Kind::kEntity;
+  /// Index into CompiledQuery::vars.
+  int var = -1;
+  /// Estimated candidate sentences this atom prunes to. An upper bound
+  /// for paths (sum of matched trie-node list lengths) and multi-word
+  /// literals (smallest word list); exact for entity atoms and
+  /// single-word literals.
+  uint64_t estimate = 0;
+  bool exact = false;
+  /// The atom's native view is a stored BlockList (entity projections,
+  /// single-word literals) rather than a per-query decoded list.
+  bool block_backed = false;
+  /// Skip-table statistics of the backing list (block-backed atoms only).
+  BlockListStats stats;
+  /// How this atom's list joins the accumulator when exactly one side is
+  /// compressed (chosen from the measured skew crossover).
+  IntersectRep rep = IntersectRep::kBlockInPlace;
+  /// kPath only: the path needs cross-index quintuple joins (vs a pure
+  /// trie-projection union).
+  bool cross_index = false;
+  /// kPath && cross_index only: run the sid semi-join before the joins.
+  bool use_semi_join = true;
+  /// Human-readable atom description for EXPLAIN.
+  std::string label;
+};
+
+/// A compiled execution plan for DPLI candidate collection against one
+/// (shard) index: atoms in execution order (ascending estimated
+/// selectivity), each annotated with its representation and semi-join
+/// choices. Executing a plan (CollectPlannedCandidates) yields exactly the
+/// candidate set of the unplanned pipeline — plans change cost, not
+/// results.
+struct QueryPlan {
+  /// False when the query has no prunable atom (the engine degrades to the
+  /// full sid range, as without a planner).
+  bool pruned = false;
+  std::vector<PlannedAtom> atoms;
+  /// Structure fingerprint of the prunable clauses (PlanFingerprint).
+  uint64_t fingerprint = 0;
+  /// Sentences in the planned-against (shard) index — the denominator of
+  /// the selectivity and semi-join decisions.
+  size_t index_sentences = 0;
+  /// Thresholds the plan was built with (for EXPLAIN).
+  PlannerOptions options;
+};
+
+/// Content fingerprint of a query's prunable clause structure: every
+/// dominant path, entity restriction, and literal, in compile order. Two
+/// queries with equal fingerprints produce identical plans against the
+/// same index, which is what makes plans cacheable across queries.
+uint64_t PlanFingerprint(const CompiledQuery& cq);
+
+/// Representation choice for intersecting a decoded accumulator
+/// (estimated `list_estimate` sids) with a compressed list (estimated
+/// `block_estimate` sids): kDecodeThenGallop inside the measured skew
+/// band when the compressed side is the larger, kBlockInPlace otherwise.
+IntersectRep ChooseIntersectRep(uint64_t list_estimate,
+                                uint64_t block_estimate,
+                                const PlannerOptions& options);
+
+/// Builds a plan from per-list statistics (list lengths, block counts,
+/// skip-table bounds — all O(1) reads, no posting decoded): classifies the
+/// prunable atoms, estimates each one's selectivity, orders them
+/// ascending, and fixes the per-clause representation and semi-join
+/// choices.
+std::shared_ptr<const QueryPlan> BuildQueryPlan(const KokoIndex& index,
+                                                const CompiledQuery& cq,
+                                                const PlannerOptions& options);
+
+/// Candidate sids produced by executing `plan` against `index`. `pruned`
+/// mirrors QueryPlan::pruned (false -> caller degrades to the full range).
+struct PlannedCandidates {
+  bool pruned = false;
+  SidList sids;
+};
+
+/// Executes a plan: materialises atom views lazily in plan order and
+/// intersects them with the planned representations, short-circuiting on
+/// an empty accumulator — an empty early atom skips the remaining
+/// (typically most expensive) lookups entirely. The resulting sid set is
+/// byte-identical to the unplanned CollectCandidates pipeline.
+PlannedCandidates CollectPlannedCandidates(const KokoIndex& index,
+                                           const CompiledQuery& cq,
+                                           const QueryPlan& plan);
+
+/// \brief Cross-query compiled-plan cache keyed by clause fingerprint —
+/// the planner-side sibling of ScoreCache.
+///
+/// Plans are cheap to build (statistics reads only) but repeated workloads
+/// rebuild the same plan per query per shard; a PlanCache shared through
+/// `EngineOptions::plan_cache` (QueryService owns one) makes the repeat
+/// cost one hash lookup. Keys must incorporate the target (shard) index's
+/// identity — GetOrBuildPlan mixes the shard ordinal and the planner
+/// thresholds into the clause fingerprint — and, like the score cache, a
+/// plan cache must never be shared across different corpora; Clear() it
+/// when the index is rebuilt or reloaded.
+///
+/// Thread-safe; plans are immutable once published (shared_ptr<const>),
+/// so concurrent queries share them without copying.
+class PlanCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t entries = 0;
+  };
+
+  /// Cached plan for `key`, or nullptr on a miss.
+  std::shared_ptr<const QueryPlan> Lookup(uint64_t key) const;
+
+  /// Inserts (first writer wins; plans for one key are deterministic, so
+  /// concurrent inserts are benign).
+  void Insert(uint64_t key, std::shared_ptr<const QueryPlan> plan);
+
+  /// Drops every plan and resets the hit/miss counters (call when the
+  /// index changes — a stale plan would mis-cost, though never mis-answer).
+  void Clear();
+
+  size_t size() const;
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const QueryPlan>> plans_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+/// Cache-aware plan fetch: looks up (fingerprint, salt, thresholds) in
+/// `cache` when non-null, building and inserting on a miss. `salt`
+/// distinguishes plan targets sharing one cache — the engine passes the
+/// shard ordinal, so per-shard statistics get per-shard plans.
+std::shared_ptr<const QueryPlan> GetOrBuildPlan(const KokoIndex& index,
+                                                const CompiledQuery& cq,
+                                                const PlannerOptions& options,
+                                                PlanCache* cache,
+                                                uint64_t salt);
+
+}  // namespace koko
+
+#endif  // KOKO_KOKO_PLANNER_H_

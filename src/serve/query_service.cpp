@@ -21,17 +21,24 @@ QueryService::QueryService(const Engine* engine, const Options& options,
                                  ? options_.cache_shards
                                  : std::max<size_t>(16, index_shards);
   score_cache_ = std::make_unique<ScoreCache>(cache_options);
+  plan_cache_ = std::make_unique<PlanCache>();
   pool_ = std::make_unique<ThreadPool>(options_.num_threads);
 }
 
 Result<QueryResult> QueryService::Run(const Query& query) {
+  return Run(query, RowSink());
+}
+
+Result<QueryResult> QueryService::Run(const Query& query, const RowSink& sink) {
   if (!admission_.Enter()) {
     return Status::Unavailable("admission queue full (max_queue waiters)");
   }
   EngineOptions options = options_.engine;
   options.pool = pool_.get();
   options.score_cache = score_cache_.get();
+  options.plan_cache = plan_cache_.get();
   options.num_threads = pool_->num_workers();
+  if (sink) options.sink = &sink;
   Result<QueryResult> result = engine_->Execute(query, options);
   admission_.Exit();
   completed_.fetch_add(1, std::memory_order_relaxed);
@@ -43,6 +50,13 @@ Result<QueryResult> QueryService::Run(std::string_view query_text) {
   auto query = ParseQuery(query_text);
   if (!query.ok()) return query.status();
   return Run(*query);
+}
+
+Result<QueryResult> QueryService::Run(std::string_view query_text,
+                                      const RowSink& sink) {
+  auto query = ParseQuery(query_text);
+  if (!query.ok()) return query.status();
+  return Run(*query, sink);
 }
 
 std::future<Result<QueryResult>> QueryService::Submit(std::string query_text) {
@@ -62,6 +76,8 @@ QueryService::Stats QueryService::stats() const {
   stats.rejected = admission_.rejected();
   stats.peak_inflight = admission_.peak_inflight();
   stats.peak_waiting = admission_.peak_waiting();
+  stats.score_cache = score_cache_->stats();
+  stats.plan_cache = plan_cache_->stats();
   return stats;
 }
 

@@ -127,6 +127,16 @@ class AdmissionQueue {
 ///    into cache shards) survives across queries via
 ///    `EngineOptions::score_cache`, so repeated workloads hit warm
 ///    aggregate scores instead of re-scoring (doc, clause, value) triples.
+///  * **Persistent plan cache.** One `PlanCache` survives across queries
+///    via `EngineOptions::plan_cache`, so repeated query shapes reuse the
+///    compiled clause plan (atom order + per-clause representations) per
+///    shard instead of re-deriving it from index statistics. Both caches'
+///    hit/miss counters surface in `Stats`.
+///  * **Streaming.** The `Run(..., sink)` overloads deliver rows to the
+///    caller's sink as extraction produces them (ascending-sid order),
+///    and a finite `engine.max_rows` terminates the candidate scan early
+///    once top-k is provably satisfied — under full admission-controlled
+///    concurrency, with rows still byte-identical to the batch path.
 ///
 /// **Determinism contract:** for any query, `Run` returns byte-identical
 /// rows (docs, sids, values, scores) to a serial single-query
@@ -172,6 +182,10 @@ class QueryService {
     uint64_t rejected = 0;   ///< Queries turned away (queue full).
     uint64_t peak_inflight = 0;
     uint64_t peak_waiting = 0;
+    /// Cross-query cache effectiveness (cumulative since construction) —
+    /// the figures BENCH_serve.json records per workload.
+    ScoreCache::Stats score_cache;
+    PlanCache::Stats plan_cache;
   };
 
   /// `engine` is borrowed and must outlive the service. `index_shards` is
@@ -186,6 +200,15 @@ class QueryService {
   Result<QueryResult> Run(std::string_view query_text);
   Result<QueryResult> Run(const Query& query);
 
+  /// Streaming variants: `sink` receives every result row as extraction
+  /// produces it (ascending-sid order, invoked on the executing thread,
+  /// before later candidates are evaluated), and the returned result still
+  /// carries the full row set. With a finite `engine.max_rows` the
+  /// candidate scan additionally terminates early once the row budget is
+  /// provably satisfied. `sink` must stay alive until the call returns.
+  Result<QueryResult> Run(std::string_view query_text, const RowSink& sink);
+  Result<QueryResult> Run(const Query& query, const RowSink& sink);
+
   /// Asynchronous variant: the query is parsed and executed on a pool
   /// worker (still subject to admission). Collect outstanding futures
   /// before destroying the service.
@@ -193,6 +216,8 @@ class QueryService {
 
   ScoreCache& score_cache() { return *score_cache_; }
   const ScoreCache& score_cache() const { return *score_cache_; }
+  PlanCache& plan_cache() { return *plan_cache_; }
+  const PlanCache& plan_cache() const { return *plan_cache_; }
   ThreadPool& pool() { return *pool_; }
   /// Exposed for load-shedding introspection and deterministic tests.
   AdmissionQueue& admission() { return admission_; }
@@ -204,6 +229,7 @@ class QueryService {
   const Engine* engine_;
   Options options_;
   std::unique_ptr<ScoreCache> score_cache_;
+  std::unique_ptr<PlanCache> plan_cache_;
   AdmissionQueue admission_;
   std::atomic<uint64_t> completed_{0};
 

@@ -1,0 +1,454 @@
+// Planner + streaming suite: cost-based clause planning must never change
+// results (only cost), streaming top-k must cut the exact same row stream,
+// and the plan cache must hit on repeated query shapes. Carries the
+// "planner" ctest label; CI runs it under ASan/TSan/UBSan and under
+// KOKO_SIMD=scalar.
+
+#include "koko/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "corpus/generators.h"
+#include "corpus/query_gen.h"
+#include "index/koko_index.h"
+#include "index/path_lookup.h"
+#include "index/sharded_index.h"
+#include "koko/compile.h"
+#include "koko/engine.h"
+#include "koko/explain.h"
+#include "koko/parser.h"
+#include "nlp/pipeline.h"
+#include "serve/query_service.h"
+
+namespace koko {
+namespace {
+
+// Asserts that every field of every row (and the row order) is identical.
+void ExpectIdenticalResults(const QueryResult& a, const QueryResult& b,
+                            const std::string& context) {
+  ASSERT_EQ(a.rows.size(), b.rows.size()) << context;
+  EXPECT_EQ(a.candidate_sentences, b.candidate_sentences) << context;
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].doc, b.rows[i].doc) << context << " row " << i;
+    EXPECT_EQ(a.rows[i].sid, b.rows[i].sid) << context << " row " << i;
+    EXPECT_EQ(a.rows[i].values, b.rows[i].values) << context << " row " << i;
+    EXPECT_EQ(a.rows[i].scores, b.rows[i].scores) << context << " row " << i;
+  }
+}
+
+// ---- Representation-choice unit tests ---------------------------------------
+
+TEST(PlannerTest, ChooseIntersectRepBoundaries) {
+  PlannerOptions opts;
+  opts.decode_gallop_min_ratio = 16;
+  opts.decode_gallop_max_ratio = 4096;
+  // Compressed side no larger than the list side: always in-place.
+  EXPECT_EQ(ChooseIntersectRep(100, 100, opts), IntersectRep::kBlockInPlace);
+  EXPECT_EQ(ChooseIntersectRep(100, 50, opts), IntersectRep::kBlockInPlace);
+  // Below the band: in-place.
+  EXPECT_EQ(ChooseIntersectRep(100, 100 * 15, opts),
+            IntersectRep::kBlockInPlace);
+  // Inside [min, max): decode-then-gallop.
+  EXPECT_EQ(ChooseIntersectRep(100, 100 * 16, opts),
+            IntersectRep::kDecodeThenGallop);
+  EXPECT_EQ(ChooseIntersectRep(100, 100 * 4095, opts),
+            IntersectRep::kDecodeThenGallop);
+  // At or above max: back to in-place (skipped blocks win at extreme skew).
+  EXPECT_EQ(ChooseIntersectRep(100, 100 * 4096, opts),
+            IntersectRep::kBlockInPlace);
+  // Empty accumulator estimate never divides by zero.
+  EXPECT_EQ(ChooseIntersectRep(0, 17, opts), IntersectRep::kDecodeThenGallop);
+}
+
+TEST(PlannerTest, IntersectWithRepMatchesIntersect) {
+  std::mt19937 rng(7);
+  for (size_t small_n : {0u, 1u, 57u, 400u}) {
+    for (size_t ratio : {1u, 8u, 64u, 700u}) {
+      const size_t big_n = std::max<size_t>(small_n * ratio, 1);
+      std::uniform_int_distribution<uint32_t> dist(
+          0, static_cast<uint32_t>(big_n * 9));
+      std::vector<uint32_t> a_ids, b_ids;
+      for (size_t i = 0; i < small_n; ++i) a_ids.push_back(dist(rng));
+      for (size_t i = 0; i < big_n; ++i) b_ids.push_back(dist(rng));
+      SidList a = SidList::FromUnsorted(std::move(a_ids));
+      BlockList b =
+          BlockList::FromSidList(SidList::FromUnsorted(std::move(b_ids)));
+      SidList want = Intersect(a, b);
+      EXPECT_EQ(IntersectWithRep(a, b, IntersectRep::kBlockInPlace), want)
+          << small_n << "x" << ratio;
+      EXPECT_EQ(IntersectWithRep(a, b, IntersectRep::kDecodeThenGallop), want)
+          << small_n << "x" << ratio;
+    }
+  }
+}
+
+TEST(PlannerTest, StatsOfReadsSkipTable) {
+  SidList list = SidList::FromSorted({5, 10, 200, 1000, 4005});
+  BlockListStats stats = StatsOf(BlockList::FromSidList(list));
+  EXPECT_EQ(stats.sids, 5u);
+  EXPECT_EQ(stats.blocks, 1u);
+  EXPECT_EQ(stats.min_sid, 5u);
+  EXPECT_EQ(stats.max_sid, 4005u);
+  EXPECT_DOUBLE_EQ(stats.avg_gap, 1000.0);
+  EXPECT_EQ(StatsOf(BlockList()).sids, 0u);
+}
+
+// ---- Semi-join decision parity ----------------------------------------------
+
+TEST(PlannerTest, PathSidLookupSemiJoinOnOffParity) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 120, .seed = 61});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+
+  // Word-constrained paths take the cross-index quintuple route, where the
+  // semi-join is optional; both settings must produce the same sid set.
+  std::vector<PathQuery> paths;
+  {
+    PathQuery word_only;
+    PathStep step;
+    step.axis = PathStep::Axis::kDescendant;
+    step.constraint.word = "happy";
+    word_only.steps.push_back(step);
+    paths.push_back(word_only);
+  }
+  {
+    PathQuery mixed;
+    PathStep verb;
+    verb.axis = PathStep::Axis::kDescendant;
+    verb.constraint.pos = PosTag::kVerb;
+    mixed.steps.push_back(verb);
+    PathStep obj;
+    obj.axis = PathStep::Axis::kChild;
+    obj.constraint.dep = DepLabel::kDobj;
+    mixed.steps.push_back(obj);
+    paths.push_back(mixed);
+  }
+  for (size_t i = 0; i < paths.size(); ++i) {
+    PathSidLookupResult with = KokoPathSidLookup(*index, paths[i], true);
+    PathSidLookupResult without = KokoPathSidLookup(*index, paths[i], false);
+    EXPECT_EQ(with.unconstrained, without.unconstrained) << "path " << i;
+    EXPECT_EQ(with.sids, without.sids) << "path " << i;
+  }
+}
+
+// ---- Plan construction ------------------------------------------------------
+
+TEST(PlannerTest, PlanOrdersAtomsBySelectivity) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 100, .seed = 62});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+
+  auto query = ParseQuery(R"(
+      extract e:Entity, b:Str from "t" if (
+        /ROOT:{ a = //verb, b = a/dobj, c = b//"happy" }
+        (b) in (e)))");
+  ASSERT_TRUE(query.ok());
+  auto cq = CompileQuery(*query);
+  ASSERT_TRUE(cq.ok());
+
+  auto plan = BuildQueryPlan(*index, *cq, PlannerOptions());
+  ASSERT_TRUE(plan->pruned);
+  ASSERT_GE(plan->atoms.size(), 2u);
+  for (size_t i = 1; i < plan->atoms.size(); ++i) {
+    EXPECT_LE(plan->atoms[i - 1].estimate, plan->atoms[i].estimate);
+  }
+  EXPECT_EQ(plan->fingerprint, PlanFingerprint(*cq));
+  EXPECT_EQ(plan->index_sentences, index->stats().num_sentences);
+
+  // Executing the plan reproduces the sid set the engine's DPLI would
+  // produce: compare against the full pipeline's candidate count.
+  PlannedCandidates planned = CollectPlannedCandidates(*index, *cq, *plan);
+  EXPECT_TRUE(planned.pruned);
+  EmbeddingModel embeddings;
+  Engine engine(&corpus, index.get(), &embeddings,
+                &const_cast<const Pipeline&>(pipeline).recognizer());
+  EngineOptions legacy;
+  legacy.use_planner = false;
+  auto result = engine.Execute(*query, legacy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(planned.sids.size(), result->candidate_sentences);
+}
+
+TEST(PlannerTest, PlanFingerprintDistinguishesClauseContent) {
+  auto compile = [](const char* text) {
+    auto query = ParseQuery(text);
+    EXPECT_TRUE(query.ok());
+    auto cq = CompileQuery(*query);
+    EXPECT_TRUE(cq.ok());
+    return *cq;
+  };
+  CompiledQuery a = compile(
+      R"(extract b:Str from "t" if ( /ROOT:{ v = //verb, b = v/dobj }))");
+  CompiledQuery b = compile(
+      R"(extract b:Str from "t" if ( /ROOT:{ v = //verb, b = v/nsubj }))");
+  EXPECT_EQ(PlanFingerprint(a), PlanFingerprint(a));
+  EXPECT_NE(PlanFingerprint(a), PlanFingerprint(b));
+}
+
+// ---- Plan cache -------------------------------------------------------------
+
+TEST(PlannerTest, PlanCacheHitMissAndClear) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 60, .seed = 63});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  auto cq = CompileQuery(*ParseQuery(
+      R"(extract b:Str from "t" if ( /ROOT:{ v = //verb, b = v/dobj }))"));
+  ASSERT_TRUE(cq.ok());
+
+  PlanCache cache;
+  PlannerOptions opts;
+  auto first = GetOrBuildPlan(*index, *cq, opts, &cache, 0);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  auto second = GetOrBuildPlan(*index, *cq, opts, &cache, 0);
+  EXPECT_EQ(second.get(), first.get());  // shared, not rebuilt
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // A different shard salt or different thresholds is a different plan key.
+  GetOrBuildPlan(*index, *cq, opts, &cache, 1);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  PlannerOptions other = opts;
+  other.decode_gallop_min_ratio += 1;
+  GetOrBuildPlan(*index, *cq, other, &cache, 0);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.size(), 3u);
+
+  // Clear() invalidates every plan and resets the counters.
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  GetOrBuildPlan(*index, *cq, opts, &cache, 0);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+// ---- Engine parity: planner x streaming x sharding x threads x caps ---------
+
+TEST(PlannerTest, PlannerAndStreamingParityMonolithic) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 150, .seed = 64});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  EmbeddingModel embeddings;
+  Engine engine(&corpus, index.get(), &embeddings,
+                &const_cast<const Pipeline&>(pipeline).recognizer());
+  auto queries = GenerateSyntheticSpanBenchmark(
+      corpus, {.queries_per_setting = 3, .seed = 65});
+  ASSERT_FALSE(queries.empty());
+
+  const size_t kUnlimited = std::numeric_limits<size_t>::max();
+  for (const auto& bench : queries) {
+    EngineOptions naive;
+    naive.use_planner = false;
+    naive.early_terminate = false;
+    auto want = engine.Execute(bench.query, naive);
+    ASSERT_TRUE(want.ok()) << bench.name;
+    for (size_t cap : {size_t{0}, size_t{1}, size_t{7}, size_t{23}, kUnlimited}) {
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        EngineOptions naive_capped = naive;
+        naive_capped.max_rows = cap;
+        auto truncate = engine.Execute(bench.query, naive_capped);
+        ASSERT_TRUE(truncate.ok());
+        EngineOptions planned;
+        planned.max_rows = cap;
+        planned.num_threads = threads;
+        auto got = engine.Execute(bench.query, planned);
+        ASSERT_TRUE(got.ok());
+        ExpectIdenticalResults(*truncate, *got,
+                               bench.name + " cap=" + std::to_string(cap) +
+                                   " threads=" + std::to_string(threads));
+        EXPECT_LE(got->scanned_candidates, got->candidate_sentences);
+        if (cap != kUnlimited) {
+          EXPECT_EQ(got->early_terminated,
+                    got->scanned_candidates < got->candidate_sentences);
+        } else {
+          EXPECT_FALSE(got->early_terminated);
+        }
+        if (got->candidate_sentences > 0) {
+          EXPECT_NE(got->plan, nullptr);
+        }
+      }
+    }
+  }
+}
+
+TEST(PlannerTest, PlannerAndStreamingParitySharded) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 150, .seed = 66});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto mono_index = KokoIndex::Build(corpus);
+  EmbeddingModel embeddings;
+  Engine mono(&corpus, mono_index.get(), &embeddings,
+              &const_cast<const Pipeline&>(pipeline).recognizer());
+  auto queries = GenerateSyntheticSpanBenchmark(
+      corpus, {.queries_per_setting = 2, .seed = 67});
+  ASSERT_FALSE(queries.empty());
+
+  for (size_t k : {size_t{2}, size_t{4}, size_t{7}}) {
+    auto sharded = ShardedKokoIndex::Build(corpus, k);
+    Engine shard_engine(&corpus, sharded.get(), &embeddings,
+                        &const_cast<const Pipeline&>(pipeline).recognizer());
+    PlanCache cache;
+    for (const auto& bench : queries) {
+      for (size_t cap : {size_t{5}, size_t{40},
+                         std::numeric_limits<size_t>::max()}) {
+        EngineOptions naive;
+        naive.use_planner = false;
+        naive.early_terminate = false;
+        naive.max_rows = cap;
+        auto want = mono.Execute(bench.query, naive);
+        ASSERT_TRUE(want.ok()) << bench.name;
+        EngineOptions planned;
+        planned.max_rows = cap;
+        planned.num_threads = 4;
+        planned.num_shards = 2;
+        planned.plan_cache = &cache;
+        auto got = shard_engine.Execute(bench.query, planned);
+        ASSERT_TRUE(got.ok()) << bench.name;
+        ExpectIdenticalResults(*want, *got,
+                               bench.name + " K=" + std::to_string(k) +
+                                   " cap=" + std::to_string(cap));
+      }
+    }
+    // Per-shard plans (one salt per shard) populated the cache, and the
+    // repeat sweep over the same queries hit it.
+    EXPECT_GT(cache.stats().entries, 0u);
+    EXPECT_GT(cache.stats().hits, 0u);
+  }
+}
+
+// ---- Streaming sink + early termination -------------------------------------
+
+TEST(PlannerTest, SinkReceivesRowsInResultOrder) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 80, .seed = 68});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  EmbeddingModel embeddings;
+  Engine engine(&corpus, index.get(), &embeddings,
+                &const_cast<const Pipeline&>(pipeline).recognizer());
+  const char* query =
+      "extract b:Str from \"t\" if ( /ROOT:{ a = //verb, b = a/dobj })";
+  for (size_t cap : {size_t{10}, std::numeric_limits<size_t>::max()}) {
+    std::vector<ResultRow> streamed;
+    RowSink sink = [&](const ResultRow& row) { streamed.push_back(row); };
+    EngineOptions options;
+    options.max_rows = cap;
+    options.sink = &sink;
+    auto result = engine.ExecuteText(query, options);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(streamed.size(), result->rows.size());
+    for (size_t i = 0; i < streamed.size(); ++i) {
+      EXPECT_EQ(streamed[i].doc, result->rows[i].doc);
+      EXPECT_EQ(streamed[i].sid, result->rows[i].sid);
+      EXPECT_EQ(streamed[i].values, result->rows[i].values);
+      EXPECT_EQ(streamed[i].scores, result->rows[i].scores);
+    }
+  }
+}
+
+TEST(PlannerTest, EarlyTerminationSkipsTailCandidates) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 200, .seed = 69});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  EmbeddingModel embeddings;
+  Engine engine(&corpus, index.get(), &embeddings,
+                &const_cast<const Pipeline&>(pipeline).recognizer());
+  // A broad query (every sentence has a verb) with a small cap: the scan
+  // must stop early, far before the last candidate.
+  const char* query =
+      "extract b:Str from \"t\" if ( /ROOT:{ a = //verb, b = a/dobj })";
+  EngineOptions options;
+  options.max_rows = 5;
+  auto result = engine.ExecuteText(query, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->early_terminated);
+  EXPECT_LT(result->scanned_candidates, result->candidate_sentences);
+  EXPECT_GT(result->scanned_candidates, 0u);
+
+  // The full-then-truncate baseline returns the same rows while scanning
+  // everything.
+  EngineOptions baseline = options;
+  baseline.early_terminate = false;
+  auto full = engine.ExecuteText(query, baseline);
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->early_terminated);
+  EXPECT_EQ(full->scanned_candidates, full->candidate_sentences);
+  ExpectIdenticalResults(*full, *result, "early-termination parity");
+}
+
+// ---- EXPLAIN ----------------------------------------------------------------
+
+TEST(PlannerTest, ExplainSurfacesPlanAndExecution) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 60, .seed = 70});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  EmbeddingModel embeddings;
+  Engine engine(&corpus, index.get(), &embeddings,
+                &const_cast<const Pipeline&>(pipeline).recognizer());
+  EngineOptions options;
+  options.max_rows = 3;
+  auto result = engine.ExecuteText(R"(
+      extract e:Entity, b:Str from "t" if (
+        /ROOT:{ a = //verb, b = a/dobj }
+        (b) in (e)))", options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result->plan, nullptr);
+  const std::string plan_text = ExplainPlan(*result->plan);
+  EXPECT_NE(plan_text.find("clause"), std::string::npos);
+  EXPECT_NE(plan_text.find("entity"), std::string::npos);
+  EXPECT_NE(plan_text.find("rep="), std::string::npos);
+  const std::string exec_text = ExplainExecution(*result);
+  EXPECT_NE(exec_text.find("candidate"), std::string::npos);
+  if (result->early_terminated) {
+    EXPECT_NE(exec_text.find("early termination"), std::string::npos);
+  }
+}
+
+// ---- QueryService integration -----------------------------------------------
+
+TEST(PlannerTest, QueryServiceSurfacesCacheStatsAndStreams) {
+  Pipeline pipeline;
+  auto docs = GenerateHappyMoments({.num_moments = 80, .seed = 71});
+  AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
+  auto index = KokoIndex::Build(corpus);
+  EmbeddingModel embeddings;
+  Engine engine(&corpus, index.get(), &embeddings,
+                &const_cast<const Pipeline&>(pipeline).recognizer());
+  QueryService::Options options;
+  options.num_threads = 4;
+  QueryService service(&engine, options);
+  const char* query =
+      "extract b:Str from \"t\" if ( /ROOT:{ a = //verb, b = a/dobj })";
+
+  auto first = service.Run(query);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(service.stats().plan_cache.misses, 1u);
+  EXPECT_EQ(service.stats().plan_cache.entries, 1u);
+  auto second = service.Run(query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GE(service.stats().plan_cache.hits, 1u);
+  ExpectIdenticalResults(*first, *second, "service repeat");
+
+  // Streaming through the service: sink rows equal the returned rows.
+  std::vector<ResultRow> streamed;
+  RowSink sink = [&](const ResultRow& row) { streamed.push_back(row); };
+  auto third = service.Run(std::string_view(query), sink);
+  ASSERT_TRUE(third.ok());
+  ASSERT_EQ(streamed.size(), third->rows.size());
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].sid, third->rows[i].sid);
+    EXPECT_EQ(streamed[i].values, third->rows[i].values);
+  }
+}
+
+}  // namespace
+}  // namespace koko
