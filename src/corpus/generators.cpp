@@ -263,19 +263,22 @@ LabeledCorpus GenerateCafeBlogs(const CafeGenOptions& options) {
     std::vector<std::string> sentences;
     // Opening sentence mentioning the cafe neutrally.
     sentences.push_back(OpeningSentence(rng, name));
-    int weak = options.long_articles ? rng.UniformInt(2, 4) : rng.UniformInt(1, 2);
-    for (int w = 0; w < weak; ++w) sentences.push_back(WeakEvidence(rng, name));
+    int64_t weak = options.long_articles ? rng.UniformInt(2, 4) : rng.UniformInt(1, 2);
+    for (int64_t w = 0; w < weak; ++w) sentences.push_back(WeakEvidence(rng, name));
     // Long articles carry strong exact-phrase evidence too (Figure 5's
     // "descriptors do not help on Sprudge" effect).
-    int strong = options.long_articles ? rng.UniformInt(1, 2)
-                                       : (rng.Bernoulli(0.2) ? 1 : 0);
-    for (int st = 0; st < strong; ++st) sentences.push_back(StrongEvidence(rng, name));
-    int distract = options.long_articles ? rng.UniformInt(3, 5) : rng.UniformInt(1, 2);
-    for (int d = 0; d < distract; ++d) sentences.push_back(DistractorSentence(rng));
-    int traps = options.long_articles ? rng.UniformInt(2, 3) : rng.UniformInt(1, 2);
-    for (int p = 0; p < traps; ++p) sentences.push_back(PersonTrap(rng));
-    int filler = options.long_articles ? rng.UniformInt(4, 6) : rng.UniformInt(1, 3);
-    for (int f = 0; f < filler; ++f) sentences.push_back(FillerSentence(rng));
+    int64_t strong = options.long_articles ? rng.UniformInt(1, 2)
+                                           : (rng.Bernoulli(0.2) ? 1 : 0);
+    for (int64_t st = 0; st < strong; ++st) sentences.push_back(StrongEvidence(rng, name));
+    int64_t distract =
+        options.long_articles ? rng.UniformInt(3, 5) : rng.UniformInt(1, 2);
+    for (int64_t d = 0; d < distract; ++d) sentences.push_back(DistractorSentence(rng));
+    int64_t traps =
+        options.long_articles ? rng.UniformInt(2, 3) : rng.UniformInt(1, 2);
+    for (int64_t p = 0; p < traps; ++p) sentences.push_back(PersonTrap(rng));
+    int64_t filler =
+        options.long_articles ? rng.UniformInt(4, 6) : rng.UniformInt(1, 3);
+    for (int64_t f = 0; f < filler; ++f) sentences.push_back(FillerSentence(rng));
 
     // Shuffle the middle so evidence is not positionally trivial.
     std::vector<std::string> middle(sentences.begin() + 1, sentences.end());

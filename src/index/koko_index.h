@@ -64,12 +64,14 @@ class KokoIndex {
     double PlCompression() const {
       return num_tokens == 0
                  ? 0.0
-                 : 1.0 - static_cast<double>(pl_trie_nodes) / num_tokens;
+                 : 1.0 - static_cast<double>(pl_trie_nodes) /
+                           static_cast<double>(num_tokens);
     }
     double PosCompression() const {
       return num_tokens == 0
                  ? 0.0
-                 : 1.0 - static_cast<double>(pos_trie_nodes) / num_tokens;
+                 : 1.0 - static_cast<double>(pos_trie_nodes) /
+                           static_cast<double>(num_tokens);
     }
   };
 

@@ -818,8 +818,8 @@ SidList Intersect(const BlockList& a, const BlockList& b) {
       while (b1 < nb && firsts[b1] <= win_hi) ++b1;
       dst->resize((b1 - b0) * BlockList::kBlockSids);
       size_t at = 0;
-      for (size_t b = b0; b < b1; ++b) {
-        at += list.DecodeBlock(b, dst->data() + at);
+      for (size_t blk = b0; blk < b1; ++blk) {
+        at += list.DecodeBlock(blk, dst->data() + at);
       }
       dst->resize(at);
     };

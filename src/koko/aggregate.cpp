@@ -51,7 +51,7 @@ Aggregator::Aggregator(const EmbeddingModel* model,
       expander_(model) {}
 
 void Aggregator::AddOntologySet(const std::vector<std::string>& related) {
-  std::lock_guard<std::mutex> lock(expansion_mu_);
+  MutexLock lock(expansion_mu_);
   expander_.AddOntologySet(related);
   expansion_cache_.clear();
 }
@@ -62,7 +62,7 @@ const std::vector<WeightedPhrase>& Aggregator::Expansions(
   // threads sharing one Aggregator. References into the node-based map are
   // stable across later insertions; only AddOntologySet (setup time, before
   // any concurrent scoring) invalidates them.
-  std::lock_guard<std::mutex> lock(expansion_mu_);
+  MutexLock lock(expansion_mu_);
   auto it = expansion_cache_.find(descriptor);
   if (it != expansion_cache_.end()) return it->second;
   return expansion_cache_.emplace(descriptor, expander_.Expand(descriptor))

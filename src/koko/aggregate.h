@@ -1,7 +1,6 @@
 #ifndef KOKO_KOKO_AGGREGATE_H_
 #define KOKO_KOKO_AGGREGATE_H_
 
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +10,7 @@
 #include "koko/ast.h"
 #include "ner/entity_recognizer.h"
 #include "text/document.h"
+#include "util/thread_annotations.h"
 
 namespace koko {
 
@@ -75,14 +75,15 @@ class Aggregator {
   const EmbeddingModel* model_;
   const EntityRecognizer* recognizer_;
   Options options_;
-  DescriptorExpander expander_;
-  /// Guards the expansion memo: Score/Excluded/ConditionScore are safe to
-  /// call from concurrent serving threads sharing one Aggregator. Register
-  /// ontology sets before any concurrent scoring starts — AddOntologySet
-  /// invalidates references handed out by Expansions().
-  mutable std::mutex expansion_mu_;
+  /// Guards the expansion memo (and the expander feeding it):
+  /// Score/Excluded/ConditionScore are safe to call from concurrent serving
+  /// threads sharing one Aggregator. Register ontology sets before any
+  /// concurrent scoring starts — AddOntologySet invalidates references
+  /// handed out by Expansions().
+  mutable Mutex expansion_mu_;
+  DescriptorExpander expander_ KOKO_GUARDED_BY(expansion_mu_);
   mutable std::unordered_map<std::string, std::vector<WeightedPhrase>>
-      expansion_cache_;
+      expansion_cache_ KOKO_GUARDED_BY(expansion_mu_);
 };
 
 /// Positions where `needle` occurs as a contiguous token subsequence of the

@@ -311,7 +311,7 @@ PlannedCandidates CollectPlannedCandidates(const KokoIndex& index,
 
 std::shared_ptr<const QueryPlan> PlanCache::Lookup(uint64_t key) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = plans_.find(key);
     if (it != plans_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -323,19 +323,19 @@ std::shared_ptr<const QueryPlan> PlanCache::Lookup(uint64_t key) const {
 }
 
 void PlanCache::Insert(uint64_t key, std::shared_ptr<const QueryPlan> plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   plans_.emplace(key, std::move(plan));
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   plans_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return plans_.size();
 }
 
@@ -344,7 +344,7 @@ PlanCache::Stats PlanCache::stats() const {
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats.entries = plans_.size();
   }
   return stats;

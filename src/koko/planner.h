@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,6 +11,7 @@
 #include "index/koko_index.h"
 #include "index/sid_ops.h"
 #include "koko/compile.h"
+#include "util/thread_annotations.h"
 
 namespace koko {
 
@@ -169,8 +169,9 @@ class PlanCache {
   Stats stats() const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<const QueryPlan>> plans_;
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const QueryPlan>> plans_
+      KOKO_GUARDED_BY(mu_);
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
 };

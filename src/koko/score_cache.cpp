@@ -48,7 +48,7 @@ ScoreCache::Shard& ScoreCache::ShardOf(uint32_t doc) const {
 std::optional<double> ScoreCache::Lookup(uint64_t clause_key, uint32_t doc,
                                          const std::string& value) const {
   Shard& shard = ShardOf(doc);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(Key{clause_key, doc, value});
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -61,13 +61,13 @@ std::optional<double> ScoreCache::Lookup(uint64_t clause_key, uint32_t doc,
 void ScoreCache::Insert(uint64_t clause_key, uint32_t doc,
                         const std::string& value, double score) {
   Shard& shard = ShardOf(doc);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   shard.map.emplace(Key{clause_key, doc, value}, score);
 }
 
 void ScoreCache::InvalidateDoc(uint32_t doc) {
   Shard& shard = ShardOf(doc);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   for (auto it = shard.map.begin(); it != shard.map.end();) {
     it = it->first.doc == doc ? shard.map.erase(it) : std::next(it);
   }
@@ -75,7 +75,7 @@ void ScoreCache::InvalidateDoc(uint32_t doc) {
 
 void ScoreCache::Clear() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->map.clear();
   }
   hits_.store(0, std::memory_order_relaxed);
@@ -85,7 +85,7 @@ void ScoreCache::Clear() {
 size_t ScoreCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->map.size();
   }
   return total;

@@ -4,13 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "koko/ast.h"
+#include "util/thread_annotations.h"
 
 namespace koko {
 
@@ -93,8 +93,8 @@ class ScoreCache {
     size_t operator()(const Key& k) const;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<Key, double, KeyHash> map;
+    mutable Mutex mu;
+    std::unordered_map<Key, double, KeyHash> map KOKO_GUARDED_BY(mu);
   };
 
   Shard& ShardOf(uint32_t doc) const;

@@ -71,11 +71,17 @@ std::future<Result<QueryResult>> QueryService::Submit(std::string query_text) {
 
 QueryService::Stats QueryService::stats() const {
   Stats stats;
-  stats.admitted = admission_.admitted();
+  // `completed` reads before the admission snapshot so completed <= admitted
+  // holds in every observation (a query increments completed_ only after
+  // its admission was counted); the admission counters themselves come from
+  // one lock acquisition — per-accessor reads could tear (e.g. surface a
+  // peak_inflight newer than the admitted count next to it).
   stats.completed = completed_.load(std::memory_order_relaxed);
-  stats.rejected = admission_.rejected();
-  stats.peak_inflight = admission_.peak_inflight();
-  stats.peak_waiting = admission_.peak_waiting();
+  const AdmissionQueue::Counters admission = admission_.counters();
+  stats.admitted = admission.admitted;
+  stats.rejected = admission.rejected;
+  stats.peak_inflight = admission.peak_inflight;
+  stats.peak_waiting = admission.peak_waiting;
   stats.score_cache = score_cache_->stats();
   stats.plan_cache = plan_cache_->stats();
   return stats;

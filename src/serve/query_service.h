@@ -2,16 +2,15 @@
 #define KOKO_SERVE_QUERY_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "koko/engine.h"
 #include "koko/score_cache.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace koko {
@@ -21,20 +20,46 @@ namespace koko {
 /// At most `max_inflight` callers hold admission at once; further callers
 /// wait in ticket order (strict FIFO — no barging), and when `max_queue`
 /// callers are already waiting, new arrivals are rejected immediately
-/// (back-pressure instead of unbounded pile-up). Separated from
-/// QueryService so the admission semantics are unit-testable without
-/// timing-dependent query execution.
+/// (back-pressure instead of unbounded pile-up). `Shutdown()` drains the
+/// queue for teardown: every blocked waiter wakes up rejected and every
+/// later Enter() rejects immediately, while already-admitted callers finish
+/// normally (their paired Exit() still runs). Separated from QueryService
+/// so the admission semantics are unit-testable without timing-dependent
+/// query execution.
+///
+/// Every counter is KOKO_GUARDED_BY(mu_); use `counters()` for a coherent
+/// snapshot — reading the individual accessors in sequence can tear across
+/// concurrent admissions (e.g. observe a peak_inflight newer than the
+/// admitted count it came from).
 class AdmissionQueue {
  public:
+  /// Coherent counter snapshot, taken under one lock acquisition.
+  /// Invariants that hold for every snapshot (and that a torn multi-call
+  /// read can violate): peak_inflight <= admitted, inflight <= max_inflight,
+  /// peak_waiting <= admitted + rejected.
+  struct Counters {
+    size_t inflight = 0;
+    size_t waiting = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t peak_inflight = 0;
+    uint64_t peak_waiting = 0;
+  };
+
   AdmissionQueue(size_t max_inflight, size_t max_queue)
       : max_inflight_(max_inflight == 0 ? 1 : max_inflight),
         max_queue_(max_queue) {}
 
   /// Blocks until admitted; returns false (rejection) when the caller
-  /// would have to wait behind `max_queue` queued callers. Every true
-  /// return must be paired with Exit().
-  bool Enter() {
-    std::unique_lock<std::mutex> lock(mu_);
+  /// would have to wait behind `max_queue` queued callers, or when the
+  /// queue is (or becomes, while waiting) shut down. Every true return
+  /// must be paired with Exit().
+  bool Enter() KOKO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (shutdown_) {
+      ++rejected_;
+      return false;
+    }
     const bool immediate = waiting_ == 0 && inflight_ < max_inflight_;
     if (!immediate && waiting_ >= max_queue_) {
       ++rejected_;
@@ -47,64 +72,84 @@ class AdmissionQueue {
     if (!immediate) {
       peak_waiting_ = std::max(peak_waiting_, static_cast<uint64_t>(waiting_));
     }
-    cv_.wait(lock, [&] {
-      return ticket == serve_ticket_ && inflight_ < max_inflight_;
-    });
+    while (!shutdown_ &&
+           !(ticket == serve_ticket_ && inflight_ < max_inflight_)) {
+      cv_.Wait(mu_);
+    }
     --waiting_;
     ++serve_ticket_;
+    if (shutdown_) {
+      // Drained while waiting: hand the turn to the next ticket (every
+      // waiter takes this path, so serve order no longer matters) and
+      // report the caller rejected, never admitted.
+      ++rejected_;
+      cv_.NotifyAll();
+      return false;
+    }
     ++inflight_;
     ++admitted_;
     peak_inflight_ = std::max(peak_inflight_, static_cast<uint64_t>(inflight_));
     // The next ticket in line may be admittable too while inflight_ is
     // still below the bound.
-    cv_.notify_all();
+    cv_.NotifyAll();
     return true;
   }
 
-  void Exit() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Exit() KOKO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     --inflight_;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
-  size_t inflight() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return inflight_;
+  /// Rejects every current waiter and every future Enter(). Idempotent;
+  /// safe to call concurrently with Enter/Exit from any thread. Admitted
+  /// callers are unaffected — wait for inflight() to reach zero to drain.
+  void Shutdown() KOKO_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.NotifyAll();
   }
-  size_t waiting() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return waiting_;
+
+  bool is_shutdown() const KOKO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return shutdown_;
   }
-  uint64_t admitted() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return admitted_;
+
+  Counters counters() const KOKO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    Counters c;
+    c.inflight = inflight_;
+    c.waiting = waiting_;
+    c.admitted = admitted_;
+    c.rejected = rejected_;
+    c.peak_inflight = peak_inflight_;
+    c.peak_waiting = peak_waiting_;
+    return c;
   }
-  uint64_t rejected() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return rejected_;
-  }
-  uint64_t peak_inflight() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return peak_inflight_;
-  }
-  uint64_t peak_waiting() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return peak_waiting_;
-  }
+
+  size_t inflight() const { return counters().inflight; }
+  size_t waiting() const { return counters().waiting; }
+  uint64_t admitted() const { return counters().admitted; }
+  uint64_t rejected() const { return counters().rejected; }
+  uint64_t peak_inflight() const { return counters().peak_inflight; }
+  uint64_t peak_waiting() const { return counters().peak_waiting; }
 
  private:
   const size_t max_inflight_;
   const size_t max_queue_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t next_ticket_ = 0;   ///< Next ticket to hand out.
-  uint64_t serve_ticket_ = 0;  ///< Ticket currently first in line.
-  size_t inflight_ = 0;
-  size_t waiting_ = 0;
-  uint64_t admitted_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t peak_inflight_ = 0;
-  uint64_t peak_waiting_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  uint64_t next_ticket_ KOKO_GUARDED_BY(mu_) = 0;   ///< Next ticket out.
+  uint64_t serve_ticket_ KOKO_GUARDED_BY(mu_) = 0;  ///< First in line.
+  size_t inflight_ KOKO_GUARDED_BY(mu_) = 0;
+  size_t waiting_ KOKO_GUARDED_BY(mu_) = 0;
+  uint64_t admitted_ KOKO_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ KOKO_GUARDED_BY(mu_) = 0;
+  uint64_t peak_inflight_ KOKO_GUARDED_BY(mu_) = 0;
+  uint64_t peak_waiting_ KOKO_GUARDED_BY(mu_) = 0;
+  bool shutdown_ KOKO_GUARDED_BY(mu_) = false;
 };
 
 /// \brief Concurrent query serving over one shared engine (the server core).

@@ -2,14 +2,14 @@
 #define KOKO_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace koko {
 
@@ -35,6 +35,10 @@ namespace koko {
 /// which keeps per-slot output buffers append-only and merges deterministic.
 /// Slot ids are stable task indices, not thread identities; results indexed
 /// by slot are byte-identical regardless of which thread ran which slot.
+///
+/// Lock discipline is compiler-checked: `queue_`/`shutdown_` are
+/// KOKO_GUARDED_BY(mu_) and a clang `-Werror=thread-safety` build rejects
+/// any unlocked access (see src/util/thread_annotations.h).
 class ThreadPool {
  public:
   /// Spawns `num_workers` threads (at least 1).
@@ -50,10 +54,10 @@ class ThreadPool {
   /// caller must ensure no new Submit/ParallelFor races with destruction.
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       shutdown_ = true;
     }
-    wake_.notify_all();
+    wake_.NotifyAll();
     for (std::thread& t : workers_) t.join();
   }
 
@@ -63,12 +67,12 @@ class ThreadPool {
   size_t num_workers() const { return num_workers_; }
 
   /// Enqueues one task. Thread-safe.
-  void Submit(std::function<void()> task) {
+  void Submit(std::function<void()> task) KOKO_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_.push_back(std::move(task));
     }
-    wake_.notify_one();
+    wake_.NotifyOne();
   }
 
   /// Fork/join section: runs `fn(slot)` exactly once for each slot in
@@ -76,7 +80,8 @@ class ThreadPool {
   /// thread executes slots alongside the workers. Thread-safe and
   /// re-entrant; `fn` must tolerate up to `min(num_slots, num_workers + 1)`
   /// concurrent invocations (each with a distinct slot).
-  void ParallelFor(size_t num_slots, const std::function<void(size_t)>& fn) {
+  void ParallelFor(size_t num_slots, const std::function<void(size_t)>& fn)
+      KOKO_EXCLUDES(mu_) {
     if (num_slots == 0) return;
     if (num_slots == 1) {
       fn(0);
@@ -87,15 +92,15 @@ class ThreadPool {
     // own seat. Helpers that arrive after the section drained are no-ops.
     const size_t helpers = std::min(num_slots - 1, num_workers_);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (size_t i = 0; i < helpers; ++i) {
         queue_.push_back([job] { RunSlots(*job); });
       }
     }
-    wake_.notify_all();
+    wake_.NotifyAll();
     RunSlots(*job);
-    std::unique_lock<std::mutex> lock(job->mu);
-    job->done.wait(lock, [&] { return job->completed == job->num_slots; });
+    MutexLock lock(job->mu);
+    while (job->completed != job->num_slots) job->done.Wait(job->mu);
   }
 
   /// Legacy fork/join shape: one slot per worker. `fn(slot)` runs once for
@@ -113,9 +118,9 @@ class ThreadPool {
     const size_t num_slots;
     const std::function<void(size_t)>* const fn;
     std::atomic<size_t> next_slot{0};
-    std::mutex mu;
-    std::condition_variable done;
-    size_t completed = 0;
+    Mutex mu;
+    CondVar done;
+    size_t completed KOKO_GUARDED_BY(mu) = 0;
   };
 
   static void RunSlots(Job& job) {
@@ -127,17 +132,17 @@ class ThreadPool {
       ++ran;
     }
     if (ran == 0) return;
-    std::lock_guard<std::mutex> lock(job.mu);
+    MutexLock lock(job.mu);
     job.completed += ran;
-    if (job.completed == job.num_slots) job.done.notify_all();
+    if (job.completed == job.num_slots) job.done.NotifyAll();
   }
 
-  void WorkerLoop() {
+  void WorkerLoop() KOKO_EXCLUDES(mu_) {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        MutexLock lock(mu_);
+        while (!shutdown_ && queue_.empty()) wake_.Wait(mu_);
         if (queue_.empty()) return;  // shutdown with a drained queue
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -149,10 +154,10 @@ class ThreadPool {
   const size_t num_workers_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar wake_;
+  std::deque<std::function<void()>> queue_ KOKO_GUARDED_BY(mu_);
+  bool shutdown_ KOKO_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace koko

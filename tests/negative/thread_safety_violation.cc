@@ -1,0 +1,52 @@
+// Negative-compile fixture proving the thread-safety gate is live.
+//
+// Registered twice in CMakeLists.txt (clang only):
+//
+//  * thread_safety_positive_control — compiles this file as-is; the
+//    correctly locked accessors below must pass `-Werror=thread-safety`.
+//  * thread_safety_negative_compile — compiles with -DKOKO_SEED_VIOLATION,
+//    exposing an unlocked write to a KOKO_GUARDED_BY member; the build
+//    MUST fail (ctest WILL_FAIL). If this test ever "passes", the analysis
+//    flags have silently stopped reaching the compiler and the whole
+//    static gate is decorative.
+//
+// This file is compiled standalone (-fsyntax-only), never linked into the
+// library or test binaries.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() KOKO_EXCLUDES(mu_) {
+    koko::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int value() const KOKO_EXCLUDES(mu_) {
+    koko::MutexLock lock(mu_);
+    return value_;
+  }
+
+#ifdef KOKO_SEED_VIOLATION
+  // Seeded lock-discipline violation: writes a guarded member with no lock
+  // held. -Wthread-safety must reject this line.
+  void IncrementUnlocked() { ++value_; }
+#endif
+
+ private:
+  mutable koko::Mutex mu_;
+  int value_ KOKO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+#ifdef KOKO_SEED_VIOLATION
+  counter.IncrementUnlocked();
+#endif
+  return counter.value() == 1 ? 0 : 1;
+}

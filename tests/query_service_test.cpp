@@ -39,7 +39,8 @@ struct ServeWorld {
   std::unique_ptr<Engine> sharded;
 
   explicit ServeWorld(size_t shards, int moments = 120, int seed = 71) {
-    auto docs = GenerateHappyMoments({.num_moments = moments, .seed = seed});
+    auto docs = GenerateHappyMoments(
+        {.num_moments = moments, .seed = static_cast<uint64_t>(seed)});
     corpus = pipeline.AnnotateCorpus(docs);
     mono_index = KokoIndex::Build(corpus);
     sharded_index = ShardedKokoIndex::Build(corpus, shards);

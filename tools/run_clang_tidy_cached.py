@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""clang-tidy over compile_commands.json with a content-hash result cache.
+
+CI's static-analysis job runs the whole tree through clang-tidy with a
+warning budget of zero; an uncached run re-analyzes every TU on every push
+and takes tens of minutes. This wrapper keeps the job fast enough to gate
+on: each translation unit's verdict is cached under a key covering
+
+  * the TU's own content,
+  * every in-repo header it includes (transitively, via a quick regex scan
+    over `#include "..."` lines),
+  * the .clang-tidy configuration, and
+  * the clang-tidy version string,
+
+so a typical PR re-analyzes only the files it touched. Only *clean*
+verdicts are cached — a TU with findings is re-run (and re-reported) until
+it is fixed. Cache entries are plain marker files under --cache-dir
+(default .clang-tidy-cache/), safe to persist with actions/cache.
+
+Usage:
+  python3 tools/run_clang_tidy_cached.py -p build [--clang-tidy clang-tidy]
+      [--cache-dir .clang-tidy-cache] [--jobs N] [paths...]
+
+Positional paths filter the TUs (default: src/ bench/ tests/ examples/).
+Exits nonzero if any analyzed TU produced a warning or error.
+"""
+
+import argparse
+import hashlib
+import json
+import re
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.M)
+
+
+def local_header_closure(tu: Path, include_dirs):
+    """In-repo headers reachable from `tu` via quoted includes."""
+    seen = set()
+    stack = [tu]
+    while stack:
+        path = stack.pop()
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            continue
+        for name in INCLUDE.findall(text):
+            for base in [path.parent, *include_dirs]:
+                candidate = (base / name).resolve()
+                if candidate.is_file() and REPO_ROOT in candidate.parents:
+                    if candidate not in seen:
+                        seen.add(candidate)
+                        stack.append(candidate)
+                    break
+    return sorted(seen)
+
+
+def tu_key(tu: Path, include_dirs, config_digest: str, version: str) -> str:
+    h = hashlib.sha256()
+    h.update(version.encode())
+    h.update(config_digest.encode())
+    for path in [tu, *local_header_closure(tu, include_dirs)]:
+        h.update(str(path.relative_to(REPO_ROOT)).encode())
+        h.update(path.read_bytes())
+    return h.hexdigest()
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("-p", "--build-dir", default="build",
+                        help="dir containing compile_commands.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--cache-dir", default=".clang-tidy-cache")
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("paths", nargs="*",
+                        default=["src", "bench", "tests", "examples"])
+    args = parser.parse_args()
+
+    if shutil.which(args.clang_tidy) is None:
+        print(f"error: {args.clang_tidy} not found on PATH", file=sys.stderr)
+        return 2
+
+    compile_db = Path(args.build_dir) / "compile_commands.json"
+    if not compile_db.is_file():
+        print(f"error: {compile_db} missing — configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        return 2
+
+    wanted = [REPO_ROOT / p for p in args.paths]
+    tus = []
+    for entry in json.loads(compile_db.read_text()):
+        tu = Path(entry["file"]).resolve()
+        if any(w == tu or w in tu.parents for w in wanted):
+            tus.append(tu)
+    tus = sorted(set(tus))
+
+    version = subprocess.run([args.clang_tidy, "--version"], check=True,
+                             capture_output=True, text=True).stdout.strip()
+    config_digest = hashlib.sha256(
+        (REPO_ROOT / ".clang-tidy").read_bytes()).hexdigest()
+    include_dirs = [REPO_ROOT / "src", REPO_ROOT / "bench"]
+
+    cache_dir = Path(args.cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+
+    def run_one(tu: Path):
+        key = tu_key(tu, include_dirs, config_digest, version)
+        marker = cache_dir / key
+        if marker.exists():
+            return tu, 0, "(cached clean)"
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", args.build_dir, "--quiet", str(tu)],
+            capture_output=True, text=True)
+        noisy = proc.returncode != 0 or "warning:" in proc.stdout
+        if not noisy:
+            marker.touch()
+        return tu, (1 if noisy else 0), proc.stdout.strip()
+
+    failures = 0
+    with ThreadPoolExecutor(max_workers=max(1, args.jobs)) as pool:
+        for tu, status, output in pool.map(run_one, tus):
+            rel = tu.relative_to(REPO_ROOT)
+            if status:
+                failures += 1
+                print(f"FAIL {rel}\n{output}\n")
+            else:
+                print(f"ok   {rel} {output if 'cached' in output else ''}")
+    print(f"clang-tidy: {len(tus)} TU(s), {failures} with findings "
+          f"(budget: 0)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
