@@ -6,6 +6,8 @@
 // so KOKO's cross-sentence evidence aggregation cannot be exploited.
 #include "bench_util.h"
 
+#include <cstdlib>
+
 #include "extract/crf.h"
 #include "extract/ike.h"
 
@@ -14,57 +16,16 @@ using namespace koko::bench;
 
 namespace {
 
-std::string TeamQuery(double threshold) {
-  char buf[1024];
-  std::snprintf(buf, sizeof(buf), R"(
-extract x:Entity from "tweets" if ()
-satisfying x
-  (x [["to host"]] {0.9}) or
-  (x "vs" {0.9}) or
-  ("vs" x {0.9}) or
-  (x [["soccer"]] {0.9}) or
-  ("Go" x {0.9}) or
-  ("by" x {0.5})
-with threshold %f
-excluding
-  (str(x) matches "[a-z 0-9.]+") or
-  (str(x) in dict("GPE"))
-)",
-                threshold);
-  return buf;
-}
-
-std::string FacilityQuery(double threshold) {
-  char buf[1024];
-  std::snprintf(buf, sizeof(buf), R"(
-extract x:Entity from "tweets" if ()
-satisfying x
-  ("at" x {1}) or
-  ([["went to"]] x {0.8}) or
-  ([["go to"]] x {0.8})
-with threshold %f
-excluding
-  (str(x) contains "pm") or
-  (str(x) contains "am") or
-  (str(x) mentions "@") or
-  (str(x) contains "today") or
-  (str(x) contains "tomorrow") or
-  (str(x) contains "tonight") or
-  (str(x) matches "[a-z 0-9.]+")
-)",
-                threshold);
-  return buf;
-}
+// Query texts live in the replay workload library (replay::TweetTeam/
+// FacilityQueryText), so this figure, the traffic harness, and the parity
+// suite execute the same queries.
 
 void RunTask(const char* task, const std::vector<std::string>& gold,
              const AnnotatedCorpus& train, const AnnotatedCorpus& test,
-             const std::vector<std::string>& train_gold,
-             const KokoIndex& index, const Pipeline& pipeline,
+             const std::vector<std::string>& train_gold, Engine& engine,
              const EmbeddingModel& embeddings,
              const std::vector<std::string>& ike_patterns,
-             const std::string& (*unused)(),
              std::string (*query_fn)(double)) {
-  (void)unused;
   std::printf("-- %s --\n", task);
   std::vector<const Document*> train_docs;
   for (const auto& d : train.docs) train_docs.push_back(&d);
@@ -77,20 +38,30 @@ void RunTask(const char* task, const std::vector<std::string>& gold,
   PrintPrfRow("IKE", -1, ScoreExtractionLists(gold, ike_result.value_or({})));
 
   for (double threshold : {0.2, 0.4, 0.6, 0.8}) {
-    auto values = RunKokoExtraction(test, index, pipeline, embeddings,
-                                    query_fn(threshold));
+    auto values =
+        RunKokoExtraction(engine, EngineOptions(), query_fn(threshold));
     PrintPrfRow("KOKO", threshold, ScoreExtractionLists(gold, values));
   }
   std::printf("\n");
 }
 
+std::string TeamQuery(double threshold) {
+  return replay::TweetTeamQueryText(threshold);
+}
+
+std::string FacilityQuery(double threshold) {
+  return replay::TweetFacilityQueryText(threshold);
+}
+
 }  // namespace
 
-int main() {
+// Usage: bench_fig4_wnut [num_tweets=700]
+int main(int argc, char** argv) {
+  const int num_tweets = argc > 1 ? std::atoi(argv[1]) : 700;
   std::printf("Figure 4 reproduction: sports teams & facilities from tweets\n");
   std::printf("paper shape: KOKO best around t=0.4, baselines much closer than "
               "in Fig. 3\n\n");
-  TweetCorpus tweets = GenerateTweets({.num_tweets = 700, .seed = 202});
+  TweetCorpus tweets = GenerateTweets({.num_tweets = num_tweets, .seed = 202});
   // Split tweets: even train / odd test.
   std::vector<RawDocument> train_docs, test_docs;
   for (size_t i = 0; i < tweets.docs.size(); ++i) {
@@ -99,16 +70,18 @@ int main() {
   Pipeline pipeline;
   AnnotatedCorpus train = pipeline.AnnotateCorpus(train_docs);
   AnnotatedCorpus test = pipeline.AnnotateCorpus(test_docs);
-  auto index = KokoIndex::Build(test);
+  // Shipped configuration: sharded index + default EngineOptions.
+  auto index = ShardedKokoIndex::Build(test, kBenchIndexShards);
   EmbeddingModel embeddings;
+  Engine engine(&test, index.get(), &embeddings, pipeline.recognizer());
 
   RunTask("Sports Team", tweets.gold_teams, train, test, tweets.gold_teams,
-          *index, pipeline, embeddings,
+          engine, embeddings,
           {"(NP) \"vs\"", "\"vs\" (NP)", "\"Go\" (NP)",
            "(NP) (\"to host\" ~ 6)"},
-          nullptr, &TeamQuery);
+          &TeamQuery);
   RunTask("Facilities", tweets.gold_facilities, train, test,
-          tweets.gold_facilities, *index, pipeline, embeddings,
-          {"\"at\" (NP)", "(\"went to\" ~ 6) (NP)"}, nullptr, &FacilityQuery);
+          tweets.gold_facilities, engine, embeddings,
+          {"\"at\" (NP)", "(\"went to\" ~ 6) (NP)"}, &FacilityQuery);
   return 0;
 }

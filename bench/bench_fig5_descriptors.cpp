@@ -7,25 +7,33 @@
 // add little.
 #include "bench_util.h"
 
+#include <cstdlib>
+
 using namespace koko;
 using namespace koko::bench;
 
 namespace {
 
-void RunDataset(const char* name, bool long_articles) {
+void RunDataset(const char* name, bool long_articles, int articles) {
   std::printf("== %s ==\n", name);
   LabeledCorpus blogs = GenerateCafeBlogs(
-      {.num_articles = 90, .long_articles = long_articles, .seed = 301});
+      {.num_articles = articles, .long_articles = long_articles, .seed = 301});
   Pipeline pipeline;
   AnnotatedCorpus corpus = pipeline.AnnotateCorpus(blogs.docs);
-  auto index = KokoIndex::Build(corpus);
+  // Shipped configuration: sharded index; the ablation toggles only
+  // use_descriptors on top of default EngineOptions.
+  auto index = ShardedKokoIndex::Build(corpus, kBenchIndexShards);
   EmbeddingModel embeddings;
+  Engine engine(&corpus, index.get(), &embeddings, pipeline.recognizer());
   for (double threshold : {0.2, 0.4, 0.6, 0.8, 1.0}) {
-    auto with = RunKokoExtraction(corpus, *index, pipeline, embeddings,
-                                  CafeQuery(threshold), /*use_descriptors=*/true);
-    auto without = RunKokoExtraction(corpus, *index, pipeline, embeddings,
-                                     CafeQuery(threshold),
-                                     /*use_descriptors=*/false);
+    EngineOptions with_descriptors;
+    with_descriptors.use_descriptors = true;
+    EngineOptions without_descriptors;
+    without_descriptors.use_descriptors = false;
+    auto with =
+        RunKokoExtraction(engine, with_descriptors, CafeQuery(threshold));
+    auto without =
+        RunKokoExtraction(engine, without_descriptors, CafeQuery(threshold));
     PRF with_prf = ScoreExtractionLists(blogs.gold, with);
     PRF without_prf = ScoreExtractionLists(blogs.gold, without);
     std::printf("  t=%.1f  with descriptors F1=%.3f   without F1=%.3f   delta=%+.3f\n",
@@ -37,11 +45,13 @@ void RunDataset(const char* name, bool long_articles) {
 
 }  // namespace
 
-int main() {
+// Usage: bench_fig5_descriptors [articles=90]
+int main(int argc, char** argv) {
+  const int articles = argc > 1 ? std::atoi(argv[1]) : 90;
   std::printf("Figure 5 reproduction: KOKO with/without descriptors\n");
   std::printf("paper shape: descriptors help on short articles, ~no gain on "
               "long articles\n\n");
-  RunDataset("BaristaMag-like (short)", /*long_articles=*/false);
-  RunDataset("Sprudge-like (long)", /*long_articles=*/true);
+  RunDataset("BaristaMag-like (short)", /*long_articles=*/false, articles);
+  RunDataset("Sprudge-like (long)", /*long_articles=*/true, articles);
   return 0;
 }

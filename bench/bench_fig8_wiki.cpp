@@ -4,6 +4,8 @@
 // corpus size (the paper could not scale it past 5000 articles).
 #include "bench_util.h"
 
+#include <cstdlib>
+
 #include "baseline/adv_inverted_index.h"
 #include "baseline/inverted_index.h"
 #include "baseline/koko_adapter.h"
@@ -13,14 +15,17 @@
 
 using namespace koko;
 
-int main() {
+// Usage: bench_fig8_wiki [articles=1500]  (sweeps articles/3 and articles)
+int main(int argc, char** argv) {
+  const int num_articles = argc > 1 ? std::atoi(argv[1]) : 1500;
   std::printf("Figure 8 reproduction: index performance on Wikipedia-like corpus\n");
   std::printf("paper shape: same ordering as Fig. 7; INVERTED scales worst\n\n");
   Pipeline pipeline;
-  auto docs = GenerateWikiArticles({.num_articles = 1500, .seed = 701});
+  auto docs = GenerateWikiArticles({.num_articles = num_articles, .seed = 701});
   AnnotatedCorpus full = pipeline.AnnotateCorpus(docs);
 
-  for (size_t articles : {500u, 1500u}) {
+  for (size_t articles : {static_cast<size_t>(num_articles) / 3,
+                          static_cast<size_t>(num_articles)}) {
     AnnotatedCorpus corpus;
     corpus.docs.assign(full.docs.begin(),
                        full.docs.begin() + static_cast<long>(articles));
@@ -30,7 +35,8 @@ int main() {
     std::printf("-- %zu articles (%zu sentences), %zu queries --\n", articles,
                 corpus.NumSentences(), queries.size());
 
-    auto koko_index = KokoTreeIndex::Build(corpus);
+    // KOKO enters the comparison in its shipped sharded configuration.
+    auto koko_index = ShardedKokoTreeIndex::Build(corpus, 3);
     auto inverted = InvertedIndex::Build(corpus);
     auto adv = AdvInvertedIndex::Build(corpus);
     auto subtree = SubtreeIndex::Build(corpus);

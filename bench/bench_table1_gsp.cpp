@@ -8,6 +8,7 @@
 // is about three orders of magnitude faster.
 #include "bench_util.h"
 
+#include <cstdlib>
 #include <map>
 
 #include "corpus/query_gen.h"
@@ -16,11 +17,14 @@ using namespace koko;
 
 namespace {
 
-void RunCorpus(const char* name, const AnnotatedCorpus& corpus) {
+void RunCorpus(const char* name, const AnnotatedCorpus& corpus,
+               int queries_per_setting) {
   std::printf("== %s (%zu sentences) ==\n", name, corpus.NumSentences());
   auto queries = GenerateSyntheticSpanBenchmark(
-      corpus, {.queries_per_setting = 25, .seed = 801});
-  auto index = KokoIndex::Build(corpus);
+      corpus, {.queries_per_setting = queries_per_setting, .seed = 801});
+  // Shipped configuration: sharded index (the GSP/NOGSP toggle rides on
+  // top of default EngineOptions).
+  auto index = ShardedKokoIndex::Build(corpus, bench::kBenchIndexShards);
   EmbeddingModel embeddings;
   Pipeline pipeline;
   Engine engine(&corpus, index.get(), &embeddings, pipeline.recognizer());
@@ -55,20 +59,25 @@ void RunCorpus(const char* name, const AnnotatedCorpus& corpus) {
 
 }  // namespace
 
-int main() {
+// Usage: bench_table1_gsp [moments=1200] [articles=250] [queries_per_setting=25]
+int main(int argc, char** argv) {
+  const int moments = argc > 1 ? std::atoi(argv[1]) : 1200;
+  const int articles = argc > 2 ? std::atoi(argv[2]) : 250;
+  const int queries_per_setting = argc > 3 ? std::atoi(argv[3]) : 25;
   std::printf("Table 1 reproduction: GSP vs NOGSP evaluation time per sentence\n");
   std::printf("paper shape: 1 atom ~parity; 3 atoms GSP faster; 5 atoms GSP "
               "orders of magnitude faster\n\n");
   Pipeline pipeline;
   {
-    auto docs = GenerateHappyMoments({.num_moments = 1200, .seed = 802});
+    auto docs = GenerateHappyMoments(
+        {.num_moments = moments, .seed = 802});
     AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
-    RunCorpus("HappyDB-like", corpus);
+    RunCorpus("HappyDB-like", corpus, queries_per_setting);
   }
   {
-    auto docs = GenerateWikiArticles({.num_articles = 250, .seed = 803});
+    auto docs = GenerateWikiArticles({.num_articles = articles, .seed = 803});
     AnnotatedCorpus corpus = pipeline.AnnotateCorpus(docs);
-    RunCorpus("Wikipedia-like", corpus);
+    RunCorpus("Wikipedia-like", corpus, queries_per_setting);
   }
   return 0;
 }

@@ -17,8 +17,10 @@
 #include "embed/embedding.h"
 #include "extract/metrics.h"
 #include "index/koko_index.h"
+#include "index/sharded_index.h"
 #include "koko/engine.h"
 #include "nlp/pipeline.h"
+#include "replay/workloads.h"
 
 namespace koko {
 namespace bench {
@@ -144,48 +146,23 @@ class JsonEmitter {
   std::vector<Entry> entries_;
 };
 
-/// The Appendix-A cafe query (adapted to this repository's generators and
-/// NER conventions), parameterised by threshold.
+/// The Appendix-A cafe query, parameterised by threshold. One definition
+/// for the whole project: the replay workload library owns the text, so
+/// the fig benches, the traffic harness, and the golden parity suite all
+/// execute literally the same query.
 inline std::string CafeQuery(double threshold) {
-  char buf[4096];
-  std::snprintf(buf, sizeof(buf), R"(
-extract x:Entity from "blogs" if ()
-satisfying x
-  (str(x) contains "Cafe" {1}) or
-  (str(x) contains "Coffee" {1}) or
-  (str(x) contains "Roasters" {1}) or
-  (x ", a cafe" {1}) or
-  (x [["serves coffee"]] {0.5}) or
-  (x [["employs baristas"]] {0.5}) or
-  ([["baristas of"]] x {0.45}) or
-  (x [["hired a star barista"]] {0.5}) or
-  (x [["pours delicious lattes"]] {0.45})
-with threshold %f
-excluding
-  (str(x) matches "[a-z 0-9.&]+") or
-  (str(x) matches "@[A-Za-z 0-9.]+") or
-  (str(x) matches "[Cc]offee|[Cc]afe") or
-  (str(x) matches "[A-Za-z 0-9.]*[Bb]arista [Cc]hampionship") or
-  (str(x) matches "[A-Za-z 0-9.]*[Ff]est(ival)?") or
-  (str(x) matches "[Ll]a Marzocco") or
-  (str(x) matches "[0-9]+ [0-9A-Z a-z]+ [Ss]t.?") or
-  (str(x) in dict("GPE")) or
-  (str(x) in dict("Person"))
-)",
-                threshold);
-  return buf;
+  return replay::CafeQueryText(threshold);
 }
 
-/// Runs the KOKO cafe query and returns the distinct extracted names.
-inline std::vector<std::string> RunKokoExtraction(const AnnotatedCorpus& corpus,
-                                                  const KokoIndex& index,
-                                                  const Pipeline& pipeline,
-                                                  const EmbeddingModel& embeddings,
-                                                  const std::string& query_text,
-                                                  bool use_descriptors = true) {
-  Engine engine(&corpus, &index, &embeddings, &pipeline.recognizer());
-  EngineOptions options;
-  options.use_descriptors = use_descriptors;
+/// Number of index shards the refit fig benches build — the shipped
+/// serving configuration (matches bench_workloads' fleet).
+inline constexpr size_t kBenchIndexShards = 3;
+
+/// Runs one KOKO query through `engine` under `options` and returns the
+/// distinct extracted names (first output column, first-seen order).
+inline std::vector<std::string> RunKokoExtraction(Engine& engine,
+                                                  const EngineOptions& options,
+                                                  const std::string& query_text) {
   auto result = engine.ExecuteText(query_text, options);
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n", result.status().ToString().c_str());

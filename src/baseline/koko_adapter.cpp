@@ -7,21 +7,16 @@
 
 namespace koko {
 
-std::unique_ptr<KokoTreeIndex> KokoTreeIndex::Build(const AnnotatedCorpus& corpus) {
-  WallTimer timer;
-  auto owned = KokoIndex::Build(corpus);
-  auto adapter = std::make_unique<KokoTreeIndex>(owned.get());
-  adapter->owned_ = std::move(owned);
-  adapter->build_seconds_ = timer.ElapsedSeconds();
-  return adapter;
-}
+namespace {
 
-Result<std::vector<uint32_t>> KokoTreeIndex::CandidateSentences(
-    const std::vector<PathQuery>& paths) const {
+/// Per-path DPLI lookup + cross-path intersection over one KokoIndex.
+/// Shared by the monolithic adapter and (per shard) the sharded one.
+Result<std::vector<uint32_t>> CandidatesFromIndex(
+    const KokoIndex& index, const std::vector<PathQuery>& paths) {
   std::unordered_set<uint32_t> survivors;
   bool first = true;
   for (const PathQuery& path : paths) {
-    PathLookupResult result = KokoPathLookup(*index_, path);
+    PathLookupResult result = KokoPathLookup(index, path);
     if (result.unconstrained) continue;
     std::unordered_set<uint32_t> sids;
     for (const Quintuple& q : result.postings) sids.insert(q.sid);
@@ -42,6 +37,46 @@ Result<std::vector<uint32_t>> KokoTreeIndex::CandidateSentences(
   }
   std::vector<uint32_t> out(survivors.begin(), survivors.end());
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<KokoTreeIndex> KokoTreeIndex::Build(const AnnotatedCorpus& corpus) {
+  WallTimer timer;
+  auto owned = KokoIndex::Build(corpus);
+  auto adapter = std::make_unique<KokoTreeIndex>(owned.get());
+  adapter->owned_ = std::move(owned);
+  adapter->build_seconds_ = timer.ElapsedSeconds();
+  return adapter;
+}
+
+Result<std::vector<uint32_t>> KokoTreeIndex::CandidateSentences(
+    const std::vector<PathQuery>& paths) const {
+  return CandidatesFromIndex(*index_, paths);
+}
+
+std::unique_ptr<ShardedKokoTreeIndex> ShardedKokoTreeIndex::Build(
+    const AnnotatedCorpus& corpus, size_t num_shards) {
+  WallTimer timer;
+  auto owned = ShardedKokoIndex::Build(corpus, num_shards);
+  auto adapter = std::make_unique<ShardedKokoTreeIndex>(owned.get());
+  adapter->owned_ = std::move(owned);
+  adapter->build_seconds_ = timer.ElapsedSeconds();
+  return adapter;
+}
+
+Result<std::vector<uint32_t>> ShardedKokoTreeIndex::CandidateSentences(
+    const std::vector<PathQuery>& paths) const {
+  // Intersection distributes over the sid-range partition: shard-local
+  // candidates concatenated in shard order equal the monolithic answer
+  // (ranges are disjoint and ascending, stored sids are global).
+  std::vector<uint32_t> out;
+  for (size_t s = 0; s < index_->num_shards(); ++s) {
+    auto shard_candidates = CandidatesFromIndex(index_->shard(s), paths);
+    if (!shard_candidates.ok()) return shard_candidates.status();
+    out.insert(out.end(), shard_candidates->begin(), shard_candidates->end());
+  }
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include "baseline/tree_index.h"
 #include "index/koko_index.h"
 #include "index/path_lookup.h"
+#include "index/sharded_index.h"
 
 namespace koko {
 
@@ -32,6 +33,37 @@ class KokoTreeIndex : public TreeIndex {
  private:
   std::unique_ptr<KokoIndex> owned_;
   const KokoIndex* index_ = nullptr;
+};
+
+/// \brief The shipped sharded configuration behind the same TreeIndex
+/// interface.
+///
+/// Each shard is a complete KokoIndex over a contiguous global-sid range,
+/// so the per-path DPLI lookup and the per-path intersection both run
+/// shard-locally and the shard results concatenate in shard order into the
+/// globally sorted candidate list — the same distribution identity the
+/// engine's shard-parallel DPLI relies on. Candidates are element-for-
+/// element identical to KokoTreeIndex over the monolithic build; the §6.2
+/// figures exercise what production serves.
+class ShardedKokoTreeIndex : public TreeIndex {
+ public:
+  static std::unique_ptr<ShardedKokoTreeIndex> Build(
+      const AnnotatedCorpus& corpus, size_t num_shards);
+
+  /// Wraps an already built index (does not take ownership).
+  explicit ShardedKokoTreeIndex(const ShardedKokoIndex* index)
+      : index_(index) {}
+
+  std::string_view name() const override { return "KOKO"; }
+  Result<std::vector<uint32_t>> CandidateSentences(
+      const std::vector<PathQuery>& paths) const override;
+  size_t MemoryUsage() const override { return index_->MemoryUsage(); }
+
+  const ShardedKokoIndex& index() const { return *index_; }
+
+ private:
+  std::unique_ptr<ShardedKokoIndex> owned_;
+  const ShardedKokoIndex* index_ = nullptr;
 };
 
 }  // namespace koko

@@ -33,8 +33,12 @@ std::string AtomToString(const SpanAtom& atom) {
       return atom.var + ".subtree";
     case SpanAtom::Kind::kPath:
       return atom.var + atom.path.ToString();
-    case SpanAtom::Kind::kLiteral:
-      return "\"" + Join(atom.tokens, " ") + "\"";
+    case SpanAtom::Kind::kLiteral: {
+      std::string out = "\"";
+      out += Join(atom.tokens, " ");
+      out += '"';
+      return out;
+    }
     case SpanAtom::Kind::kElastic:
       return ElasticToString(atom.elastic);
   }

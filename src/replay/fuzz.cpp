@@ -1,0 +1,106 @@
+#include "replay/fuzz.h"
+
+#include <string>
+#include <utility>
+
+#include "corpus/query_gen.h"
+#include "koko/printer.h"
+#include "util/rng.h"
+
+namespace koko {
+namespace replay {
+
+namespace {
+
+std::string SampleWord(const AnnotatedCorpus& corpus, Rng& rng) {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    uint32_t sid = static_cast<uint32_t>(rng.Uniform(corpus.NumSentences()));
+    const Sentence& s = corpus.sentence(sid);
+    if (s.size() == 0) continue;
+    const Token& t = s.tokens[rng.Uniform(static_cast<uint64_t>(s.size()))];
+    if (t.pos == PosTag::kPunct || t.text.empty()) continue;
+    return t.text;
+  }
+  return "the";
+}
+
+/// Random entity query with a randomly weighted satisfying clause — the
+/// aggregate-phase shape (Figures 3-5) the synthetic benchmarks do not
+/// cover. Conditions draw words from the corpus so the clause sometimes
+/// scores real mentions and sometimes nothing; both sides of the parity
+/// check are informative either way.
+Query RandomEntityQuery(const AnnotatedCorpus& corpus, Rng& rng) {
+  Query query;
+  query.outputs.push_back({"x", "Entity"});
+  query.source = "fuzz";
+  SatisfyingClause clause;
+  clause.var = "x";
+  const int num_conditions = static_cast<int>(rng.UniformInt(2, 4));
+  for (int i = 0; i < num_conditions; ++i) {
+    SatCondition condition;
+    condition.var = "x";
+    condition.text = SampleWord(corpus, rng);
+    condition.weight = 0.25 + 0.25 * static_cast<double>(rng.UniformInt(0, 3));
+    switch (rng.UniformInt(0, 3)) {
+      case 0: condition.kind = SatCondition::Kind::kFollowedBy; break;
+      case 1: condition.kind = SatCondition::Kind::kPrecededBy; break;
+      case 2: condition.kind = SatCondition::Kind::kNear; break;
+      default: condition.kind = SatCondition::Kind::kStrContains; break;
+    }
+    clause.conditions.push_back(std::move(condition));
+  }
+  clause.threshold = 0.25 * static_cast<double>(rng.UniformInt(0, 4));
+  query.satisfying.push_back(std::move(clause));
+  if (rng.Bernoulli(0.3)) {
+    SatCondition excluding;
+    excluding.var = "x";
+    excluding.kind = SatCondition::Kind::kStrMatches;
+    excluding.text = "[a-z 0-9.]+";
+    query.excluding.push_back(std::move(excluding));
+  }
+  return query;
+}
+
+}  // namespace
+
+std::vector<WorkloadQuery> GenerateFuzzQueries(const AnnotatedCorpus& corpus,
+                                               const FuzzOptions& options) {
+  Rng rng(Mix64(options.seed ^ 0x666f7a7aULL));
+
+  // Pools of benchmark-shaped queries, seeded off the fuzz seed so every
+  // run with a new seed explores new shapes.
+  TreeBenchOptions tree_options;
+  tree_options.queries_per_setting = 1;
+  tree_options.seed = rng.Next();
+  auto tree_pool = GenerateSyntheticTreeBenchmark(corpus, tree_options);
+
+  SpanBenchOptions span_options;
+  span_options.queries_per_setting = 4;
+  span_options.seed = rng.Next();
+  auto span_pool = GenerateSyntheticSpanBenchmark(corpus, span_options);
+
+  std::vector<WorkloadQuery> queries;
+  queries.reserve(options.count);
+  for (size_t i = 0; i < options.count; ++i) {
+    WorkloadQuery out;
+    const uint64_t pick = rng.Uniform(3);
+    if (pick == 0 && !tree_pool.empty()) {
+      const TreeBenchQuery& bench = rng.Choice(tree_pool);
+      out.name = "fuzz_tree_" + bench.name;
+      out.query = QueryFromTreeBench(bench, "fuzz");
+    } else if (pick == 1 && !span_pool.empty()) {
+      const SpanBenchQuery& bench = rng.Choice(span_pool);
+      out.name = "fuzz_span_" + bench.name;
+      out.query = bench.query;
+    } else {
+      out.name = "fuzz_entity_" + std::to_string(i);
+      out.query = RandomEntityQuery(corpus, rng);
+    }
+    out.text = QueryToString(out.query);
+    queries.push_back(std::move(out));
+  }
+  return queries;
+}
+
+}  // namespace replay
+}  // namespace koko

@@ -1,0 +1,35 @@
+#ifndef KOKO_REPLAY_FUZZ_H_
+#define KOKO_REPLAY_FUZZ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "replay/workloads.h"
+#include "text/document.h"
+
+namespace koko {
+namespace replay {
+
+struct FuzzOptions {
+  size_t count = 24;
+  uint64_t seed = 1;
+};
+
+/// \brief Randomized query shapes over one corpus, for property tests.
+///
+/// Samples `count` executable queries whose shapes span every pruning path
+/// the planner chooses between: single- and multi-path tree patterns
+/// (sampled from real root-to-node paths of the corpus, so selectivity
+/// varies naturally), span terms with literal/path/elastic atoms, and
+/// entity queries with randomly weighted satisfying clauses over sampled
+/// corpus words. Fully deterministic in (corpus, options): the parity
+/// property — planner-on rows == planner-off rows, at every cap and shard
+/// count — must hold for *any* seed, so a failing seed is a reproducible
+/// counterexample to log.
+std::vector<WorkloadQuery> GenerateFuzzQueries(const AnnotatedCorpus& corpus,
+                                               const FuzzOptions& options);
+
+}  // namespace replay
+}  // namespace koko
+
+#endif  // KOKO_REPLAY_FUZZ_H_

@@ -1,0 +1,339 @@
+#include "replay/workloads.h"
+
+#include <cstdio>
+#include <string_view>
+#include <utility>
+
+#include "corpus/generators.h"
+#include "koko/parser.h"
+#include "koko/printer.h"
+#include "util/hash.h"
+
+namespace koko {
+namespace replay {
+
+namespace {
+
+/// Per-class generator seed bases — the seed-era bench constants, so the
+/// regenerated corpora share provenance with the original figures. The
+/// caller's WorkloadOptions::seed is mixed in on top.
+constexpr uint64_t kFig3Seed = 101;
+constexpr uint64_t kFig4Seed = 202;
+constexpr uint64_t kFig5Seed = 301;
+constexpr uint64_t kFig7Seed = 601;
+constexpr uint64_t kFig7QuerySeed = 611;
+constexpr uint64_t kFig8Seed = 701;
+constexpr uint64_t kFig8QuerySeed = 711;
+constexpr uint64_t kTable1Seed = 802;
+constexpr uint64_t kTable1QuerySeed = 801;
+
+uint64_t MixSeed(uint64_t base, uint64_t user_seed) {
+  return user_seed == 0 ? base : Mix64(base ^ Mix64(user_seed));
+}
+
+Status AppendTextQuery(Workload* workload, const std::string& name,
+                       std::string text) {
+  auto parsed = ParseQuery(text);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("workload query '" + name +
+                                   "' no longer parses: " +
+                                   parsed.status().ToString());
+  }
+  workload->queries.push_back({name, std::move(text), std::move(*parsed)});
+  return Status::OK();
+}
+
+/// Samples `limit` elements evenly across [0, n) — the synthetic
+/// benchmarks generate hundreds of queries spanning selectivity settings;
+/// an even stride keeps every setting band represented in the replay mix.
+std::vector<size_t> EvenSample(size_t n, size_t limit) {
+  std::vector<size_t> picks;
+  if (n == 0 || limit == 0) return picks;
+  if (n <= limit) {
+    for (size_t i = 0; i < n; ++i) picks.push_back(i);
+    return picks;
+  }
+  for (size_t i = 0; i < limit; ++i) picks.push_back(i * n / limit);
+  return picks;
+}
+
+Status BuildCafeWorkload(Workload* workload, const Pipeline& pipeline,
+                         const WorkloadOptions& options, bool long_articles,
+                         uint64_t seed_base) {
+  CafeGenOptions gen;
+  gen.num_articles = (long_articles ? 16 : 18) * options.scale;
+  gen.long_articles = long_articles;
+  gen.seed = MixSeed(seed_base, options.seed);
+  LabeledCorpus blogs = GenerateCafeBlogs(gen);
+  workload->corpus = pipeline.AnnotateCorpus(blogs.docs);
+  const double thresholds[] = {0.2, 0.4, 0.6, 0.8, 1.0};
+  for (double t : thresholds) {
+    if (workload->queries.size() >= options.queries_per_class) break;
+    char name[32];
+    std::snprintf(name, sizeof(name), "cafe_t%.1f", t);
+    Status status = AppendTextQuery(workload, name, CafeQueryText(t));
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+Status BuildWnutWorkload(Workload* workload, const Pipeline& pipeline,
+                         const WorkloadOptions& options) {
+  TweetGenOptions gen;
+  gen.num_tweets = 120 * options.scale;
+  gen.seed = MixSeed(kFig4Seed, options.seed);
+  TweetCorpus tweets = GenerateTweets(gen);
+  workload->corpus = pipeline.AnnotateCorpus(tweets.docs);
+  const double thresholds[] = {0.2, 0.4, 0.6, 0.8};
+  for (double t : thresholds) {
+    if (workload->queries.size() >= options.queries_per_class) break;
+    char name[32];
+    std::snprintf(name, sizeof(name), "team_t%.1f", t);
+    Status status = AppendTextQuery(workload, name, TweetTeamQueryText(t));
+    if (!status.ok()) return status;
+  }
+  for (double t : thresholds) {
+    if (workload->queries.size() >= options.queries_per_class) break;
+    char name[32];
+    std::snprintf(name, sizeof(name), "facility_t%.1f", t);
+    Status status = AppendTextQuery(workload, name, TweetFacilityQueryText(t));
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+void BuildTreeBenchQueries(Workload* workload, const WorkloadOptions& options,
+                           uint64_t query_seed) {
+  TreeBenchOptions bench;
+  bench.queries_per_setting = 1;
+  bench.seed = MixSeed(query_seed, options.seed);
+  auto benchmark = GenerateSyntheticTreeBenchmark(workload->corpus, bench);
+  for (size_t i : EvenSample(benchmark.size(), options.queries_per_class)) {
+    const TreeBenchQuery& q = benchmark[i];
+    Query query = QueryFromTreeBench(q, workload->name);
+    std::string text = QueryToString(query);
+    workload->queries.push_back({q.name, std::move(text), std::move(query)});
+  }
+}
+
+void BuildSpanBenchQueries(Workload* workload, const WorkloadOptions& options,
+                           uint64_t query_seed) {
+  SpanBenchOptions bench;
+  bench.queries_per_setting = 3;
+  bench.seed = MixSeed(query_seed, options.seed);
+  auto benchmark = GenerateSyntheticSpanBenchmark(workload->corpus, bench);
+  for (size_t i : EvenSample(benchmark.size(), options.queries_per_class)) {
+    SpanBenchQuery& q = benchmark[i];
+    std::string text = QueryToString(q.query);
+    workload->queries.push_back({q.name, std::move(text), std::move(q.query)});
+  }
+}
+
+}  // namespace
+
+const char* WorkloadClassName(WorkloadClass cls) {
+  switch (cls) {
+    case WorkloadClass::kFig3Cafe: return "fig3_cafe";
+    case WorkloadClass::kFig4Wnut: return "fig4_wnut";
+    case WorkloadClass::kFig5Descriptors: return "fig5_descriptors";
+    case WorkloadClass::kFig7HappyDb: return "fig7_happydb";
+    case WorkloadClass::kFig8Wiki: return "fig8_wiki";
+    case WorkloadClass::kTable1Gsp: return "table1_gsp";
+  }
+  return "unknown";
+}
+
+std::vector<WorkloadClass> AllWorkloadClasses() {
+  return {WorkloadClass::kFig3Cafe,         WorkloadClass::kFig4Wnut,
+          WorkloadClass::kFig5Descriptors,  WorkloadClass::kFig7HappyDb,
+          WorkloadClass::kFig8Wiki,         WorkloadClass::kTable1Gsp};
+}
+
+Result<Workload> BuildWorkload(WorkloadClass cls, const Pipeline& pipeline,
+                               const WorkloadOptions& options) {
+  Workload workload;
+  workload.cls = cls;
+  workload.name = WorkloadClassName(cls);
+  Status status = Status::OK();
+  switch (cls) {
+    case WorkloadClass::kFig3Cafe:
+      status = BuildCafeWorkload(&workload, pipeline, options,
+                                 /*long_articles=*/false, kFig3Seed);
+      break;
+    case WorkloadClass::kFig4Wnut:
+      status = BuildWnutWorkload(&workload, pipeline, options);
+      break;
+    case WorkloadClass::kFig5Descriptors:
+      status = BuildCafeWorkload(&workload, pipeline, options,
+                                 /*long_articles=*/true, kFig5Seed);
+      break;
+    case WorkloadClass::kFig7HappyDb: {
+      HappyGenOptions gen;
+      gen.num_moments = 160 * options.scale;
+      gen.seed = MixSeed(kFig7Seed, options.seed);
+      workload.corpus = pipeline.AnnotateCorpus(GenerateHappyMoments(gen));
+      BuildTreeBenchQueries(&workload, options, kFig7QuerySeed);
+      break;
+    }
+    case WorkloadClass::kFig8Wiki: {
+      WikiGenOptions gen;
+      gen.num_articles = 40 * options.scale;
+      gen.seed = MixSeed(kFig8Seed, options.seed);
+      workload.corpus = pipeline.AnnotateCorpus(GenerateWikiArticles(gen));
+      BuildTreeBenchQueries(&workload, options, kFig8QuerySeed);
+      break;
+    }
+    case WorkloadClass::kTable1Gsp: {
+      HappyGenOptions gen;
+      gen.num_moments = 120 * options.scale;
+      gen.seed = MixSeed(kTable1Seed, options.seed);
+      workload.corpus = pipeline.AnnotateCorpus(GenerateHappyMoments(gen));
+      BuildSpanBenchQueries(&workload, options, kTable1QuerySeed);
+      break;
+    }
+  }
+  if (!status.ok()) return status;
+  return workload;
+}
+
+Result<std::vector<Workload>> BuildAllWorkloads(const Pipeline& pipeline,
+                                                const WorkloadOptions& options) {
+  std::vector<Workload> workloads;
+  for (WorkloadClass cls : AllWorkloadClasses()) {
+    auto workload = BuildWorkload(cls, pipeline, options);
+    if (!workload.ok()) return workload.status();
+    workloads.push_back(std::move(*workload));
+  }
+  return workloads;
+}
+
+std::string CafeQueryText(double threshold) {
+  char buf[4096];
+  std::snprintf(buf, sizeof(buf), R"(
+extract x:Entity from "blogs" if ()
+satisfying x
+  (str(x) contains "Cafe" {1}) or
+  (str(x) contains "Coffee" {1}) or
+  (str(x) contains "Roasters" {1}) or
+  (x ", a cafe" {1}) or
+  (x [["serves coffee"]] {0.5}) or
+  (x [["employs baristas"]] {0.5}) or
+  ([["baristas of"]] x {0.45}) or
+  (x [["hired a star barista"]] {0.5}) or
+  (x [["pours delicious lattes"]] {0.45})
+with threshold %f
+excluding
+  (str(x) matches "[a-z 0-9.&]+") or
+  (str(x) matches "@[A-Za-z 0-9.]+") or
+  (str(x) matches "[Cc]offee|[Cc]afe") or
+  (str(x) matches "[A-Za-z 0-9.]*[Bb]arista [Cc]hampionship") or
+  (str(x) matches "[A-Za-z 0-9.]*[Ff]est(ival)?") or
+  (str(x) matches "[Ll]a Marzocco") or
+  (str(x) matches "[0-9]+ [0-9A-Z a-z]+ [Ss]t.?") or
+  (str(x) in dict("GPE")) or
+  (str(x) in dict("Person"))
+)",
+                threshold);
+  return buf;
+}
+
+std::string TweetTeamQueryText(double threshold) {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), R"(
+extract x:Entity from "tweets" if ()
+satisfying x
+  (x [["to host"]] {0.9}) or
+  (x "vs" {0.9}) or
+  ("vs" x {0.9}) or
+  (x [["soccer"]] {0.9}) or
+  ("Go" x {0.9}) or
+  ("by" x {0.5})
+with threshold %f
+excluding
+  (str(x) matches "[a-z 0-9.]+") or
+  (str(x) in dict("GPE"))
+)",
+                threshold);
+  return buf;
+}
+
+std::string TweetFacilityQueryText(double threshold) {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), R"(
+extract x:Entity from "tweets" if ()
+satisfying x
+  ("at" x {1}) or
+  ([["went to"]] x {0.8}) or
+  ([["go to"]] x {0.8})
+with threshold %f
+excluding
+  (str(x) contains "pm") or
+  (str(x) contains "am") or
+  (str(x) mentions "@") or
+  (str(x) contains "today") or
+  (str(x) contains "tomorrow") or
+  (str(x) contains "tonight") or
+  (str(x) matches "[a-z 0-9.]+")
+)",
+                threshold);
+  return buf;
+}
+
+Query QueryFromTreeBench(const TreeBenchQuery& bench,
+                         const std::string& source) {
+  Query query;
+  query.source = source;
+  for (size_t i = 0; i < bench.paths.size(); ++i) {
+    VarDef def;
+    def.name = "v";
+    def.name += std::to_string(i);
+    def.kind = VarDef::Kind::kNode;
+    def.path = bench.paths[i];
+    query.defs.push_back(std::move(def));
+  }
+  query.outputs.push_back({"v0", "Str"});
+  return query;
+}
+
+namespace {
+
+void MixBytes(uint64_t* h, const void* data, size_t size) {
+  *h = Fnv1a64(
+      std::string_view(static_cast<const char*>(data), size), *h);
+}
+
+template <typename T>
+void MixPod(uint64_t* h, T value) {
+  MixBytes(h, &value, sizeof(value));
+}
+
+}  // namespace
+
+uint64_t RowDigest(const std::vector<ResultRow>& rows) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  MixPod(&h, static_cast<uint64_t>(rows.size()));
+  for (const ResultRow& row : rows) {
+    MixPod(&h, row.doc);
+    MixPod(&h, row.sid);
+    MixPod(&h, static_cast<uint64_t>(row.values.size()));
+    for (const std::string& value : row.values) {
+      MixPod(&h, static_cast<uint64_t>(value.size()));
+      MixBytes(&h, value.data(), value.size());
+    }
+    MixPod(&h, static_cast<uint64_t>(row.scores.size()));
+    for (double score : row.scores) MixPod(&h, score);
+  }
+  return h;
+}
+
+uint64_t RowDigest(const QueryResult& result) { return RowDigest(result.rows); }
+
+std::string DigestHex(uint64_t digest) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+}  // namespace replay
+}  // namespace koko

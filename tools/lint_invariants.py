@@ -35,6 +35,12 @@ Rules:
   R6 memcpy-fixed  no `memcpy` whose destination is a fixed-size stack
                    array outside src/util/ — sized-buffer copies belong
                    behind the bounds-checked span/serde helpers.
+  R7 bench-smoke   every paper-workload bench (the fig3/fig4/fig5/fig7/
+                   fig8/table1 reproductions and the traffic-replay
+                   harness) is registered in CMakeLists.txt via
+                   koko_add_bench_smoke(<name> LABELS ... ARGS ...) with
+                   the `workloads` label, so `ctest -L workloads` executes
+                   them — a bench that only compiles can silently rot.
 
 A line may opt out of R1/R2/R6 with a trailing justification comment:
     // lint:allow(<rule>): <reason>
@@ -223,6 +229,47 @@ def check_memcpy_fixed():
     return errors
 
 
+def check_bench_smokes():
+    """R7: workload-class benches registered as labeled ctest smokes."""
+    errors = []
+    required = {
+        "bench_fig3_cafe",
+        "bench_fig4_wnut",
+        "bench_fig5_descriptors",
+        "bench_fig7_happydb",
+        "bench_fig8_wiki",
+        "bench_table1_gsp",
+        "bench_workloads",
+    }
+    cmake = (REPO_ROOT / "CMakeLists.txt").read_text()
+    registered = {}
+    for m in re.finditer(
+        r"koko_add_bench_smoke\(\s*(\w+)\s+LABELS\s+([^)]*)\)", cmake
+    ):
+        tokens = m.group(2).split()
+        labels = tokens[: tokens.index("ARGS")] if "ARGS" in tokens else tokens
+        registered[m.group(1)] = labels
+    for name in sorted(required):
+        labels = registered.get(name)
+        if labels is None:
+            errors.append(
+                f"CMakeLists.txt: [bench-smoke] {name} has no "
+                "koko_add_bench_smoke(...) registration"
+            )
+        elif "workloads" not in labels:
+            errors.append(
+                f"CMakeLists.txt: [bench-smoke] {name} smoke lacks the "
+                "`workloads` label (ctest -L workloads must run it)"
+            )
+    for name in registered:
+        if not (REPO_ROOT / "bench" / f"{name}.cpp").exists():
+            errors.append(
+                f"CMakeLists.txt: [bench-smoke] koko_add_bench_smoke({name}) "
+                f"has no bench/{name}.cpp"
+            )
+    return errors
+
+
 def check_bare_allows():
     """A lint:allow without rule+reason is itself a violation."""
     errors = []
@@ -243,6 +290,7 @@ CHECKS = [
     check_test_labels,
     check_bench_schema,
     check_memcpy_fixed,
+    check_bench_smokes,
     check_bare_allows,
 ]
 
