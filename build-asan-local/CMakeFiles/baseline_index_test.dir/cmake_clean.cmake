@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_index_test.dir/tests/baseline_index_test.cpp.o"
+  "CMakeFiles/baseline_index_test.dir/tests/baseline_index_test.cpp.o.d"
+  "baseline_index_test"
+  "baseline_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

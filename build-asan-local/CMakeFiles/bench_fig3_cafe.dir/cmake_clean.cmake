@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cafe.dir/bench/bench_fig3_cafe.cpp.o"
+  "CMakeFiles/bench_fig3_cafe.dir/bench/bench_fig3_cafe.cpp.o.d"
+  "bench_fig3_cafe"
+  "bench_fig3_cafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

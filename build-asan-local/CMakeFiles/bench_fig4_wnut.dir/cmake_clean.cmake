@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_wnut.dir/bench/bench_fig4_wnut.cpp.o"
+  "CMakeFiles/bench_fig4_wnut.dir/bench/bench_fig4_wnut.cpp.o.d"
+  "bench_fig4_wnut"
+  "bench_fig4_wnut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_wnut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_descriptors.dir/bench/bench_fig5_descriptors.cpp.o"
+  "CMakeFiles/bench_fig5_descriptors.dir/bench/bench_fig5_descriptors.cpp.o.d"
+  "bench_fig5_descriptors"
+  "bench_fig5_descriptors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_descriptors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

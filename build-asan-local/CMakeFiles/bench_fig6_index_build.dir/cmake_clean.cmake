@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_index_build.dir/bench/bench_fig6_index_build.cpp.o"
+  "CMakeFiles/bench_fig6_index_build.dir/bench/bench_fig6_index_build.cpp.o.d"
+  "bench_fig6_index_build"
+  "bench_fig6_index_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_index_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

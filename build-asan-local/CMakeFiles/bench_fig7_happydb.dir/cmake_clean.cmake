@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_happydb.dir/bench/bench_fig7_happydb.cpp.o"
+  "CMakeFiles/bench_fig7_happydb.dir/bench/bench_fig7_happydb.cpp.o.d"
+  "bench_fig7_happydb"
+  "bench_fig7_happydb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_happydb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_wiki.dir/bench/bench_fig8_wiki.cpp.o"
+  "CMakeFiles/bench_fig8_wiki.dir/bench/bench_fig8_wiki.cpp.o.d"
+  "bench_fig8_wiki"
+  "bench_fig8_wiki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_wiki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_json_test.dir/tests/bench_json_test.cpp.o"
+  "CMakeFiles/bench_json_test.dir/tests/bench_json_test.cpp.o.d"
+  "bench_json_test"
+  "bench_json_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nell.dir/bench/bench_nell.cpp.o"
+  "CMakeFiles/bench_nell.dir/bench/bench_nell.cpp.o.d"
+  "bench_nell"
+  "bench_nell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

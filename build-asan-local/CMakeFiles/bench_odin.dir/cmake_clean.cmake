@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_odin.dir/bench/bench_odin.cpp.o"
+  "CMakeFiles/bench_odin.dir/bench/bench_odin.cpp.o.d"
+  "bench_odin"
+  "bench_odin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_odin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

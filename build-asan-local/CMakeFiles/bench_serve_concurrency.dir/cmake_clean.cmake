@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serve_concurrency.dir/bench/bench_serve_concurrency.cpp.o"
+  "CMakeFiles/bench_serve_concurrency.dir/bench/bench_serve_concurrency.cpp.o.d"
+  "bench_serve_concurrency"
+  "bench_serve_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serve_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shard_scaleup.dir/bench/bench_shard_scaleup.cpp.o"
+  "CMakeFiles/bench_shard_scaleup.dir/bench/bench_shard_scaleup.cpp.o.d"
+  "bench_shard_scaleup"
+  "bench_shard_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shard_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

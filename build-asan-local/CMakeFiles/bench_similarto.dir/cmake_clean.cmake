@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_similarto.dir/bench/bench_similarto.cpp.o"
+  "CMakeFiles/bench_similarto.dir/bench/bench_similarto.cpp.o.d"
+  "bench_similarto"
+  "bench_similarto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_similarto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

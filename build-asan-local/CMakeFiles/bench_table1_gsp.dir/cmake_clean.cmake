@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_gsp.dir/bench/bench_table1_gsp.cpp.o"
+  "CMakeFiles/bench_table1_gsp.dir/bench/bench_table1_gsp.cpp.o.d"
+  "bench_table1_gsp"
+  "bench_table1_gsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_gsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

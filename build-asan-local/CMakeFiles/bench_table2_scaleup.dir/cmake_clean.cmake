@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_scaleup.dir/bench/bench_table2_scaleup.cpp.o"
+  "CMakeFiles/bench_table2_scaleup.dir/bench/bench_table2_scaleup.cpp.o.d"
+  "bench_table2_scaleup"
+  "bench_table2_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafe_extraction.dir/examples/cafe_extraction.cpp.o"
+  "CMakeFiles/cafe_extraction.dir/examples/cafe_extraction.cpp.o.d"
+  "cafe_extraction"
+  "cafe_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafe_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

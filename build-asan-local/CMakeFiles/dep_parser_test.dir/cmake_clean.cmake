@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dep_parser_test.dir/tests/dep_parser_test.cpp.o"
+  "CMakeFiles/dep_parser_test.dir/tests/dep_parser_test.cpp.o.d"
+  "dep_parser_test"
+  "dep_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dep_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

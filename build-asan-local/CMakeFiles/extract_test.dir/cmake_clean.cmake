@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_test.dir/tests/extract_test.cpp.o"
+  "CMakeFiles/extract_test.dir/tests/extract_test.cpp.o.d"
+  "extract_test"
+  "extract_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/adv_inverted_index.cpp" "CMakeFiles/koko.dir/src/baseline/adv_inverted_index.cpp.o" "gcc" "CMakeFiles/koko.dir/src/baseline/adv_inverted_index.cpp.o.d"
+  "/root/repo/src/baseline/inverted_index.cpp" "CMakeFiles/koko.dir/src/baseline/inverted_index.cpp.o" "gcc" "CMakeFiles/koko.dir/src/baseline/inverted_index.cpp.o.d"
+  "/root/repo/src/baseline/koko_adapter.cpp" "CMakeFiles/koko.dir/src/baseline/koko_adapter.cpp.o" "gcc" "CMakeFiles/koko.dir/src/baseline/koko_adapter.cpp.o.d"
+  "/root/repo/src/baseline/subtree_index.cpp" "CMakeFiles/koko.dir/src/baseline/subtree_index.cpp.o" "gcc" "CMakeFiles/koko.dir/src/baseline/subtree_index.cpp.o.d"
+  "/root/repo/src/baseline/tree_index.cpp" "CMakeFiles/koko.dir/src/baseline/tree_index.cpp.o" "gcc" "CMakeFiles/koko.dir/src/baseline/tree_index.cpp.o.d"
+  "/root/repo/src/corpus/generators.cpp" "CMakeFiles/koko.dir/src/corpus/generators.cpp.o" "gcc" "CMakeFiles/koko.dir/src/corpus/generators.cpp.o.d"
+  "/root/repo/src/corpus/query_gen.cpp" "CMakeFiles/koko.dir/src/corpus/query_gen.cpp.o" "gcc" "CMakeFiles/koko.dir/src/corpus/query_gen.cpp.o.d"
+  "/root/repo/src/embed/descriptor.cpp" "CMakeFiles/koko.dir/src/embed/descriptor.cpp.o" "gcc" "CMakeFiles/koko.dir/src/embed/descriptor.cpp.o.d"
+  "/root/repo/src/embed/embedding.cpp" "CMakeFiles/koko.dir/src/embed/embedding.cpp.o" "gcc" "CMakeFiles/koko.dir/src/embed/embedding.cpp.o.d"
+  "/root/repo/src/extract/crf.cpp" "CMakeFiles/koko.dir/src/extract/crf.cpp.o" "gcc" "CMakeFiles/koko.dir/src/extract/crf.cpp.o.d"
+  "/root/repo/src/extract/ike.cpp" "CMakeFiles/koko.dir/src/extract/ike.cpp.o" "gcc" "CMakeFiles/koko.dir/src/extract/ike.cpp.o.d"
+  "/root/repo/src/extract/metrics.cpp" "CMakeFiles/koko.dir/src/extract/metrics.cpp.o" "gcc" "CMakeFiles/koko.dir/src/extract/metrics.cpp.o.d"
+  "/root/repo/src/extract/nell.cpp" "CMakeFiles/koko.dir/src/extract/nell.cpp.o" "gcc" "CMakeFiles/koko.dir/src/extract/nell.cpp.o.d"
+  "/root/repo/src/extract/odin.cpp" "CMakeFiles/koko.dir/src/extract/odin.cpp.o" "gcc" "CMakeFiles/koko.dir/src/extract/odin.cpp.o.d"
+  "/root/repo/src/index/koko_index.cpp" "CMakeFiles/koko.dir/src/index/koko_index.cpp.o" "gcc" "CMakeFiles/koko.dir/src/index/koko_index.cpp.o.d"
+  "/root/repo/src/index/path.cpp" "CMakeFiles/koko.dir/src/index/path.cpp.o" "gcc" "CMakeFiles/koko.dir/src/index/path.cpp.o.d"
+  "/root/repo/src/index/path_lookup.cpp" "CMakeFiles/koko.dir/src/index/path_lookup.cpp.o" "gcc" "CMakeFiles/koko.dir/src/index/path_lookup.cpp.o.d"
+  "/root/repo/src/index/sharded_index.cpp" "CMakeFiles/koko.dir/src/index/sharded_index.cpp.o" "gcc" "CMakeFiles/koko.dir/src/index/sharded_index.cpp.o.d"
+  "/root/repo/src/index/sid_ops.cpp" "CMakeFiles/koko.dir/src/index/sid_ops.cpp.o" "gcc" "CMakeFiles/koko.dir/src/index/sid_ops.cpp.o.d"
+  "/root/repo/src/koko/aggregate.cpp" "CMakeFiles/koko.dir/src/koko/aggregate.cpp.o" "gcc" "CMakeFiles/koko.dir/src/koko/aggregate.cpp.o.d"
+  "/root/repo/src/koko/compile.cpp" "CMakeFiles/koko.dir/src/koko/compile.cpp.o" "gcc" "CMakeFiles/koko.dir/src/koko/compile.cpp.o.d"
+  "/root/repo/src/koko/engine.cpp" "CMakeFiles/koko.dir/src/koko/engine.cpp.o" "gcc" "CMakeFiles/koko.dir/src/koko/engine.cpp.o.d"
+  "/root/repo/src/koko/explain.cpp" "CMakeFiles/koko.dir/src/koko/explain.cpp.o" "gcc" "CMakeFiles/koko.dir/src/koko/explain.cpp.o.d"
+  "/root/repo/src/koko/lexer.cpp" "CMakeFiles/koko.dir/src/koko/lexer.cpp.o" "gcc" "CMakeFiles/koko.dir/src/koko/lexer.cpp.o.d"
+  "/root/repo/src/koko/parser.cpp" "CMakeFiles/koko.dir/src/koko/parser.cpp.o" "gcc" "CMakeFiles/koko.dir/src/koko/parser.cpp.o.d"
+  "/root/repo/src/koko/planner.cpp" "CMakeFiles/koko.dir/src/koko/planner.cpp.o" "gcc" "CMakeFiles/koko.dir/src/koko/planner.cpp.o.d"
+  "/root/repo/src/koko/printer.cpp" "CMakeFiles/koko.dir/src/koko/printer.cpp.o" "gcc" "CMakeFiles/koko.dir/src/koko/printer.cpp.o.d"
+  "/root/repo/src/koko/score_cache.cpp" "CMakeFiles/koko.dir/src/koko/score_cache.cpp.o" "gcc" "CMakeFiles/koko.dir/src/koko/score_cache.cpp.o.d"
+  "/root/repo/src/ner/entity_recognizer.cpp" "CMakeFiles/koko.dir/src/ner/entity_recognizer.cpp.o" "gcc" "CMakeFiles/koko.dir/src/ner/entity_recognizer.cpp.o.d"
+  "/root/repo/src/nlp/pipeline.cpp" "CMakeFiles/koko.dir/src/nlp/pipeline.cpp.o" "gcc" "CMakeFiles/koko.dir/src/nlp/pipeline.cpp.o.d"
+  "/root/repo/src/parser/dep_parser.cpp" "CMakeFiles/koko.dir/src/parser/dep_parser.cpp.o" "gcc" "CMakeFiles/koko.dir/src/parser/dep_parser.cpp.o.d"
+  "/root/repo/src/regex/regex.cpp" "CMakeFiles/koko.dir/src/regex/regex.cpp.o" "gcc" "CMakeFiles/koko.dir/src/regex/regex.cpp.o.d"
+  "/root/repo/src/replay/fuzz.cpp" "CMakeFiles/koko.dir/src/replay/fuzz.cpp.o" "gcc" "CMakeFiles/koko.dir/src/replay/fuzz.cpp.o.d"
+  "/root/repo/src/replay/traffic.cpp" "CMakeFiles/koko.dir/src/replay/traffic.cpp.o" "gcc" "CMakeFiles/koko.dir/src/replay/traffic.cpp.o.d"
+  "/root/repo/src/replay/workloads.cpp" "CMakeFiles/koko.dir/src/replay/workloads.cpp.o" "gcc" "CMakeFiles/koko.dir/src/replay/workloads.cpp.o.d"
+  "/root/repo/src/serve/query_service.cpp" "CMakeFiles/koko.dir/src/serve/query_service.cpp.o" "gcc" "CMakeFiles/koko.dir/src/serve/query_service.cpp.o.d"
+  "/root/repo/src/storage/doc_store.cpp" "CMakeFiles/koko.dir/src/storage/doc_store.cpp.o" "gcc" "CMakeFiles/koko.dir/src/storage/doc_store.cpp.o.d"
+  "/root/repo/src/storage/table.cpp" "CMakeFiles/koko.dir/src/storage/table.cpp.o" "gcc" "CMakeFiles/koko.dir/src/storage/table.cpp.o.d"
+  "/root/repo/src/text/annotations.cpp" "CMakeFiles/koko.dir/src/text/annotations.cpp.o" "gcc" "CMakeFiles/koko.dir/src/text/annotations.cpp.o.d"
+  "/root/repo/src/text/document.cpp" "CMakeFiles/koko.dir/src/text/document.cpp.o" "gcc" "CMakeFiles/koko.dir/src/text/document.cpp.o.d"
+  "/root/repo/src/text/lexicon.cpp" "CMakeFiles/koko.dir/src/text/lexicon.cpp.o" "gcc" "CMakeFiles/koko.dir/src/text/lexicon.cpp.o.d"
+  "/root/repo/src/text/pos_tagger.cpp" "CMakeFiles/koko.dir/src/text/pos_tagger.cpp.o" "gcc" "CMakeFiles/koko.dir/src/text/pos_tagger.cpp.o.d"
+  "/root/repo/src/text/tokenizer.cpp" "CMakeFiles/koko.dir/src/text/tokenizer.cpp.o" "gcc" "CMakeFiles/koko.dir/src/text/tokenizer.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "CMakeFiles/koko.dir/src/util/logging.cpp.o" "gcc" "CMakeFiles/koko.dir/src/util/logging.cpp.o.d"
+  "/root/repo/src/util/mmap_file.cpp" "CMakeFiles/koko.dir/src/util/mmap_file.cpp.o" "gcc" "CMakeFiles/koko.dir/src/util/mmap_file.cpp.o.d"
+  "/root/repo/src/util/simd.cpp" "CMakeFiles/koko.dir/src/util/simd.cpp.o" "gcc" "CMakeFiles/koko.dir/src/util/simd.cpp.o.d"
+  "/root/repo/src/util/simd_avx2.cpp" "CMakeFiles/koko.dir/src/util/simd_avx2.cpp.o" "gcc" "CMakeFiles/koko.dir/src/util/simd_avx2.cpp.o.d"
+  "/root/repo/src/util/simd_neon.cpp" "CMakeFiles/koko.dir/src/util/simd_neon.cpp.o" "gcc" "CMakeFiles/koko.dir/src/util/simd_neon.cpp.o.d"
+  "/root/repo/src/util/simd_sse.cpp" "CMakeFiles/koko.dir/src/util/simd_sse.cpp.o" "gcc" "CMakeFiles/koko.dir/src/util/simd_sse.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "CMakeFiles/koko.dir/src/util/status.cpp.o" "gcc" "CMakeFiles/koko.dir/src/util/status.cpp.o.d"
+  "/root/repo/src/util/string_util.cpp" "CMakeFiles/koko.dir/src/util/string_util.cpp.o" "gcc" "CMakeFiles/koko.dir/src/util/string_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprocess_serve_test.dir/tests/multiprocess_serve_test.cpp.o"
+  "CMakeFiles/multiprocess_serve_test.dir/tests/multiprocess_serve_test.cpp.o.d"
+  "multiprocess_serve_test"
+  "multiprocess_serve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprocess_serve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

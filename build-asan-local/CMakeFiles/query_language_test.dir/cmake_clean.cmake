@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_language_test.dir/tests/query_language_test.cpp.o"
+  "CMakeFiles/query_language_test.dir/tests/query_language_test.cpp.o.d"
+  "query_language_test"
+  "query_language_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_language_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

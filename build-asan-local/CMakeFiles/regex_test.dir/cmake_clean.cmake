@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_test.dir/tests/regex_test.cpp.o"
+  "CMakeFiles/regex_test.dir/tests/regex_test.cpp.o.d"
+  "regex_test"
+  "regex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_queries.dir/examples/serve_queries.cpp.o"
+  "CMakeFiles/serve_queries.dir/examples/serve_queries.cpp.o.d"
+  "serve_queries"
+  "serve_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

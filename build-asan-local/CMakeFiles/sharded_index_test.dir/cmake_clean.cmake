@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_index_test.dir/tests/sharded_index_test.cpp.o"
+  "CMakeFiles/sharded_index_test.dir/tests/sharded_index_test.cpp.o.d"
+  "sharded_index_test"
+  "sharded_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

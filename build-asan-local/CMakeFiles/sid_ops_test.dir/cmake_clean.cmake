@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sid_ops_test.dir/tests/sid_ops_test.cpp.o"
+  "CMakeFiles/sid_ops_test.dir/tests/sid_ops_test.cpp.o.d"
+  "sid_ops_test"
+  "sid_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sid_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiki_relations.dir/examples/wiki_relations.cpp.o"
+  "CMakeFiles/wiki_relations.dir/examples/wiki_relations.cpp.o.d"
+  "wiki_relations"
+  "wiki_relations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiki_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

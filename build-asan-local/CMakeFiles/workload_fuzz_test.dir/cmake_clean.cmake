@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_fuzz_test.dir/tests/workload_fuzz_test.cpp.o"
+  "CMakeFiles/workload_fuzz_test.dir/tests/workload_fuzz_test.cpp.o.d"
+  "workload_fuzz_test"
+  "workload_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
