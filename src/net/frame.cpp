@@ -1,0 +1,362 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace koko {
+namespace net {
+
+namespace {
+
+// ---- Little-endian append helpers ------------------------------------------
+
+void PutU8(uint8_t v, std::vector<uint8_t>* out) { out->push_back(v); }
+
+void PutU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v & 0xff));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+void PutString(const std::string& s, std::vector<uint8_t>* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+void PutDoubleBits(double v, std::vector<uint8_t>* out) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits, out);
+}
+
+// ---- Bounds-checked reader -------------------------------------------------
+
+/// Sequential reader over one payload. Every Read* returns false instead of
+/// reading past `size`; decoders translate that into ParseError. No method
+/// ever reads a byte it was not handed.
+class PayloadReader {
+ public:
+  PayloadReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+  bool ReadU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+
+  bool ReadU16(uint16_t* v) {
+    if (remaining() < 2) return false;
+    *v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)])
+             << (8 * i);
+    }
+    pos_ += 4;
+    *v = out;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+             << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return true;
+  }
+
+  /// Length-prefixed string; the prefix is validated against the bytes
+  /// actually remaining, so a hostile length cannot trigger a huge
+  /// allocation or an out-of-bounds read.
+  bool ReadString(std::string* s) {
+    uint32_t len = 0;
+    if (!ReadU32(&len)) return false;
+    if (len > remaining()) return false;
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+  bool ReadDoubleBits(double* v) {
+    uint64_t bits = 0;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+Status Truncated(const char* what) {
+  return Status::ParseError(std::string("truncated ") + what + " payload");
+}
+
+Status Trailing(const char* what) {
+  return Status::ParseError(std::string(what) +
+                            " payload has trailing bytes after the last field");
+}
+
+bool ValidStatusCode(uint8_t code) {
+  return code <= static_cast<uint8_t>(StatusCode::kUnavailable);
+}
+
+}  // namespace
+
+// ---- Header ----------------------------------------------------------------
+
+void AppendFrameHeader(FrameType type, uint32_t payload_len,
+                       std::vector<uint8_t>* out) {
+  PutU16(kWireMagic, out);
+  PutU8(kWireVersion, out);
+  PutU8(static_cast<uint8_t>(type), out);
+  PutU32(payload_len, out);
+}
+
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size) {
+  PayloadReader reader(data, size);
+  uint16_t magic = 0;
+  uint8_t version = 0;
+  uint8_t type = 0;
+  uint32_t payload_len = 0;
+  if (!reader.ReadU16(&magic) || !reader.ReadU8(&version) ||
+      !reader.ReadU8(&type) || !reader.ReadU32(&payload_len)) {
+    return Truncated("frame header");
+  }
+  if (magic != kWireMagic) {
+    return Status::ParseError("bad frame magic (not a KOKO wire stream)");
+  }
+  if (version != kWireVersion) {
+    return Status::ParseError("unsupported wire version " +
+                              std::to_string(version));
+  }
+  if (type < static_cast<uint8_t>(FrameType::kRequest) ||
+      type > static_cast<uint8_t>(FrameType::kError)) {
+    return Status::ParseError("unknown frame type " + std::to_string(type));
+  }
+  if (payload_len > kMaxFramePayload) {
+    return Status::ParseError("frame payload length " +
+                              std::to_string(payload_len) +
+                              " exceeds the protocol maximum");
+  }
+  FrameHeader header;
+  header.type = static_cast<FrameType>(type);
+  header.payload_len = payload_len;
+  return header;
+}
+
+// ---- Encoders --------------------------------------------------------------
+
+std::vector<uint8_t> EncodeRequest(const NetRequest& request) {
+  std::vector<uint8_t> out;
+  PutString(request.query_text, &out);
+  PutU64(request.max_rows, &out);
+  uint8_t flags = 0;
+  if (request.streaming) flags |= kReqFlagStreaming;
+  if (!request.use_planner) flags |= kReqFlagPlannerOff;
+  if (!request.allow_batch) flags |= kReqFlagNoBatch;
+  PutU8(flags, &out);
+  return out;
+}
+
+std::vector<uint8_t> EncodeHeaderPayload(
+    const std::vector<std::string>& output_names) {
+  std::vector<uint8_t> out;
+  PutU32(static_cast<uint32_t>(output_names.size()), &out);
+  for (const std::string& name : output_names) PutString(name, &out);
+  return out;
+}
+
+std::vector<uint8_t> EncodeRowsPayload(const std::vector<ResultRow>& rows,
+                                       size_t begin, size_t count) {
+  std::vector<uint8_t> out;
+  PutU32(static_cast<uint32_t>(count), &out);
+  for (size_t i = begin; i < begin + count; ++i) {
+    const ResultRow& row = rows[i];
+    PutU32(row.doc, &out);
+    PutU32(row.sid, &out);
+    PutU16(static_cast<uint16_t>(row.values.size()), &out);
+    PutU16(static_cast<uint16_t>(row.scores.size()), &out);
+    for (const std::string& value : row.values) PutString(value, &out);
+    for (double score : row.scores) PutDoubleBits(score, &out);
+  }
+  return out;
+}
+
+std::vector<uint8_t> EncodeDonePayload(const NetDone& done) {
+  std::vector<uint8_t> out;
+  PutU64(done.rows, &out);
+  PutU64(done.candidate_sentences, &out);
+  PutU64(done.scanned_candidates, &out);
+  PutU8(done.early_terminated ? 1 : 0, &out);
+  PutU8(done.batched ? 1 : 0, &out);
+  return out;
+}
+
+std::vector<uint8_t> EncodeErrorPayload(StatusCode code,
+                                        const std::string& message) {
+  std::vector<uint8_t> out;
+  PutU8(static_cast<uint8_t>(code), &out);
+  PutString(message, &out);
+  return out;
+}
+
+std::vector<uint8_t> EncodeFrame(FrameType type,
+                                 const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  AppendFrameHeader(type, static_cast<uint32_t>(payload.size()), &out);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+// ---- Decoders --------------------------------------------------------------
+
+Result<NetRequest> DecodeRequest(const uint8_t* data, size_t size) {
+  PayloadReader reader(data, size);
+  NetRequest request;
+  if (!reader.ReadString(&request.query_text)) return Truncated("request");
+  uint8_t flags = 0;
+  if (!reader.ReadU64(&request.max_rows) || !reader.ReadU8(&flags)) {
+    return Truncated("request");
+  }
+  if (!reader.exhausted()) return Trailing("request");
+  if ((flags & ~(kReqFlagStreaming | kReqFlagPlannerOff | kReqFlagNoBatch)) !=
+      0) {
+    return Status::ParseError("request carries unknown flag bits");
+  }
+  if (request.query_text.empty()) {
+    return Status::ParseError("request query text is empty");
+  }
+  request.streaming = (flags & kReqFlagStreaming) != 0;
+  request.use_planner = (flags & kReqFlagPlannerOff) == 0;
+  request.allow_batch = (flags & kReqFlagNoBatch) == 0;
+  return request;
+}
+
+Result<std::vector<std::string>> DecodeHeaderPayload(const uint8_t* data,
+                                                     size_t size) {
+  PayloadReader reader(data, size);
+  uint32_t count = 0;
+  if (!reader.ReadU32(&count)) return Truncated("header");
+  // Each name costs at least its 4-byte length prefix; a count the payload
+  // cannot back is rejected before any allocation.
+  if (count > reader.remaining() / 4) {
+    return Status::ParseError("header column count exceeds payload capacity");
+  }
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!reader.ReadString(&name)) return Truncated("header");
+    names.push_back(std::move(name));
+  }
+  if (!reader.exhausted()) return Trailing("header");
+  return names;
+}
+
+Result<std::vector<ResultRow>> DecodeRowsPayload(const uint8_t* data,
+                                                 size_t size) {
+  PayloadReader reader(data, size);
+  uint32_t count = 0;
+  if (!reader.ReadU32(&count)) return Truncated("rows");
+  // A row costs at least doc + sid + the two element counts (12 bytes).
+  if (count > reader.remaining() / 12) {
+    return Status::ParseError("rows count exceeds payload capacity");
+  }
+  std::vector<ResultRow> rows;
+  rows.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ResultRow row;
+    uint16_t num_values = 0;
+    uint16_t num_scores = 0;
+    if (!reader.ReadU32(&row.doc) || !reader.ReadU32(&row.sid) ||
+        !reader.ReadU16(&num_values) || !reader.ReadU16(&num_scores)) {
+      return Truncated("rows");
+    }
+    if (num_values > reader.remaining() / 4 ||
+        num_scores > reader.remaining() / 8) {
+      return Status::ParseError("row element count exceeds payload capacity");
+    }
+    row.values.reserve(num_values);
+    for (uint16_t v = 0; v < num_values; ++v) {
+      std::string value;
+      if (!reader.ReadString(&value)) return Truncated("rows");
+      row.values.push_back(std::move(value));
+    }
+    row.scores.reserve(num_scores);
+    for (uint16_t s = 0; s < num_scores; ++s) {
+      double score = 0;
+      if (!reader.ReadDoubleBits(&score)) return Truncated("rows");
+      row.scores.push_back(score);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (!reader.exhausted()) return Trailing("rows");
+  return rows;
+}
+
+Result<NetDone> DecodeDonePayload(const uint8_t* data, size_t size) {
+  PayloadReader reader(data, size);
+  NetDone done;
+  uint8_t early = 0;
+  uint8_t batched = 0;
+  if (!reader.ReadU64(&done.rows) ||
+      !reader.ReadU64(&done.candidate_sentences) ||
+      !reader.ReadU64(&done.scanned_candidates) || !reader.ReadU8(&early) ||
+      !reader.ReadU8(&batched)) {
+    return Truncated("done");
+  }
+  if (!reader.exhausted()) return Trailing("done");
+  if (early > 1 || batched > 1) {
+    return Status::ParseError("done payload has non-boolean flag byte");
+  }
+  done.early_terminated = early == 1;
+  done.batched = batched == 1;
+  return done;
+}
+
+Result<NetError> DecodeErrorPayload(const uint8_t* data, size_t size) {
+  PayloadReader reader(data, size);
+  uint8_t code = 0;
+  NetError error;
+  if (!reader.ReadU8(&code) || !reader.ReadString(&error.message)) {
+    return Truncated("error");
+  }
+  if (!reader.exhausted()) return Trailing("error");
+  if (!ValidStatusCode(code) || code == static_cast<uint8_t>(StatusCode::kOk)) {
+    return Status::ParseError("error payload carries invalid status code " +
+                              std::to_string(code));
+  }
+  error.code = static_cast<StatusCode>(code);
+  return error;
+}
+
+}  // namespace net
+}  // namespace koko

@@ -1,0 +1,99 @@
+#ifndef KOKO_NET_SOCKET_H_
+#define KOKO_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace koko {
+namespace net {
+
+/// \file Minimal RAII POSIX socket wrappers for the serving front end.
+///
+/// Dependency-free by design (the container bakes in no networking
+/// libraries): plain blocking TCP over loopback/INADDR_ANY with the few
+/// behaviors the server actually needs — full-buffer reads and writes that
+/// retry EINTR and partial transfers, SIGPIPE suppressed per-send, and an
+/// Unblock() that shuts the fd down so a peer blocked in read()/accept()
+/// returns immediately (the graceful-shutdown wake-up, see
+/// KokoServer::Stop).
+
+/// Owns one file descriptor; moves transfer ownership, the destructor
+/// closes. Thread-compat: Unblock() (shutdown(2)) may race a concurrent
+/// Read/Write on the same fd — that is its purpose — but Close()/
+/// destruction must not.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Reads exactly `size` bytes. kIoError on EOF mid-buffer or a socket
+  /// error; NotFound when the peer closed cleanly before the first byte
+  /// (the idle-connection EOF the server treats as "client hung up").
+  Status ReadFully(uint8_t* data, size_t size);
+
+  /// Writes the whole buffer (MSG_NOSIGNAL: a dead peer yields a Status,
+  /// never a SIGPIPE).
+  Status WriteAll(const uint8_t* data, size_t size);
+  Status WriteAll(const std::vector<uint8_t>& data) {
+    return WriteAll(data.data(), data.size());
+  }
+
+  /// shutdown(2) both directions: any thread blocked in ReadFully/WriteAll
+  /// on this socket returns with an error. The fd stays open (safe to race
+  /// with concurrent I/O); Close()/destruction reclaims it later.
+  void Unblock();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket. Binds with SO_REUSEADDR; port 0 picks an
+/// ephemeral port (read it back via port()).
+class ListenSocket {
+ public:
+  /// `loopback_only` binds 127.0.0.1 (the test/bench configuration);
+  /// otherwise INADDR_ANY.
+  static Result<ListenSocket> Listen(uint16_t port, bool loopback_only = true,
+                                     int backlog = 64);
+
+  ListenSocket() = default;
+  ListenSocket(ListenSocket&&) noexcept = default;
+  ListenSocket& operator=(ListenSocket&&) noexcept = default;
+
+  bool valid() const { return socket_.valid(); }
+  uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection. kUnavailable once Unblock() (or a
+  /// close) has taken the listener down — the accept loop's exit signal.
+  Result<Socket> Accept();
+
+  /// Wakes a blocked Accept(); subsequent accepts fail fast.
+  void Unblock() { socket_.Unblock(); }
+
+ private:
+  Socket socket_;
+  uint16_t port_ = 0;
+};
+
+/// Blocking connect to 127.0.0.1:`port`, with an optional receive timeout
+/// (seconds; 0 = no timeout) so a wedged peer cannot hang a test forever.
+Result<Socket> ConnectLoopback(uint16_t port, int recv_timeout_seconds = 0);
+
+}  // namespace net
+}  // namespace koko
+
+#endif  // KOKO_NET_SOCKET_H_

@@ -30,6 +30,12 @@ Result<QueryResult> QueryService::Run(const Query& query) {
 }
 
 Result<QueryResult> QueryService::Run(const Query& query, const RowSink& sink) {
+  return Run(query, RunOverrides(), sink);
+}
+
+Result<QueryResult> QueryService::Run(const Query& query,
+                                      const RunOverrides& overrides,
+                                      const RowSink& sink) {
   if (!admission_.Enter()) {
     return Status::Unavailable("admission queue full (max_queue waiters)");
   }
@@ -38,6 +44,10 @@ Result<QueryResult> QueryService::Run(const Query& query, const RowSink& sink) {
   options.score_cache = score_cache_.get();
   options.plan_cache = plan_cache_.get();
   options.num_threads = pool_->num_workers();
+  if (overrides.max_rows.has_value()) options.max_rows = *overrides.max_rows;
+  if (overrides.use_planner.has_value()) {
+    options.use_planner = *overrides.use_planner;
+  }
   if (sink) options.sink = &sink;
   Result<QueryResult> result = engine_->Execute(query, options);
   admission_.Exit();

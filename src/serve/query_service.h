@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -233,6 +234,16 @@ class QueryService {
     PlanCache::Stats plan_cache;
   };
 
+  /// Per-request option overrides, applied on top of `Options::engine` for
+  /// one Run call. This is the wire front end's hook (src/net/server.cpp):
+  /// a network request carries its own row cap and planner toggle, while
+  /// everything structural (pool, caches, thread counts) stays
+  /// service-owned. Unset fields inherit the service defaults.
+  struct RunOverrides {
+    std::optional<size_t> max_rows;
+    std::optional<bool> use_planner;
+  };
+
   /// `engine` is borrowed and must outlive the service. `index_shards` is
   /// only used to size the score cache's stripes; pass
   /// `sharded->num_shards()` when serving a sharded index.
@@ -253,6 +264,13 @@ class QueryService {
   /// provably satisfied. `sink` must stay alive until the call returns.
   Result<QueryResult> Run(std::string_view query_text, const RowSink& sink);
   Result<QueryResult> Run(const Query& query, const RowSink& sink);
+
+  /// Overridden variant: same admission/execution path with `overrides`
+  /// layered onto the service's engine options (a finite max_rows implies
+  /// streaming early termination, matching EngineOptions' contract). Pass
+  /// an empty RowSink for non-streaming callers.
+  Result<QueryResult> Run(const Query& query, const RunOverrides& overrides,
+                          const RowSink& sink);
 
   /// Asynchronous variant: the query is parsed and executed on a pool
   /// worker (still subject to admission). Collect outstanding futures

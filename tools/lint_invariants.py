@@ -41,6 +41,13 @@ Rules:
                    koko_add_bench_smoke(<name> LABELS ... ARGS ...) with
                    the `workloads` label, so `ctest -L workloads` executes
                    them — a bench that only compiles can silently rot.
+  R8 tracked-artifacts  no build artifacts in the git index: tracked paths
+                   must not live under a build*/ directory or be CMake
+                   cache/generated files (CMakeCache.txt, CMakeFiles/,
+                   CTestTestfile.cmake, cmake_install.cmake, *.o, *.a,
+                   compile_commands.json). A committed build tree (the PR 9
+                   regression) bloats every clone and pins one machine's
+                   absolute paths into history. Skipped when git is absent.
 
 A line may opt out of R1/R2/R6 with a trailing justification comment:
     // lint:allow(<rule>): <reason>
@@ -49,6 +56,7 @@ Exits nonzero listing every violation. Standard library only.
 """
 
 import re
+import subprocess
 import sys
 from pathlib import Path
 
@@ -270,6 +278,40 @@ def check_bench_smokes():
     return errors
 
 
+def check_tracked_artifacts():
+    """R8: the git index contains no build trees or CMake artifacts."""
+    try:
+        proc = subprocess.run(
+            ["git", "ls-files", "-z"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            timeout=30,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        # Not a git checkout (e.g. a tarball export): nothing to check.
+        return []
+    tracked = [p for p in proc.stdout.decode().split("\0") if p]
+    artifact = re.compile(
+        r"(^|/)(build[^/]*/"  # any build tree, e.g. build-asan-local/
+        r"|CMakeCache\.txt$"
+        r"|CMakeFiles/"
+        r"|CTestTestfile\.cmake$"
+        r"|cmake_install\.cmake$"
+        r"|compile_commands\.json$)"
+    )
+    binary_suffix = re.compile(r"\.(o|a|so|bin)$")
+    errors = []
+    for path in tracked:
+        if artifact.search(path) or binary_suffix.search(path):
+            errors.append(
+                f"{path}: [tracked-artifacts] build artifact tracked by git "
+                "— remove it (git rm -r --cached) and rely on .gitignore's "
+                "build*/ pattern"
+            )
+    return errors
+
+
 def check_bare_allows():
     """A lint:allow without rule+reason is itself a violation."""
     errors = []
@@ -291,6 +333,7 @@ CHECKS = [
     check_bench_schema,
     check_memcpy_fixed,
     check_bench_smokes,
+    check_tracked_artifacts,
     check_bare_allows,
 ]
 
